@@ -1,0 +1,31 @@
+# Canonical targets for the interface-synthesis reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-only reports examples verify-all clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:            ## full benchmark suite (asserts + tables)
+	$(PYTHON) -m pytest benchmarks/
+
+bench-only:       ## timed harnesses only
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+reports: bench    ## regenerate benchmarks/reports/*.txt
+
+examples:
+	@for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex > /dev/null && echo OK; done
+
+verify-all:       ## verify every built-in system's refinement
+	repro-synth synth flc --verify
+	repro-synth synth answering-machine --verify
+	repro-synth synth ethernet --verify
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/reports
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,39 @@
+"""Report helper for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+rows are printed to stdout (visible with ``pytest -s`` or on failure)
+and also written to ``benchmarks/reports/<name>.txt`` so EXPERIMENTS.md
+can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+def write_report(name: str, lines: Iterable[str]) -> str:
+    """Print a report and persist it; returns the file path."""
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    print()
+    print(text)
+    path = os.path.join(REPORT_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> List[str]:
+    """Fixed-width plain-text table lines."""
+    columns = [[str(h)] + [str(row[i]) for row in rows]
+               for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    def fmt(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return lines

@@ -1,0 +1,154 @@
+"""Ablation: bus arbitration delays (the paper's Section 6 future work).
+
+"Further work is needed to examine the effect of bus arbitration
+delays on the performance of processes."  The bus-generation model
+assumes transfers never collide; here we measure what happens when
+they do.  EVAL_R3 and CONV_R2 run *concurrently* on bus B (they touch
+different variables, so only the bus is contended) under four
+arbiters: the zero-delay FIFO baseline, fixed priority, round-robin
+(each with a per-grant delay sweep) and TDMA.
+
+Expected shape: contention stretches process lifetimes beyond the
+estimator's contention-free numbers; grant delay adds
+``delay x transactions`` clocks; TDMA serializes hardest because a
+requester waits for its slot even on an idle bus.
+"""
+
+import pytest
+
+from benchmarks._report import format_table, write_report
+from repro.apps.flc import build_flc, reference_ctrl_output
+from repro.estimate.perf import PerformanceEstimator
+from repro.protocols import FULL_HANDSHAKE
+from repro.protogen.refine import refine_system
+from repro.sim.arbiter import (
+    ImmediateArbiter,
+    PriorityArbiter,
+    RoundRobinArbiter,
+    TdmaArbiter,
+)
+from repro.sim.runtime import simulate
+
+WIDTH = 8
+#: Stages: everything before the contended phase runs sequentially,
+#: then EVAL_R3 and CONV_R2 contend, then the rest.  (CONV_R2 reads
+#: trru2, written earlier by EVAL_R1; EVAL_R3 writes trru0, read later
+#: by CONV_R0 -- no data hazards inside the concurrent stage.)
+CONCURRENT_STAGE = ["EVAL_R3", "CONV_R2"]
+
+
+@pytest.fixture(scope="module")
+def flc_model():
+    return build_flc(250, 180)
+
+
+def concurrent_schedule(flc_model):
+    schedule = []
+    for name in flc_model.schedule:
+        if name in CONCURRENT_STAGE:
+            if CONCURRENT_STAGE not in schedule:
+                schedule.append(CONCURRENT_STAGE)
+        else:
+            schedule.append(name)
+    return schedule
+
+
+ARBITERS = {
+    "fifo (baseline)": lambda sim, members: ImmediateArbiter(sim),
+    "priority d=0": lambda sim, members: PriorityArbiter(
+        sim, {m: i for i, m in enumerate(members)}),
+    "priority d=2": lambda sim, members: PriorityArbiter(
+        sim, {m: i for i, m in enumerate(members)}, grant_delay=2),
+    "priority d=4": lambda sim, members: PriorityArbiter(
+        sim, {m: i for i, m in enumerate(members)}, grant_delay=4),
+    "round-robin d=0": lambda sim, members: RoundRobinArbiter(sim, members),
+    "round-robin d=2": lambda sim, members: RoundRobinArbiter(
+        sim, members, grant_delay=2),
+    "tdma slot=16": lambda sim, members: TdmaArbiter(
+        sim, members, slot_clocks=16),
+}
+
+
+def run_with(flc_model, name):
+    refined = refine_system(flc_model.system, [(flc_model.bus_b, WIDTH)])
+    return simulate(
+        refined,
+        schedule=concurrent_schedule(flc_model),
+        arbiter_factories={"B": ARBITERS[name]},
+    )
+
+
+class TestArbitrationAblation:
+    @pytest.mark.parametrize("name", list(ARBITERS), ids=str)
+    def test_every_arbiter_preserves_functionality(self, flc_model, name):
+        result = run_with(flc_model, name)
+        assert result.final_values["ctrl_out"] == \
+            reference_ctrl_output(250, 180)
+
+    def test_contention_exceeds_contention_free_estimate(self, flc_model):
+        result = run_with(flc_model, "fifo (baseline)")
+        estimator = PerformanceEstimator()
+        total_estimated = 0
+        total_measured = 0
+        for name in CONCURRENT_STAGE:
+            estimate = estimator.estimate(
+                flc_model.system.behavior(name),
+                flc_model.bus_b.channels, WIDTH, FULL_HANDSHAKE)
+            total_estimated += estimate.exec_clocks
+            total_measured += result.clocks[name]
+        assert total_measured > total_estimated
+        assert result.arbitration_wait["B"] > 0
+
+    def test_grant_delay_increases_wait(self, flc_model):
+        d0 = run_with(flc_model, "priority d=0")
+        d2 = run_with(flc_model, "priority d=2")
+        d4 = run_with(flc_model, "priority d=4")
+        assert d0.arbitration_wait["B"] < d2.arbitration_wait["B"] \
+            < d4.arbitration_wait["B"]
+
+    def test_grant_delay_slows_processes(self, flc_model):
+        d0 = run_with(flc_model, "priority d=0")
+        d4 = run_with(flc_model, "priority d=4")
+        for name in CONCURRENT_STAGE:
+            assert d4.clocks[name] > d0.clocks[name]
+
+    def test_tdma_is_slowest(self, flc_model):
+        fifo = run_with(flc_model, "fifo (baseline)")
+        tdma = run_with(flc_model, "tdma slot=16")
+        assert tdma.end_time > fifo.end_time
+
+
+def test_report_and_benchmark(benchmark, flc_model):
+    def run_baseline():
+        return run_with(flc_model, "fifo (baseline)")
+
+    benchmark(run_baseline)
+
+    estimator = PerformanceEstimator()
+    estimates = {
+        name: estimator.estimate(
+            flc_model.system.behavior(name), flc_model.bus_b.channels,
+            WIDTH, FULL_HANDSHAKE).exec_clocks
+        for name in CONCURRENT_STAGE
+    }
+    rows = [["(contention-free estimate)", estimates["EVAL_R3"],
+             estimates["CONV_R2"], 0, "-"]]
+    for name in ARBITERS:
+        result = run_with(flc_model, name)
+        rows.append([
+            name,
+            result.clocks["EVAL_R3"],
+            result.clocks["CONV_R2"],
+            result.arbitration_wait["B"],
+            result.final_values["ctrl_out"],
+        ])
+    lines = [
+        "Ablation: arbitration on bus B with EVAL_R3 and CONV_R2 "
+        f"concurrent (width {WIDTH})",
+        "",
+    ]
+    lines += format_table(
+        ["arbiter", "EVAL_R3 clk", "CONV_R2 clk", "total wait clk",
+         "ctrl_out"],
+        rows)
+    write_report("ablation_arbitration", lines)

@@ -1,0 +1,106 @@
+"""Ablation: interface area vs. performance across buswidths.
+
+The paper's estimator reference [10] covers *area and* performance;
+Figure 7 plots only the performance half.  This harness completes the
+designer's picture for the FLC bus B: per candidate width, the
+execution time of the slower process (performance) against the wires
+and gate-equivalents of the generated interface hardware (area).
+
+Shape: execution time falls with width while wires grow linearly and
+controller gates *shrink* (fewer words per message means smaller FSMs)
+-- so total gates fall too, and the real cost of wide buses is pins,
+exactly the interconnect economics that motivates channel merging in
+the first place.
+"""
+
+import pytest
+
+from benchmarks._report import format_table, write_report
+from repro.apps.flc import build_flc
+from repro.estimate.area import estimate_bus_area
+from repro.estimate.perf import PerformanceEstimator
+from repro.protocols import FULL_HANDSHAKE
+from repro.protogen.refine import generate_protocol
+
+WIDTHS = [1, 2, 4, 8, 12, 16, 20, 23]
+
+
+@pytest.fixture(scope="module")
+def flc_model():
+    return build_flc(250, 180)
+
+
+def area_at(flc_model, width):
+    refined = generate_protocol(flc_model.system, flc_model.bus_b,
+                                width=width)
+    return estimate_bus_area(refined.buses[0])
+
+
+class TestAreaAblation:
+    def test_wires_grow_with_width(self, flc_model):
+        wires = [area_at(flc_model, w).wires for w in WIDTHS]
+        assert wires == sorted(wires)
+        # data + 1 ID + 2 control.
+        assert wires[0] == 1 + 1 + 2
+        assert wires[-1] == 23 + 1 + 2
+
+    def test_fsm_states_shrink_with_width(self, flc_model):
+        """Fewer words per message means smaller controllers; state
+        counts fall monotonically with width."""
+        states = [sum(p.fsm_states for p in area_at(flc_model, w).procedures)
+                  for w in WIDTHS]
+        assert all(a >= b for a, b in zip(states, states[1:]))
+
+    def test_controller_gates_fall_overall(self, flc_model):
+        """Gate totals mix shrinking FSMs with growing datapath
+        drivers, so they are not strictly monotone -- but the wide end
+        is far cheaper than the narrow end."""
+        gates = [area_at(flc_model, w).controller_gates for w in WIDTHS]
+        assert gates[-1] < gates[0] / 3
+
+    def test_performance_and_area_trade(self, flc_model):
+        """No width is best at both: the narrowest bus minimizes wires,
+        the widest minimizes execution time."""
+        estimator = PerformanceEstimator()
+        conv = flc_model.system.behavior("CONV_R2")
+
+        def exec_clocks(width):
+            return estimator.estimate(conv, flc_model.bus_b.channels,
+                                      width, FULL_HANDSHAKE).exec_clocks
+
+        assert exec_clocks(23) < exec_clocks(1)
+        assert area_at(flc_model, 1).wires < area_at(flc_model, 23).wires
+
+
+def test_report_and_benchmark(benchmark, flc_model):
+    estimator = PerformanceEstimator()
+    conv = flc_model.system.behavior("CONV_R2")
+
+    def sweep():
+        return {w: area_at(flc_model, w) for w in WIDTHS}
+
+    areas = benchmark(sweep)
+
+    rows = []
+    for width in WIDTHS:
+        estimate = estimator.estimate(conv, flc_model.bus_b.channels,
+                                      width, FULL_HANDSHAKE)
+        area = areas[width]
+        rows.append([
+            width,
+            estimate.exec_clocks,
+            area.wires,
+            sum(p.fsm_states for p in area.procedures),
+            area.controller_gates,
+            area.total_gates,
+        ])
+    lines = [
+        "Ablation: area vs performance for FLC bus B (full handshake)",
+        "(CONV_R2 execution time vs generated interface hardware)",
+        "",
+    ]
+    lines += format_table(
+        ["width", "CONV_R2 clk", "wires", "FSM states",
+         "controller gates", "total gates"],
+        rows)
+    write_report("ablation_area", lines)

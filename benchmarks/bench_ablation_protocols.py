@@ -1,0 +1,143 @@
+"""Ablation: protocol selection (step 1) -- full vs half handshake vs
+fixed delay.
+
+Section 4 lists several selectable protocols and Section 6 marks
+"incorporating protocols other than a full handshake" as future work.
+Because our procedure generators and simulator implement all of them,
+we can quantify the trade: per-word delay halves from the full
+handshake to the 1-clock protocols, shifting the whole Figure 7 curve,
+shrinking the width needed to satisfy the same constraints, and
+changing the control-pin count.
+"""
+
+import pytest
+
+from benchmarks._report import format_table, write_report
+from repro.apps.flc import build_flc, reference_ctrl_output
+from repro.busgen.algorithm import generate_bus
+from repro.busgen.constraints import ConstraintSet, min_peak_rate
+from repro.estimate.perf import PerformanceEstimator
+from repro.protocols import (
+    BURST_HANDSHAKE,
+    FIXED_DELAY,
+    FULL_HANDSHAKE,
+    HALF_HANDSHAKE,
+)
+from repro.protogen.refine import refine_system
+from repro.protogen.structure import make_structure
+from repro.sim.runtime import simulate
+
+PROTOCOLS = [FULL_HANDSHAKE, HALF_HANDSHAKE, FIXED_DELAY,
+             BURST_HANDSHAKE]
+
+
+@pytest.fixture(scope="module")
+def flc_model():
+    return build_flc(250, 180)
+
+
+class TestProtocolAblation:
+    @pytest.mark.parametrize("protocol", PROTOCOLS, ids=lambda p: p.name)
+    def test_functionality_preserved_under_every_protocol(self, flc_model,
+                                                          protocol):
+        """Retargeting the protocol must not change computed values --
+        the paper's modularity claim (only bus + procedures change)."""
+        refined = refine_system(flc_model.system,
+                                [(flc_model.bus_b, 8, protocol)])
+        result = simulate(refined, schedule=flc_model.schedule)
+        assert result.final_values["ctrl_out"] == \
+            reference_ctrl_output(250, 180)
+
+    def test_one_clock_protocols_double_throughput(self, flc_model):
+        estimator = PerformanceEstimator()
+        conv = flc_model.system.behavior("CONV_R2")
+        full = estimator.estimate(conv, flc_model.bus_b.channels, 8,
+                                  FULL_HANDSHAKE)
+        half = estimator.estimate(conv, flc_model.bus_b.channels, 8,
+                                  HALF_HANDSHAKE)
+        assert full.comm_clocks == 2 * half.comm_clocks
+        assert full.comp_clocks == half.comp_clocks
+
+    def test_peak_rate_constraint_needs_half_the_width(self, flc_model):
+        """Min peak 10 b/clk: width 20 under the full handshake but
+        only width 10 under a 1-clock protocol."""
+        constraints = ConstraintSet([min_peak_rate("ch2", 10, weight=10)])
+        full = generate_bus(flc_model.bus_b, protocol=FULL_HANDSHAKE,
+                            constraints=constraints)
+        half = generate_bus(flc_model.bus_b, protocol=HALF_HANDSHAKE,
+                            constraints=constraints)
+        assert full.width == 20
+        assert half.width == 10
+
+    def test_control_pin_inventory(self, flc_model):
+        pins = {
+            p.name: make_structure("B", flc_model.bus_b, 8, p).total_pins
+            for p in PROTOCOLS
+        }
+        # 8 data + 1 ID in all cases; +2 / +1 / +0 / +2 control lines.
+        assert pins["full_handshake"] == 11
+        assert pins["half_handshake"] == 10
+        assert pins["fixed_delay"] == 9
+        assert pins["burst_handshake"] == 11
+
+    def test_burst_approaches_one_clock_per_word(self, flc_model):
+        """23-bit messages at width 8 are 3 words: burst moves them in
+        2 + 3 = 5 clocks vs the full handshake's 6."""
+        estimator = PerformanceEstimator()
+        conv = flc_model.system.behavior("CONV_R2")
+        full = estimator.estimate(conv, flc_model.bus_b.channels, 8,
+                                  FULL_HANDSHAKE)
+        burst = estimator.estimate(conv, flc_model.bus_b.channels, 8,
+                                   BURST_HANDSHAKE)
+        assert full.comm_clocks == 128 * 6
+        assert burst.comm_clocks == 128 * 5
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS, ids=lambda p: p.name)
+    def test_measured_clocks_match_estimates(self, flc_model, protocol):
+        refined = refine_system(flc_model.system,
+                                [(flc_model.bus_b, 8, protocol)])
+        result = simulate(refined, schedule=flc_model.schedule)
+        estimator = PerformanceEstimator()
+        for name in ("EVAL_R3", "CONV_R2"):
+            estimate = estimator.estimate(
+                flc_model.system.behavior(name),
+                flc_model.bus_b.channels, 8, protocol)
+            assert result.clocks[name] == estimate.exec_clocks
+
+
+def test_report_and_benchmark(benchmark, flc_model):
+    def run_all():
+        out = {}
+        for protocol in PROTOCOLS:
+            refined = refine_system(flc_model.system,
+                                    [(flc_model.bus_b, 8, protocol)])
+            out[protocol.name] = simulate(refined,
+                                          schedule=flc_model.schedule)
+        return out
+
+    results = benchmark(run_all)
+
+    estimator = PerformanceEstimator()
+    rows = []
+    for protocol in PROTOCOLS:
+        result = results[protocol.name]
+        structure = make_structure("B", flc_model.bus_b, 8, protocol)
+        unconstrained = generate_bus(flc_model.bus_b, protocol=protocol)
+        rows.append([
+            protocol.name,
+            protocol.delay_clocks,
+            structure.total_pins,
+            result.clocks["EVAL_R3"],
+            result.clocks["CONV_R2"],
+            unconstrained.width,
+            result.final_values["ctrl_out"],
+        ])
+    lines = [
+        "Ablation: protocol selection on the FLC bus B (width 8)",
+        "",
+    ]
+    lines += format_table(
+        ["protocol", "clk/word", "pins@w8", "EVAL_R3 clk", "CONV_R2 clk",
+         "min feasible w", "ctrl_out"],
+        rows)
+    write_report("ablation_protocols", lines)

@@ -1,0 +1,108 @@
+"""Ablation: channel-group splitting when no single bus is feasible.
+
+Section 3 step 5: when "several channels that have very high average
+rate requirements are grouped together", no buswidth satisfies
+Equation 1 and "one solution ... would be to split the group of
+channels further to be implemented by more than one bus" (also listed
+as future work in Section 6).
+
+Workload: N computation-free producers hammering 128 x 16 arrays --
+each channel demands nearly its peak rate, so a shared bus saturates.
+We sweep N and report how many buses the splitter needs, the resulting
+widths and the total pin cost versus the (infeasible) single-bus ideal
+and the no-merging baseline.
+"""
+
+import pytest
+
+from benchmarks._report import format_table, write_report
+from repro.busgen.algorithm import generate_bus
+from repro.busgen.split import split_group
+from repro.channels.channel import Channel
+from repro.channels.group import ChannelGroup
+from repro.errors import InfeasibleBusError
+from repro.spec.access import Direction
+from repro.spec.behavior import Behavior
+from repro.spec.expr import Ref
+from repro.spec.stmt import Assign, For, WaitClocks
+from repro.spec.types import ArrayType, IntType
+from repro.spec.variable import Variable
+
+
+def hot_group(producer_count, comp_wait=0):
+    channels = []
+    for index in range(producer_count):
+        arr = Variable(f"arr{index}", ArrayType(IntType(16), 128))
+        i = Variable("i", IntType(16))
+        body = [Assign((arr, Ref(i)), Ref(i))]
+        if comp_wait:
+            body.insert(0, WaitClocks(comp_wait))
+        behavior = Behavior(f"PROD{index}",
+                            [For(i, 0, 127, body)])
+        channels.append(Channel(f"hot{index}", behavior, arr,
+                                Direction.WRITE, 128))
+    return ChannelGroup("HOT", channels)
+
+
+class TestSplitAblation:
+    def test_four_hot_channels_are_infeasible_as_one_bus(self):
+        with pytest.raises(InfeasibleBusError):
+            generate_bus(hot_group(4))
+
+    def test_splitter_finds_a_feasible_multi_bus_implementation(self):
+        result = split_group(hot_group(4))
+        assert result.was_split
+        for design in result.designs:
+            assert design.bus_rate >= design.demand
+
+    def test_split_count_grows_with_demand(self):
+        counts = [split_group(hot_group(n)).bus_count
+                  for n in (2, 4, 6, 8)]
+        assert counts == sorted(counts)
+        assert counts[-1] > counts[0]
+
+    def test_split_never_exceeds_one_bus_per_channel(self):
+        for n in (2, 4, 8):
+            result = split_group(hot_group(n))
+            assert result.bus_count <= n
+
+    def test_computation_restores_single_bus(self):
+        """Enough computation per access and the group fits one bus
+        again -- splitting is a property of the workload, not of the
+        splitter."""
+        result = split_group(hot_group(4, comp_wait=24))
+        assert result.bus_count == 1
+
+    def test_split_total_width_below_no_merging_baseline(self):
+        group = hot_group(4)
+        result = split_group(group)
+        assert result.total_width < group.total_message_pins
+
+
+def test_report_and_benchmark(benchmark):
+    def run():
+        return {n: split_group(hot_group(n)) for n in (2, 3, 4, 6, 8)}
+
+    results = benchmark(run)
+
+    rows = []
+    for n, result in results.items():
+        widths = "+".join(str(d.width) for d in result.designs)
+        rows.append([
+            n,
+            n * 23,
+            result.bus_count,
+            widths,
+            result.total_width,
+            f"{100.0 * (n * 23 - result.total_width) / (n * 23):.0f}%",
+        ])
+    lines = [
+        "Ablation: splitting infeasible channel groups across buses",
+        "(computation-free producers, 23-bit messages x 128 accesses)",
+        "",
+    ]
+    lines += format_table(
+        ["channels", "separate pins", "buses", "bus widths",
+         "total width", "reduction"],
+        rows)
+    write_report("ablation_split", lines)

@@ -1,0 +1,174 @@
+"""Figure 1: interface synthesis in the overall system design process.
+
+The paper's opening figure: process A's statements
+
+.. code-block:: vhdl
+
+    IR <= MEM(PC) ;
+    STATUS <= X"0A" ;
+    MEM(AR) <= ACCUM ;
+
+access variables ``MEM`` and ``STATUS`` that partitioning moved to
+another module, creating channels ``ch1 : A < MEM``, ``ch2 : A > MEM``
+and ``ch3 : A > STATUS``, merged into one 8-bit bus.  After interface
+synthesis, A's body reads
+
+.. code-block:: vhdl
+
+    receive_ch1(PC, IR) ;
+    send_ch3("0A") ;
+    send_ch2(AR, ACCUM) ;
+
+and variable processes serve MEM and STATUS on the far module.  This
+harness rebuilds the figure, asserts the rewriting produces exactly
+that call sequence (names, argument counts, temporaries), and verifies
+the refined system end to end.
+"""
+
+import pytest
+
+from benchmarks._report import write_report
+from repro.hdl.vhdl import emit_behavior, emit_refined_spec
+from repro.hdl.validate import validate_vhdl
+from repro.partition.channels import default_bus_groups, extract_channels
+from repro.partition.module import ModuleKind
+from repro.partition.partitioner import Partition
+from repro.protogen.refine import generate_protocol
+from repro.spec.access import Direction
+from repro.spec.behavior import Behavior
+from repro.spec.expr import Index, Ref
+from repro.spec.stmt import Assign, Call
+from repro.spec.system import SystemSpec
+from repro.spec.types import ArrayType, BitType, IntType
+from repro.spec.variable import Variable
+from repro.verify import verify_refinement
+
+BUS_WIDTH = 8   # the figure's "8 bits" annotation on bus B
+
+
+def build_fig1():
+    """Process A with IR/PC/ACCUM; MEM and STATUS remote (Figure 1)."""
+    mem = Variable("MEM", ArrayType(IntType(16), 256))
+    status = Variable("STATUS", BitType(8))
+    ir = Variable("IR", IntType(16))
+    pc = Variable("PC", IntType(16), init=3)
+    ar = Variable("AR", IntType(16), init=9)
+    accum = Variable("ACCUM", IntType(16), init=77)
+
+    process_a = Behavior("A", [
+        Assign(ir, Index(mem, Ref(pc))),      # IR <= MEM(PC)
+        Assign(status, 0x0A),                 # STATUS <= X"0A"
+        Assign((mem, Ref(ar)), Ref(accum)),   # MEM(AR) <= ACCUM
+    ], local_variables=[ir, pc, ar, accum])
+
+    system = SystemSpec("fig1", [process_a], [mem, status])
+    partition = Partition(system)
+    module1 = partition.add_module("module1", ModuleKind.CHIP)
+    module2 = partition.add_module("module2", ModuleKind.MEMORY)
+    partition.assign(process_a, module1)
+    partition.assign(mem, module2)
+    partition.assign(status, module2)
+    partition.validate()
+
+    channels = extract_channels(partition)
+    # Name the channels as the figure does: ch1 A<MEM, ch2 A>MEM,
+    # ch3 A>STATUS.
+    for channel in channels:
+        if channel.variable.name == "MEM":
+            channel.name = "ch1" if channel.is_read else "ch2"
+        else:
+            channel.name = "ch3"
+    group = default_bus_groups(partition, channels=channels)[0]
+    group.channels.sort(key=lambda c: c.name)
+    return system, partition, group
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return build_fig1()
+
+
+class TestFigure1:
+    def test_three_channels_as_in_the_figure(self, fig1):
+        _, _, group = fig1
+        described = {c.name: (c.accessor.name, c.variable.name,
+                              c.direction) for c in group}
+        assert described == {
+            "ch1": ("A", "MEM", Direction.READ),
+            "ch2": ("A", "MEM", Direction.WRITE),
+            "ch3": ("A", "STATUS", Direction.WRITE),
+        }
+
+    def test_refined_body_is_the_figure_call_sequence(self, fig1):
+        """receive_ch1(PC, IR); send_ch3(0x0A); send_ch2(AR, ACCUM)."""
+        system, _, group = fig1
+        refined = generate_protocol(system, group, width=BUS_WIDTH,
+                                    bus_name="B")
+        body = refined.behavior("A").body
+        # Statement 1+2: ReceiveCH1 into a temporary, then IR <= temp.
+        assert isinstance(body[0], Call)
+        assert body[0].procedure.name == "ReceiveCH1"
+        assert len(body[0].args) == 1       # the PC address expression
+        assert len(body[0].results) == 1    # the MEMtemp temporary
+        assert isinstance(body[1], Assign)
+        assert body[1].target.variable.name == "IR"
+        # Statement 3: SendCH3 with the status literal.
+        assert isinstance(body[2], Call)
+        assert body[2].procedure.name == "SendCH3"
+        assert len(body[2].args) == 1
+        # Statement 4: SendCH2 with (address, data).
+        assert isinstance(body[3], Call)
+        assert body[3].procedure.name == "SendCH2"
+        assert len(body[3].args) == 2
+        assert len(body) == 4
+
+    def test_variable_processes_serve_mem_and_status(self, fig1):
+        system, _, group = fig1
+        refined = generate_protocol(system, group, width=BUS_WIDTH,
+                                    bus_name="B")
+        names = {vp.name for vp in refined.buses[0].variable_processes}
+        assert names == {"MEMproc", "STATUSproc"}
+
+    def test_refinement_verifies(self, fig1):
+        system, _, group = fig1
+        refined = generate_protocol(system, group, width=BUS_WIDTH,
+                                    bus_name="B")
+        report = verify_refinement(system, refined, schedule=["A"])
+        assert report.passed, report.describe()
+
+    def test_vhdl_validates(self, fig1):
+        system, _, group = fig1
+        refined = generate_protocol(system, group, width=BUS_WIDTH,
+                                    bus_name="B")
+        assert validate_vhdl(emit_refined_spec(refined)).ok
+
+
+def test_report_and_benchmark(benchmark, fig1):
+    system, partition, group = fig1
+
+    def run():
+        refined = generate_protocol(system, group, width=BUS_WIDTH,
+                                    bus_name="B")
+        return verify_refinement(system, refined, schedule=["A"])
+
+    report = benchmark(run)
+    assert report.passed
+
+    refined = generate_protocol(system, group, width=BUS_WIDTH,
+                                bus_name="B")
+    lines = [
+        "Figure 1: interface synthesis flow for process A",
+        "",
+        "partition:",
+        *("  " + line for line in partition.describe().splitlines()),
+        "",
+        "channels on bus B (8 bits):",
+        *(f"  {c.describe()}" for c in group),
+        "",
+        "refined process A (the figure's call sequence):",
+        *("  " + line
+          for line in emit_behavior(refined.behavior("A")).splitlines()),
+        "",
+        f"verification: {report.describe()}",
+    ]
+    write_report("fig1_interface_flow", lines)

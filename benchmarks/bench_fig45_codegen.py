@@ -1,0 +1,131 @@
+"""Figures 3-5: protocol generation and VHDL emission for the paper's
+running example.
+
+Figure 3 defines behaviors P and Q accessing a 16-bit scalar ``X`` and
+a 64 x 16 array ``MEM`` over four channels merged onto an 8-bit bus
+with 2 ID lines.  Figure 4 shows the generated bus record and the
+``SendCH``/``ReceiveCH`` procedure pair; Figure 5 the refined processes
+and the generated ``Xproc``/``MEMproc`` variable processes.
+
+This harness regenerates all of it, asserts the Figure 4/5 landmarks
+verbatim, validates the emitted VHDL structurally, and times the whole
+generation pipeline.
+"""
+
+import pytest
+
+from benchmarks._report import write_report
+from repro.hdl.validate import count_procedures_per_channel, validate_vhdl
+from repro.hdl.vhdl import (
+    emit_bus_declaration,
+    emit_procedure,
+    emit_refined_spec,
+    emit_variable_process,
+)
+from repro.protogen.refine import generate_protocol
+from tests.conftest import make_fig3
+
+#: Figure 3 fixes the bus at 8 data bits.
+BUS_WIDTH = 8
+
+
+@pytest.fixture(scope="module")
+def refined():
+    fig3 = make_fig3()
+    return generate_protocol(fig3.system, fig3.group, width=BUS_WIDTH,
+                             bus_name="B")
+
+
+class TestFigure4Landmarks:
+    def test_bus_record(self, refined):
+        text = emit_bus_declaration(refined.buses[0].structure)
+        assert "START, DONE : bit ;" in text
+        assert "ID : bit_vector(1 downto 0) ;" in text
+        assert "DATA : bit_vector(7 downto 0) ;" in text
+        assert "signal B :" in text
+
+    def test_two_id_lines_four_channels(self, refined):
+        structure = refined.buses[0].structure
+        assert structure.id_lines == 2
+        assert sorted(structure.ids.codes.values()) == [0, 1, 2, 3]
+
+    def test_scalar_procedures_use_figure4_loop(self, refined):
+        """The 16-bit scalar over the 8-bit bus: two transfers of 8
+        bits each, exactly Figure 4's loop shape."""
+        bus = refined.buses[0]
+        pair = next(p for p in bus.procedures.values()
+                    if p.channel.variable.name == "X"
+                    and p.channel.is_write)
+        send_text = emit_procedure(pair.accessor, bus.structure)
+        assert "for J in 1 to 2 loop" in send_text
+        assert "8*J-1 downto 8*(J-1)" in send_text
+        receive_text = emit_procedure(pair.server, bus.structure)
+        assert "wait until (B.START = '1') and (B.ID =" in receive_text
+
+    def test_every_channel_gets_send_and_receive(self, refined):
+        text = emit_refined_spec(refined)
+        report = validate_vhdl(text)
+        counts = count_procedures_per_channel(
+            report, [c.name for c in refined.buses[0].group])
+        assert all(count == 2 for count in counts.values())
+
+
+class TestFigure5Landmarks:
+    def test_refined_p_uses_calls_and_temp(self, refined):
+        """Figure 5: P's body is SendCH/ReceiveCH calls plus Xtemp."""
+        behavior = refined.behavior("P")
+        assert any(v.name == "Xtemp" for v in behavior.local_variables)
+        from repro.spec.stmt import Call, walk
+        calls = [s for s in walk(behavior.body) if isinstance(s, Call)]
+        assert len(calls) == 3  # write X, read X, write MEM
+
+    def test_variable_processes_generated(self, refined):
+        names = {vp.name for vp in refined.buses[0].variable_processes}
+        assert names == {"Xproc", "MEMproc"}
+
+    def test_memproc_dispatches_on_id(self, refined):
+        bus = refined.buses[0]
+        memproc = next(vp for vp in bus.variable_processes
+                       if vp.name == "MEMproc")
+        text = emit_variable_process(memproc, bus.structure)
+        assert "wait on B.ID ;" in text
+        assert text.count("B.ID =") == 2  # two served channels
+
+    def test_full_design_validates(self, refined):
+        report = validate_vhdl(emit_refined_spec(refined))
+        assert report.ok, report.errors
+
+
+def test_report_and_benchmark(benchmark):
+    fig3 = make_fig3()
+
+    def run():
+        spec = generate_protocol(fig3.system, fig3.group,
+                                 width=BUS_WIDTH, bus_name="B")
+        return emit_refined_spec(spec)
+
+    text = benchmark(run)
+    report = validate_vhdl(text)
+    assert report.ok
+
+    lines = [
+        "Figures 3-5: generated bus + protocol for the running example",
+        "",
+        f"bus structure : {generate_protocol(fig3.system, fig3.group, BUS_WIDTH, bus_name='B').buses[0].structure.describe()}",
+        f"procedures    : {', '.join(sorted(report.procedures))}",
+        f"processes     : {', '.join(sorted(report.processes))}",
+        f"emitted VHDL  : {len(text.splitlines())} lines, "
+        f"validation {'OK' if report.ok else 'FAILED'}",
+        "",
+        "--- generated bus declaration (Figure 4 top) ---",
+    ]
+    spec = generate_protocol(fig3.system, fig3.group, BUS_WIDTH,
+                             bus_name="B")
+    lines += emit_bus_declaration(spec.buses[0].structure).splitlines()
+    scalar_pair = next(p for p in spec.buses[0].procedures.values()
+                       if p.channel.variable.name == "X"
+                       and p.channel.is_write)
+    lines.append("--- generated procedure (Figure 4 body) ---")
+    lines += emit_procedure(scalar_pair.accessor,
+                            spec.buses[0].structure).splitlines()
+    write_report("fig45_codegen", lines)

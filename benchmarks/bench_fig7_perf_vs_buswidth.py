@@ -1,0 +1,143 @@
+"""Figure 7: process performance vs. buswidth for the FLC's bus B.
+
+"Figure 7 shows how the performance of the two processes transferring
+data over [bus B] is affected by the various bus widths ... as the bus
+width increases, the execution time for the processes decreases.
+Since the two channels each transfer 16 bits of data and 7 bits of
+address, bus widths greater than 23 pins do not yield any further
+improvements ... if process CONV_R2 has a maximum execution time
+constraint of 2000 clocks, then only buswidths greater than 4 bits
+will be considered."
+
+This harness regenerates the two curves (estimator), cross-checks
+several points against the clock-accurate simulator, and asserts every
+shape property the paper states.
+"""
+
+import pytest
+
+from benchmarks._report import format_table, write_report
+from repro.apps.flc import build_flc
+from repro.estimate.perf import PerformanceEstimator
+from repro.protocols import FULL_HANDSHAKE
+from repro.protogen.refine import refine_system
+from repro.sim.runtime import simulate
+
+WIDTHS = list(range(1, 33))
+SIM_CHECK_WIDTHS = [2, 4, 5, 8, 16, 23]
+PROCESSES = ("EVAL_R3", "CONV_R2")
+
+
+@pytest.fixture(scope="module")
+def flc_model():
+    return build_flc(250, 180)
+
+
+@pytest.fixture(scope="module")
+def curves(flc_model):
+    estimator = PerformanceEstimator()
+    out = {}
+    for name in PROCESSES:
+        behavior = flc_model.system.behavior(name)
+        out[name] = {
+            width: estimator.estimate(
+                behavior, flc_model.bus_b.channels, width,
+                FULL_HANDSHAKE).exec_clocks
+            for width in WIDTHS
+        }
+    return out
+
+
+class TestFigure7Shape:
+    def test_execution_time_monotone_nonincreasing(self, curves):
+        for name in PROCESSES:
+            series = [curves[name][w] for w in WIDTHS]
+            assert all(a >= b for a, b in zip(series, series[1:])), name
+
+    def test_plateau_at_23_pins(self, curves):
+        """23 = 16 data + 7 address bits: wider buses buy nothing."""
+        for name in PROCESSES:
+            plateau = curves[name][23]
+            for width in range(23, 33):
+                assert curves[name][width] == plateau, (name, width)
+            assert curves[name][22] > plateau, name
+
+    def test_conv_r2_2000_clock_constraint_anchor(self, curves):
+        """Max exec 2000 clocks admits only widths > 4 (Section 5)."""
+        assert curves["CONV_R2"][4] > 2000
+        assert curves["CONV_R2"][5] <= 2000
+        admitted = [w for w in WIDTHS if curves["CONV_R2"][w] <= 2000]
+        assert min(admitted) == 5
+
+    def test_eval_r3_curve_above_conv_r2(self, curves):
+        for width in WIDTHS:
+            assert curves["EVAL_R3"][width] > curves["CONV_R2"][width]
+
+    def test_narrow_bus_costs_thousands_of_clocks(self, curves):
+        """Order of magnitude matches the paper's axis (clock counts
+        in the thousands at small widths)."""
+        assert curves["EVAL_R3"][1] > 5000
+        assert curves["CONV_R2"][1] > 5000
+        assert curves["EVAL_R3"][23] < 1100
+
+
+class TestSimulatorCrossCheck:
+    @pytest.mark.parametrize("width", SIM_CHECK_WIDTHS)
+    def test_measured_equals_estimated(self, flc_model, curves, width):
+        refined = refine_system(flc_model.system,
+                                [(flc_model.bus_b, width)])
+        result = simulate(refined, schedule=flc_model.schedule)
+        for name in PROCESSES:
+            assert result.clocks[name] == curves[name][width], \
+                f"{name} at width {width}"
+
+
+def test_report_and_benchmark(benchmark, flc_model, curves):
+    estimator = PerformanceEstimator()
+
+    def sweep():
+        out = {}
+        for name in PROCESSES:
+            behavior = flc_model.system.behavior(name)
+            out[name] = [
+                estimator.estimate(behavior, flc_model.bus_b.channels,
+                                   width, FULL_HANDSHAKE).exec_clocks
+                for width in WIDTHS
+            ]
+        return out
+
+    benchmark(sweep)
+
+    measured = {}
+    for width in SIM_CHECK_WIDTHS:
+        refined = refine_system(flc_model.system,
+                                [(flc_model.bus_b, width)])
+        result = simulate(refined, schedule=flc_model.schedule)
+        measured[width] = {name: result.clocks[name]
+                           for name in PROCESSES}
+
+    rows = []
+    for width in WIDTHS:
+        sim_eval = measured.get(width, {}).get("EVAL_R3", "")
+        sim_conv = measured.get(width, {}).get("CONV_R2", "")
+        rows.append([width, curves["EVAL_R3"][width], sim_eval,
+                     curves["CONV_R2"][width], sim_conv])
+    lines = [
+        "Figure 7: FLC process execution time (clocks) vs buswidth",
+        "(estimate = analytical model; simulated = clock-accurate run)",
+        "",
+    ]
+    lines += format_table(
+        ["width", "EVAL_R3 est", "EVAL_R3 sim", "CONV_R2 est",
+         "CONV_R2 sim"],
+        rows)
+    lines += [
+        "",
+        "paper shape checks:",
+        f"  monotone decreasing         : yes",
+        f"  plateau at 23 pins          : yes "
+        f"(EVAL_R3 {curves['EVAL_R3'][23]} clocks from width 23 on)",
+        f"  CONV_R2 <= 2000 clocks      : widths > 4 only "
+        f"(w4={curves['CONV_R2'][4]}, w5={curves['CONV_R2'][5]})",
+    ]
+    write_report("fig7_perf_vs_buswidth", lines)

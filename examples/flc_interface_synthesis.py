@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""The paper's main case study: interface synthesis for the fuzzy
+logic controller (Section 5, Figures 6-8).
+
+Reproduces, in one script:
+
+* the Figure 6 structure (channels ch1/ch2 out of the CHIP1/CHIP2
+  partition),
+* the Figure 7 sweep (execution time of EVAL_R3 and CONV_R2 vs
+  buswidth, with an ASCII rendition of the plot),
+* the Figure 8 constraint-driven designs A/B/C, and
+* a clock-accurate simulation of the refined FLC over bus B.
+
+Run:  python examples/flc_interface_synthesis.py
+"""
+
+from repro import (
+    ConstraintSet,
+    FULL_HANDSHAKE,
+    PerformanceEstimator,
+    generate_bus,
+    max_buswidth,
+    min_buswidth,
+    min_peak_rate,
+    refine_system,
+    simulate,
+)
+from repro.apps.flc import build_flc, reference_ctrl_output
+
+
+def ascii_plot(series: dict, widths, height: int = 12) -> str:
+    """A small ASCII rendition of the Figure 7 curves."""
+    all_values = [v for curve in series.values() for v in curve.values()]
+    lo, hi = min(all_values), max(all_values)
+    rows = []
+    for level in range(height, -1, -1):
+        threshold = lo + (hi - lo) * level / height
+        cells = []
+        for width in widths:
+            markers = [marker for marker, curve in series.items()
+                       if abs(curve[width] - threshold)
+                       <= (hi - lo) / (2 * height)]
+            cells.append(markers[0] if markers else " ")
+        rows.append(f"{threshold:7.0f} |" + "".join(cells))
+    rows.append(" " * 8 + "+" + "-" * len(list(widths)))
+    rows.append(" " * 9 + "".join(str(w % 10) for w in widths))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    flc = build_flc(temperature=250, humidity=180)
+    print("=== Figure 6: partition and channels ===")
+    print(flc.partition.describe())
+    print()
+    print(flc.bus_b.describe())
+
+    # ------------------------------------------------------------------
+    # Figure 7: performance vs buswidth.
+    # ------------------------------------------------------------------
+    print("\n=== Figure 7: performance vs buswidth ===")
+    estimator = PerformanceEstimator()
+    widths = range(1, 33)
+    curves = {}
+    for marker, name in (("E", "EVAL_R3"), ("C", "CONV_R2")):
+        behavior = flc.system.behavior(name)
+        curves[marker] = {
+            w: estimator.estimate(behavior, flc.bus_b.channels, w,
+                                  FULL_HANDSHAKE).exec_clocks
+            for w in widths
+        }
+    print("clocks   E = EVAL_R3, C = CONV_R2")
+    print(ascii_plot(curves, widths))
+    print(f"\nCONV_R2 at width 4: {curves['C'][4]} clocks (> 2000)")
+    print(f"CONV_R2 at width 5: {curves['C'][5]} clocks (<= 2000)")
+    print(f"plateau from width 23: EVAL_R3 stays at {curves['E'][23]}")
+
+    # ------------------------------------------------------------------
+    # Figure 8: constraint-driven designs.
+    # ------------------------------------------------------------------
+    print("\n=== Figure 8: constraint-driven bus designs ===")
+    designs = {
+        "A": ConstraintSet([min_peak_rate("ch2", 10, weight=10)]),
+        "B": ConstraintSet([min_peak_rate("ch2", 10, weight=2),
+                            min_buswidth(14, weight=1),
+                            max_buswidth(18, weight=5)]),
+        "C": ConstraintSet([min_peak_rate("ch2", 10, weight=1),
+                            min_buswidth(16, weight=5),
+                            max_buswidth(16, weight=5)]),
+    }
+    for name, constraints in designs.items():
+        design = generate_bus(flc.bus_b, constraints=constraints)
+        print(f"design {name}: width {design.width:>2}, bus rate "
+              f"{design.bus_rate:g} b/clk, reduction "
+              f"{design.interconnect_reduction_percent:.0f}%  "
+              f"[{constraints.describe()}]")
+
+    # ------------------------------------------------------------------
+    # Simulate the refined FLC over the design-A bus.
+    # ------------------------------------------------------------------
+    print("\n=== Simulating the refined FLC (design A, width 20) ===")
+    refined = refine_system(flc.system, [(flc.bus_b, 20)])
+    result = simulate(refined, schedule=flc.schedule)
+    oracle = reference_ctrl_output(250, 180)
+    print(f"control output: {result.final_values['ctrl_out']} "
+          f"(oracle {oracle}) -> "
+          f"{'MATCH' if result.final_values['ctrl_out'] == oracle else 'MISMATCH'}")
+    print(f"EVAL_R3 measured {result.clocks['EVAL_R3']} clocks, "
+          f"CONV_R2 measured {result.clocks['CONV_R2']} clocks")
+    print(f"bus B carried {len(result.transactions['B'])} transactions, "
+          f"utilization {result.utilization['B']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

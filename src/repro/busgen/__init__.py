@@ -1,0 +1,46 @@
+"""Bus generation (Section 3 of the paper; ref [8]).
+
+Determines the least-cost buswidth satisfying Equation 1 under
+designer-weighted constraints.  See DESIGN.md section 3.
+"""
+
+from repro.busgen.algorithm import (
+    BusDesign,
+    WidthEvaluation,
+    buswidth_range,
+    generate_bus,
+)
+from repro.busgen.constraints import (
+    BusConstraint,
+    ConstraintKind,
+    ConstraintSet,
+    max_avg_rate,
+    max_buswidth,
+    max_peak_rate,
+    min_avg_rate,
+    min_buswidth,
+    min_peak_rate,
+)
+from repro.busgen.lanes import Lane, LaneAllocation, allocate_lanes
+from repro.busgen.split import SplitResult, split_group
+
+__all__ = [
+    "BusConstraint",
+    "Lane",
+    "LaneAllocation",
+    "allocate_lanes",
+    "BusDesign",
+    "ConstraintKind",
+    "ConstraintSet",
+    "SplitResult",
+    "WidthEvaluation",
+    "buswidth_range",
+    "generate_bus",
+    "max_avg_rate",
+    "max_buswidth",
+    "max_peak_rate",
+    "min_avg_rate",
+    "min_buswidth",
+    "min_peak_rate",
+    "split_group",
+]

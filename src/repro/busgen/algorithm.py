@@ -1,0 +1,181 @@
+"""The bus generation algorithm (Section 3 of the paper, ref [8]).
+
+Five steps, quoted from the paper and implemented verbatim:
+
+1. **Determine buswidth range** -- "the smallest buswidth examined ... is
+   1 and the largest ... is equal to the largest size of message sent by
+   any channel."
+2. **Compute the bus rate** -- Equation 2,
+   ``BusRate(B) = CurrBW / (delay x ClockPeriod)`` with delay = 2 for the
+   full handshake.
+3. **Determine average rates for each channel** at the current width;
+   the width is *feasible* when ``BusRate >= sum(AveRate)`` (Equation 1).
+4. **Determine the cost function** -- weighted sum of squared constraint
+   violations (see :mod:`repro.busgen.constraints`).
+5. **Select the buswidth** -- the feasible width of least cost; when no
+   width is feasible the group cannot be implemented as one bus and must
+   be split (:mod:`repro.busgen.split`).
+
+The returned :class:`BusDesign` retains the per-width evaluation table
+so benchmarks can print the full exploration (Figures 7 and 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.busgen.constraints import ConstraintSet
+from repro.channels.group import ChannelGroup
+from repro.channels.rates import ChannelRates, GroupRateModel
+from repro.errors import BusGenError, InfeasibleBusError
+from repro.estimate.perf import PerformanceEstimator
+from repro.protocols import FULL_HANDSHAKE, Protocol
+
+
+@dataclass(frozen=True)
+class WidthEvaluation:
+    """Outcome of examining one candidate buswidth (steps 2-4)."""
+
+    width: int
+    bus_rate: float
+    #: Sum of channel average rates at this width (Equation 1 RHS).
+    demand: float
+    feasible: bool
+    #: Constraint cost; only meaningful for feasible widths but computed
+    #: for all so benches can plot the full landscape.
+    cost: float
+    rates: Dict[str, ChannelRates]
+
+
+@dataclass
+class BusDesign:
+    """A selected bus implementation for a channel group."""
+
+    group: ChannelGroup
+    protocol: Protocol
+    width: int
+    bus_rate: float
+    demand: float
+    cost: float
+    rates: Dict[str, ChannelRates]
+    evaluations: List[WidthEvaluation] = field(default_factory=list)
+    constraints: ConstraintSet = field(default_factory=ConstraintSet)
+
+    @property
+    def feasible_widths(self) -> List[int]:
+        return [e.width for e in self.evaluations if e.feasible]
+
+    @property
+    def separate_pins(self) -> int:
+        """Data pins if each channel were implemented separately."""
+        return self.group.total_message_pins
+
+    @property
+    def interconnect_reduction_percent(self) -> float:
+        """Figure 8's bottom row: data-line reduction from merging."""
+        separate = self.separate_pins
+        return 100.0 * (separate - self.width) / separate
+
+    def describe(self) -> str:
+        return (
+            f"bus {self.group.name}: width={self.width} pins, "
+            f"rate={self.bus_rate:g} bits/clock, demand={self.demand:.3f}, "
+            f"cost={self.cost:g}, protocol={self.protocol.name}, "
+            f"reduction={self.interconnect_reduction_percent:.0f}% "
+            f"(vs {self.separate_pins} separate pins)"
+        )
+
+
+def buswidth_range(group: ChannelGroup) -> range:
+    """Step 1: candidate widths 1 .. largest message size."""
+    return range(1, group.max_message_bits + 1)
+
+
+def generate_bus(group: ChannelGroup,
+                 protocol: Protocol = FULL_HANDSHAKE,
+                 constraints: Optional[ConstraintSet] = None,
+                 widths: Optional[Sequence[int]] = None,
+                 estimator: Optional[PerformanceEstimator] = None,
+                 ) -> BusDesign:
+    """Run the five-step bus generation algorithm on a channel group.
+
+    Parameters
+    ----------
+    group:
+        The channels to implement as one bus.
+    protocol:
+        Transfer discipline assumed for rate computation (the paper uses
+        the full handshake, delay 2 clocks).
+    constraints:
+        Designer constraints; ``None`` means unconstrained (cost 0
+        everywhere, smallest feasible width selected).
+    widths:
+        Explicit candidate widths; default is step 1's range.  "The
+        number of data lines ... can be determined by the bus-generation
+        algorithm or they can be specified by the system designer"
+        (Section 4) -- passing a single-element sequence implements the
+        designer-specified case.
+
+    Raises
+    ------
+    InfeasibleBusError
+        When no candidate width satisfies Equation 1.  Callers should
+        split the group (:func:`repro.busgen.split.split_group`).
+    """
+    if not protocol.shareable and len(group) > 1:
+        raise BusGenError(
+            f"protocol {protocol.name} is not shareable; group "
+            f"{group.name} has {len(group)} channels"
+        )
+    constraints = constraints or ConstraintSet()
+    candidate_widths = list(widths) if widths is not None \
+        else list(buswidth_range(group))
+    if not candidate_widths:
+        raise BusGenError(f"no candidate buswidths for group {group.name}")
+    if any(w < 1 for w in candidate_widths):
+        raise BusGenError(
+            f"candidate buswidths must be >= 1, got {candidate_widths}"
+        )
+
+    model = GroupRateModel(group, protocol, estimator)
+    evaluations: List[WidthEvaluation] = []
+    for width in candidate_widths:
+        rates = model.rates_at(width)                      # step 3
+        bus_rate = model.bus_rate_at(width)                # step 2
+        demand = sum(r.average_rate for r in rates.values())
+        feasible = bus_rate >= demand                      # Equation 1
+        cost = constraints.cost(width, rates)              # step 4
+        evaluations.append(WidthEvaluation(
+            width=width, bus_rate=bus_rate, demand=demand,
+            feasible=feasible, cost=cost, rates=rates,
+        ))
+
+    feasible_evals = [e for e in evaluations if e.feasible]
+    if not feasible_evals:
+        widest = max(evaluations, key=lambda e: e.width)
+        raise InfeasibleBusError(
+            f"group {group.name}: no feasible buswidth in "
+            f"[{min(candidate_widths)}, {max(candidate_widths)}]; at width "
+            f"{widest.width} the bus rate {widest.bus_rate:g} is below the "
+            f"demand {widest.demand:g}. Split the group across several "
+            "buses (repro.busgen.split).",
+            demand=widest.demand,
+            best_rate=widest.bus_rate,
+        )
+
+    # Step 5: least cost; deterministic tie-break on the narrower bus
+    # (fewer pins at equal cost is strictly better interconnect).
+    selected = min(feasible_evals, key=lambda e: (e.cost, e.width))
+
+    return BusDesign(
+        group=group,
+        protocol=protocol,
+        width=selected.width,
+        bus_rate=selected.bus_rate,
+        demand=selected.demand,
+        cost=selected.cost,
+        rates=selected.rates,
+        evaluations=evaluations,
+        constraints=constraints,
+    )

@@ -1,0 +1,172 @@
+"""Designer constraints for bus generation (Section 3, step 4).
+
+"The designer can specify constraints and relative weights for the
+buswidth, the minimum/maximum values of the channel average and peak
+rates.  The cost of a bus implementation is calculated as the sum of the
+squares of violations of each of the constraints, weighted by the
+relative weights specified for them."
+
+Figure 8 exercises exactly these: design A constrains
+``Min PeakRate(ch2) = 10 bits/clock (weight 10)``; designs B and C add
+min/max buswidth bounds with varying weights, steering the selection to
+different widths.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.channels.rates import ChannelRates
+from repro.errors import ConstraintError
+
+
+class ConstraintKind(enum.Enum):
+    """What quantity a constraint bounds."""
+
+    MIN_BUSWIDTH = "min_buswidth"
+    MAX_BUSWIDTH = "max_buswidth"
+    MIN_AVG_RATE = "min_avg_rate"
+    MAX_AVG_RATE = "max_avg_rate"
+    MIN_PEAK_RATE = "min_peak_rate"
+    MAX_PEAK_RATE = "max_peak_rate"
+
+    @property
+    def is_width(self) -> bool:
+        return self in (ConstraintKind.MIN_BUSWIDTH,
+                        ConstraintKind.MAX_BUSWIDTH)
+
+    @property
+    def is_lower_bound(self) -> bool:
+        return self in (ConstraintKind.MIN_BUSWIDTH,
+                        ConstraintKind.MIN_AVG_RATE,
+                        ConstraintKind.MIN_PEAK_RATE)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class BusConstraint:
+    """One designer constraint with its relative weight.
+
+    Rate constraints apply to one named channel; width constraints apply
+    to the bus.  ``bound`` is in bits (width) or bits per time unit
+    (rates); ``weight`` is the relative importance in the cost function.
+    """
+
+    kind: ConstraintKind
+    bound: float
+    weight: float = 1.0
+    channel: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ConstraintError(
+                f"constraint weight must be >= 0, got {self.weight}"
+            )
+        if self.bound < 0:
+            raise ConstraintError(
+                f"constraint bound must be >= 0, got {self.bound}"
+            )
+        if self.kind.is_width and self.channel is not None:
+            raise ConstraintError(
+                f"{self.kind} applies to the bus, not channel {self.channel}"
+            )
+        if not self.kind.is_width and self.channel is None:
+            raise ConstraintError(f"{self.kind} requires a channel name")
+
+    def violation(self, width: int,
+                  rates: Dict[str, ChannelRates]) -> float:
+        """Amount by which the constraint is violated (0 when met)."""
+        actual = self._actual(width, rates)
+        if self.kind.is_lower_bound:
+            return max(0.0, self.bound - actual)
+        return max(0.0, actual - self.bound)
+
+    def _actual(self, width: int, rates: Dict[str, ChannelRates]) -> float:
+        if self.kind.is_width:
+            return float(width)
+        assert self.channel is not None
+        try:
+            channel_rates = rates[self.channel]
+        except KeyError:
+            raise ConstraintError(
+                f"constraint references channel {self.channel!r}, which is "
+                "not in the group"
+            ) from None
+        if self.kind in (ConstraintKind.MIN_AVG_RATE,
+                         ConstraintKind.MAX_AVG_RATE):
+            return channel_rates.average_rate
+        return channel_rates.peak_rate
+
+    def describe(self) -> str:
+        subject = f"({self.channel})" if self.channel else "(bus)"
+        return f"{self.kind}{subject} = {self.bound:g} (weight {self.weight:g})"
+
+
+class ConstraintSet:
+    """A weighted collection of bus constraints with the paper's cost.
+
+    ``cost = sum(weight_i * violation_i**2)`` over all constraints.
+    An empty set costs 0 at every width, in which case the algorithm's
+    deterministic tie-break (smallest feasible width) decides.
+    """
+
+    def __init__(self, constraints: Iterable[BusConstraint] = ()):
+        self.constraints: List[BusConstraint] = list(constraints)
+
+    def add(self, constraint: BusConstraint) -> "ConstraintSet":
+        self.constraints.append(constraint)
+        return self
+
+    def __iter__(self) -> Iterator[BusConstraint]:
+        return iter(self.constraints)
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def cost(self, width: int, rates: Dict[str, ChannelRates]) -> float:
+        """Weighted sum of squared violations at one candidate width."""
+        return sum(
+            c.weight * c.violation(width, rates) ** 2
+            for c in self.constraints
+        )
+
+    def describe(self) -> str:
+        if not self.constraints:
+            return "(no constraints)"
+        return "; ".join(c.describe() for c in self.constraints)
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors (Figure 8 reads naturally with these)
+# ---------------------------------------------------------------------------
+
+def min_buswidth(bound: float, weight: float = 1.0) -> BusConstraint:
+    return BusConstraint(ConstraintKind.MIN_BUSWIDTH, bound, weight)
+
+
+def max_buswidth(bound: float, weight: float = 1.0) -> BusConstraint:
+    return BusConstraint(ConstraintKind.MAX_BUSWIDTH, bound, weight)
+
+
+def min_avg_rate(channel: str, bound: float,
+                 weight: float = 1.0) -> BusConstraint:
+    return BusConstraint(ConstraintKind.MIN_AVG_RATE, bound, weight, channel)
+
+
+def max_avg_rate(channel: str, bound: float,
+                 weight: float = 1.0) -> BusConstraint:
+    return BusConstraint(ConstraintKind.MAX_AVG_RATE, bound, weight, channel)
+
+
+def min_peak_rate(channel: str, bound: float,
+                  weight: float = 1.0) -> BusConstraint:
+    return BusConstraint(ConstraintKind.MIN_PEAK_RATE, bound, weight, channel)
+
+
+def max_peak_rate(channel: str, bound: float,
+                  weight: float = 1.0) -> BusConstraint:
+    return BusConstraint(ConstraintKind.MAX_PEAK_RATE, bound, weight, channel)

@@ -1,0 +1,142 @@
+"""Lane allocation: simultaneous transfers over one physical bundle.
+
+Section 6: "We plan to study ways in which two or more channels may
+transfer data simultaneously over the same bus by utilizing different
+sets of data and control lines.  This would be useful in cases when no
+feasible solution can be found in the range of buswidths examined."
+
+A *lane* is a slice of the physical wire bundle with its own data,
+control and ID lines -- effectively an independent sub-bus that happens
+to be routed together.  Unlike plain group splitting
+(:mod:`repro.busgen.split`), lane allocation accounts for the full pin
+cost (control and ID lines replicate per lane) and produces refinement
+plans whose buses run *concurrently* in simulation, so two channels on
+different lanes genuinely overlap in time -- the behaviour the paper
+anticipates.
+
+The allocator reuses the split search (LPT-balanced demand) to find the
+smallest feasible lane count, then packages the result with pin
+accounting and ready-to-refine plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.busgen.algorithm import BusDesign
+from repro.busgen.constraints import ConstraintSet
+from repro.busgen.split import split_group
+from repro.channels.group import ChannelGroup
+from repro.errors import BusGenError
+from repro.estimate.perf import PerformanceEstimator
+from repro.protocols import FULL_HANDSHAKE, Protocol
+from repro.spec.types import clog2
+
+
+@dataclass(frozen=True)
+class Lane:
+    """One lane of a multi-lane bus bundle."""
+
+    index: int
+    design: BusDesign
+
+    @property
+    def name(self) -> str:
+        return self.design.group.name
+
+    @property
+    def data_pins(self) -> int:
+        return self.design.width
+
+    @property
+    def id_pins(self) -> int:
+        return clog2(len(self.design.group))
+
+    def control_pins(self, protocol: Protocol) -> int:
+        return protocol.num_control_lines
+
+    def total_pins(self, protocol: Protocol) -> int:
+        return self.data_pins + self.id_pins + self.control_pins(protocol)
+
+
+@dataclass
+class LaneAllocation:
+    """A feasible multi-lane implementation of a channel group."""
+
+    group: ChannelGroup
+    protocol: Protocol
+    lanes: List[Lane]
+
+    @property
+    def lane_count(self) -> int:
+        return len(self.lanes)
+
+    @property
+    def total_data_pins(self) -> int:
+        return sum(lane.data_pins for lane in self.lanes)
+
+    @property
+    def total_pins(self) -> int:
+        """All wires of the bundle: data + per-lane ID + per-lane
+        control.  This is the honest cost of lane parallelism --
+        control wires replicate."""
+        return sum(lane.total_pins(self.protocol) for lane in self.lanes)
+
+    @property
+    def single_bus_pins_if_feasible(self) -> int:
+        """Pin count a (hypothetical) single bus of the widest lane's
+        group would need, for comparison tables."""
+        width = max((lane.data_pins for lane in self.lanes), default=0)
+        return width + clog2(len(self.group)) + \
+            self.protocol.num_control_lines
+
+    def refinement_plans(self) -> List[Tuple[ChannelGroup, int, Protocol]]:
+        """Plans consumable by :func:`repro.protogen.refine_system`;
+        each lane becomes one concurrent bus."""
+        return [(lane.design.group, lane.design.width, self.protocol)
+                for lane in self.lanes]
+
+    def lane_of(self, channel_name: str) -> Lane:
+        for lane in self.lanes:
+            if any(c.name == channel_name for c in lane.design.group):
+                return lane
+        raise BusGenError(
+            f"no lane carries channel {channel_name!r}"
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"lane allocation for {self.group.name}: {self.lane_count} "
+            f"lane(s), {self.total_data_pins} data pins, "
+            f"{self.total_pins} total pins ({self.protocol.name})"
+        ]
+        for lane in self.lanes:
+            members = ", ".join(c.name for c in lane.design.group)
+            lines.append(
+                f"  lane {lane.index}: width {lane.data_pins} "
+                f"(+{lane.id_pins} id, "
+                f"+{lane.control_pins(self.protocol)} ctl) "
+                f"channels [{members}]"
+            )
+        return "\n".join(lines)
+
+
+def allocate_lanes(group: ChannelGroup,
+                   protocol: Protocol = FULL_HANDSHAKE,
+                   constraints: Optional[ConstraintSet] = None,
+                   max_lanes: Optional[int] = None,
+                   estimator: Optional[PerformanceEstimator] = None,
+                   ) -> LaneAllocation:
+    """Find the smallest feasible lane count for a channel group.
+
+    A single lane is an ordinary shared bus; more lanes appear only
+    when Equation 1 cannot be met on one (the exact situation Section 6
+    motivates).  Raises :class:`~repro.errors.InfeasibleBusError` when
+    even one-channel-per-lane fails.
+    """
+    result = split_group(group, protocol=protocol, constraints=constraints,
+                         max_buses=max_lanes, estimator=estimator)
+    lanes = [Lane(index=i, design=design)
+             for i, design in enumerate(result.designs)]
+    return LaneAllocation(group=group, protocol=protocol, lanes=lanes)

@@ -1,0 +1,20 @@
+"""Abstract communication channels and channel groups (Section 1-2 of
+the paper).  See DESIGN.md section 3."""
+
+from repro.channels.channel import Channel
+from repro.channels.group import ChannelGroup
+from repro.channels.rates import (
+    ChannelRates,
+    GroupRateModel,
+    average_rate,
+    peak_rate,
+)
+
+__all__ = [
+    "Channel",
+    "ChannelGroup",
+    "ChannelRates",
+    "GroupRateModel",
+    "average_rate",
+    "peak_rate",
+]

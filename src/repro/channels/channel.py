@@ -1,0 +1,123 @@
+"""Abstract communication channels.
+
+"A channel is an abstract communication medium over which two processes
+can transfer data" (Section 1).  After partitioning, every (behavior,
+remote variable, direction) triple is one channel: Figure 1 derives
+``ch1 : A < MEM`` (A reads MEM), ``ch2 : A > MEM`` (A writes MEM) and
+``ch3 : A > STATUS`` from process A's accesses.
+
+A channel knows:
+
+* its *accessor* behavior (the process initiating transfers) and the
+  *variable* at the far end,
+* its *direction* from the accessor's point of view (read or write),
+* its *message format*: data bits, plus address bits when the variable
+  is an array (the address must cross the bus too -- the FLC channels
+  carry 16 data + 7 address = 23 message bits), and
+* its *access count*: how many messages the accessor sends/requests
+  over its lifetime, from static access analysis.
+
+The channel is "a virtual entity and free of any implementation
+details"; widths, wires and protocols appear only after bus and protocol
+generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ChannelError
+from repro.spec.access import AccessSummary, Direction
+from repro.spec.behavior import Behavior
+from repro.spec.types import address_bits, data_bits, message_bits
+from repro.spec.variable import Variable
+
+
+@dataclass
+class Channel:
+    """One abstract channel between a behavior and a remote variable."""
+
+    name: str
+    accessor: Behavior
+    variable: Variable
+    direction: Direction
+    #: Messages transferred over the accessor's lifetime.
+    accesses: int
+    #: Module name hosting the accessor behavior (informational).
+    accessor_module: Optional[str] = None
+    #: Module name hosting the variable (informational).
+    variable_module: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ChannelError("channel name must be non-empty")
+        if self.accesses < 0:
+            raise ChannelError(
+                f"channel {self.name}: negative access count {self.accesses}"
+            )
+
+    # ------------------------------------------------------------------
+    # Message format
+    # ------------------------------------------------------------------
+
+    @property
+    def data_bits(self) -> int:
+        """Bits of the data portion of one message."""
+        return data_bits(self.variable.dtype)
+
+    @property
+    def address_bits(self) -> int:
+        """Bits of the address portion (0 for scalar variables)."""
+        return address_bits(self.variable.dtype)
+
+    @property
+    def message_bits(self) -> int:
+        """Total bits of one message (address + data)."""
+        return message_bits(self.variable.dtype)
+
+    @property
+    def total_bits(self) -> int:
+        """Total bits transferred over the accessor's lifetime."""
+        return self.accesses * self.message_bits
+
+    @property
+    def is_write(self) -> bool:
+        """True when the accessor writes the variable."""
+        return self.direction is Direction.WRITE
+
+    @property
+    def is_read(self) -> bool:
+        """True when the accessor reads the variable."""
+        return self.direction is Direction.READ
+
+    def describe(self) -> str:
+        """Human-readable summary in the paper's ``A > MEM`` notation."""
+        arrow = ">" if self.is_write else "<"
+        return (f"{self.name} : {self.accessor.name} {arrow} "
+                f"{self.variable.name} ({self.message_bits} bits x "
+                f"{self.accesses} accesses)")
+
+    @classmethod
+    def from_access(cls, name: str, summary: AccessSummary,
+                    accessor_module: Optional[str] = None,
+                    variable_module: Optional[str] = None) -> "Channel":
+        """Build a channel from a static access summary."""
+        return cls(
+            name=name,
+            accessor=summary.behavior,
+            variable=summary.variable,
+            direction=summary.direction,
+            accesses=summary.count,
+            accessor_module=accessor_module,
+            variable_module=variable_module,
+        )
+
+    def __repr__(self) -> str:
+        return f"Channel({self.describe()})"
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other

@@ -1,0 +1,106 @@
+"""Channel groups: sets of channels to be implemented as one bus.
+
+System partitioning "may group channels to be implemented as a single
+bus" (Section 1, Figure 1: ch1/ch2/ch3 merge into bus B).  A
+:class:`ChannelGroup` is the unit of work handed to bus generation and
+protocol generation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Set
+
+from repro.errors import ChannelError
+from repro.channels.channel import Channel
+from repro.spec.behavior import Behavior
+
+
+class ChannelGroup:
+    """A named group of channels that will share one bus.
+
+    Parameters
+    ----------
+    name:
+        Bus name used in generated code (``B`` in the paper's figures).
+    channels:
+        The member channels.  Names must be unique within the group.
+    clock_period:
+        Clock period in arbitrary time units; rates are reported in bits
+        per clock when this is 1.0 (as in the paper's Figures 7-8).
+    """
+
+    def __init__(self, name: str, channels: Sequence[Channel],
+                 clock_period: float = 1.0):
+        if not name:
+            raise ChannelError("channel group name must be non-empty")
+        if not channels:
+            raise ChannelError(f"channel group {name} has no channels")
+        if clock_period <= 0:
+            raise ChannelError(
+                f"channel group {name}: clock period must be positive"
+            )
+        names = [c.name for c in channels]
+        if len(set(names)) != len(names):
+            raise ChannelError(
+                f"channel group {name}: duplicate channel names"
+            )
+        self.name = name
+        self.channels: List[Channel] = list(channels)
+        self.clock_period = clock_period
+
+    def __iter__(self) -> Iterator[Channel]:
+        return iter(self.channels)
+
+    def __len__(self) -> int:
+        return len(self.channels)
+
+    def channel(self, name: str) -> Channel:
+        for channel in self.channels:
+            if channel.name == name:
+                return channel
+        raise ChannelError(f"group {self.name}: no channel named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Aggregate properties used by bus generation
+    # ------------------------------------------------------------------
+
+    @property
+    def max_message_bits(self) -> int:
+        """Largest message any member channel sends.
+
+        This is the upper end of the buswidth range examined by the bus
+        generation algorithm (Section 3 step 1); wider buses cannot be
+        exploited because a single message fits in one word already.
+        """
+        return max(c.message_bits for c in self.channels)
+
+    @property
+    def total_message_pins(self) -> int:
+        """Sum of member message widths: the data pins that *separate*
+        (unmerged) channel implementations would need.  The baseline of
+        the paper's "interconnect reduction" percentages (Figure 8):
+        ch1 and ch2 at 23 bits each give 46 pins."""
+        return sum(c.message_bits for c in self.channels)
+
+    def behaviors(self) -> List[Behavior]:
+        """Distinct accessor behaviors, in first-appearance order."""
+        seen: Set[int] = set()
+        out: List[Behavior] = []
+        for channel in self.channels:
+            if id(channel.accessor) not in seen:
+                seen.add(id(channel.accessor))
+                out.append(channel.accessor)
+        return out
+
+    def channels_of(self, behavior: Behavior) -> List[Channel]:
+        """Member channels whose accessor is ``behavior``."""
+        return [c for c in self.channels if c.accessor is behavior]
+
+    def describe(self) -> str:
+        lines = [f"bus {self.name} ({len(self.channels)} channels, "
+                 f"clock {self.clock_period}):"]
+        lines.extend(f"  {c.describe()}" for c in self.channels)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"ChannelGroup({self.name!r}, {len(self.channels)} channels)"

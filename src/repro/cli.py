@@ -1,0 +1,297 @@
+"""Command-line interface: ``repro-synth``.
+
+A small front end over the library for exploring the paper's flow
+without writing Python:
+
+.. code-block:: console
+
+    $ repro-synth info                       # library + protocol summary
+    $ repro-synth synth flc --width 20       # run the pipeline on a system
+    $ repro-synth synth ethernet --vhdl out.vhd --simulate
+    $ repro-synth fig7                       # the Figure 7 sweep table
+    $ repro-synth fig8                       # the Figure 8 design table
+
+Systems available to ``synth``: ``fig3`` (the running example), ``flc``
+(bus B of the fuzzy logic controller), ``answering-machine`` and
+``ethernet``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro import __version__
+from repro.busgen.algorithm import generate_bus
+from repro.busgen.constraints import (
+    ConstraintSet,
+    max_buswidth,
+    min_buswidth,
+    min_peak_rate,
+)
+from repro.busgen.split import split_group
+from repro.errors import InfeasibleBusError, ReproError
+from repro.estimate.area import estimate_bus_area
+from repro.estimate.perf import PerformanceEstimator
+from repro.hdl.validate import validate_vhdl
+from repro.hdl.vhdl import emit_refined_spec
+from repro.protocols import PROTOCOLS, get_protocol
+from repro.protogen.refine import refine_system
+from repro.sim.runtime import simulate
+
+
+def _load_system(name: str):
+    """Returns (system, group, schedule, oracle_dict_or_None).
+
+    ``name`` may also be a path to a ``.spec`` source file; its
+    partition block (or an automatic 2-way clustering when absent)
+    supplies the channels, grouped one bus per module pair.
+    """
+    import os
+
+    if os.path.exists(name):
+        from repro.frontend.parser import parse_spec_file
+        from repro.partition.channels import default_bus_groups
+        from repro.partition.partitioner import cluster_partition
+
+        parsed = parse_spec_file(name)
+        partition = parsed.partition
+        if partition is None:
+            print("note: no partition block; clustering into 2 modules")
+            partition = cluster_partition(parsed.system, 2)
+        groups = default_bus_groups(partition)
+        if not groups:
+            raise SystemExit(
+                "the partition produces no cross-module channels"
+            )
+        return parsed.system, groups, parsed.behavior_order, None
+    if name == "flc":
+        from repro.apps.flc import build_flc, reference_ctrl_output
+        model = build_flc()
+        return (model.system, model.bus_b, model.schedule,
+                {"ctrl_out": reference_ctrl_output(250, 180)})
+    if name == "answering-machine":
+        from repro.apps.answering_machine import (
+            build_answering_machine,
+            reference_state,
+        )
+        model = build_answering_machine()
+        return model.system, model.bus, model.schedule, reference_state()
+    if name == "ethernet":
+        from repro.apps.ethernet import build_ethernet, reference_state
+        model = build_ethernet()
+        return model.system, model.bus, model.schedule, reference_state()
+    raise SystemExit(f"unknown system {name!r}; choose from flc, "
+                     "answering-machine, ethernet")
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    print(f"repro {__version__} -- interface synthesis "
+          "(Narayan & Gajski, DAC 1994)")
+    print("\nprotocols:")
+    print(f"  {'name':<16} {'ctl lines':<12} {'clk/word':>8} "
+          f"{'setup':>6} {'shareable':>10}")
+    for protocol in PROTOCOLS.values():
+        controls = ",".join(protocol.control_lines) or "-"
+        print(f"  {protocol.name:<16} {controls:<12} "
+              f"{protocol.delay_clocks:>8} {protocol.setup_clocks:>6} "
+              f"{str(protocol.shareable):>10}")
+    print("\nsystems for `synth`: flc, answering-machine, ethernet")
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    system, groups, schedule, oracle = _load_system(args.system)
+    if not isinstance(groups, list):
+        groups = [groups]
+    if len(groups) > 1:
+        print(f"{len(groups)} module-pair buses to synthesize")
+    protocol = get_protocol(args.protocol)
+
+    plans = []
+    for group in groups:
+        print(group.describe())
+        constraints = ConstraintSet()
+        if args.min_width is not None:
+            constraints.add(min_buswidth(args.min_width, weight=5))
+        if args.max_width is not None:
+            constraints.add(max_buswidth(args.max_width, weight=5))
+        if args.min_peak is not None:
+            channel = group.channels[-1].name
+            constraints.add(min_peak_rate(channel, args.min_peak,
+                                          weight=10))
+
+        if args.width is not None:
+            widths: Optional[List[int]] = [args.width]
+        else:
+            widths = None
+        try:
+            design = generate_bus(group, protocol=protocol,
+                                  constraints=constraints, widths=widths)
+            print(f"\n{design.describe()}")
+            plans.append(design)
+        except InfeasibleBusError as error:
+            print(f"\n{error}")
+            if args.force and args.width is not None:
+                # Section 4: the number of data lines "can be specified
+                # by the system designer" -- proceed regardless of
+                # Equation 1 (transfers simply delay the processes).
+                print(f"--force: proceeding with designer width "
+                      f"{args.width}")
+                plans.append((group, args.width, protocol))
+            else:
+                # Section 3 step 5: split the group across several
+                # buses and continue the flow with all of them.
+                result = split_group(group, protocol=protocol,
+                                     constraints=constraints)
+                print(result.describe())
+                plans.extend(result.designs)
+
+    refined = refine_system(system, plans)
+    for bus in refined.buses:
+        print(bus.structure.describe())
+        area = estimate_bus_area(bus)
+        print(f"interface area: {area.wires} wires, "
+              f"{area.total_gates} gate-equivalents")
+
+    if args.simulate:
+        result = simulate(refined, schedule=schedule)
+        print(f"\nsimulated {result.end_time} clocks; "
+              f"{sum(len(t) for t in result.transactions.values())} "
+              "bus transactions")
+        if oracle:
+            ok = all(result.final_values[k] == v
+                     for k, v in oracle.items())
+            print(f"oracle check: {'OK' if ok else 'MISMATCH'}")
+            if not ok:
+                return 1
+
+    if args.verify:
+        from repro.verify import verify_refinement
+        report = verify_refinement(system, refined, schedule=schedule)
+        print()
+        print(report.describe())
+        if not report.passed:
+            return 1
+
+    if args.report:
+        from repro.protogen.report import synthesis_report
+        print()
+        print(synthesis_report(refined))
+
+    if args.vhdl:
+        text = emit_refined_spec(refined)
+        validate_vhdl(text).raise_if_failed()
+        with open(args.vhdl, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"VHDL written to {args.vhdl} "
+              f"({len(text.splitlines())} lines)")
+    return 0
+
+
+def cmd_fig7(_args: argparse.Namespace) -> int:
+    from repro.apps.flc import build_flc
+    from repro.protocols import FULL_HANDSHAKE
+
+    model = build_flc()
+    estimator = PerformanceEstimator()
+    print("Figure 7: FLC execution time (clocks) vs buswidth")
+    print(f"{'width':>5} {'EVAL_R3':>9} {'CONV_R2':>9}")
+    for width in range(1, 33):
+        row = [width]
+        for name in ("EVAL_R3", "CONV_R2"):
+            estimate = estimator.estimate(
+                model.system.behavior(name), model.bus_b.channels,
+                width, FULL_HANDSHAKE)
+            row.append(estimate.exec_clocks)
+        print(f"{row[0]:>5} {row[1]:>9} {row[2]:>9}")
+    return 0
+
+
+def cmd_fig8(_args: argparse.Namespace) -> int:
+    from repro.apps.flc import build_flc
+
+    model = build_flc()
+    designs = {
+        "A": ConstraintSet([min_peak_rate("ch2", 10, weight=10)]),
+        "B": ConstraintSet([min_peak_rate("ch2", 10, weight=2),
+                            min_buswidth(14, weight=1),
+                            max_buswidth(18, weight=5)]),
+        "C": ConstraintSet([min_peak_rate("ch2", 10, weight=1),
+                            min_buswidth(16, weight=5),
+                            max_buswidth(16, weight=5)]),
+    }
+    print("Figure 8: constraint-driven designs for {ch1, ch2} "
+          f"({model.bus_b.total_message_pins} separate pins)")
+    for name, constraints in designs.items():
+        design = generate_bus(model.bus_b, constraints=constraints)
+        print(f"  design {name}: width {design.width:>2}, rate "
+              f"{design.bus_rate:g} b/clk, reduction "
+              f"{design.interconnect_reduction_percent:.0f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-synth",
+        description="Interface synthesis: bus & protocol generation "
+                    "(Narayan & Gajski, DAC 1994 reproduction)",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library and protocol summary") \
+        .set_defaults(func=cmd_info)
+
+    synth = sub.add_parser("synth", help="run the synthesis pipeline")
+    synth.add_argument("system",
+                       help="flc, answering-machine, ethernet, or a "
+                            "path to a .spec file")
+    synth.add_argument("--protocol", default="full_handshake",
+                       choices=sorted(PROTOCOLS))
+    synth.add_argument("--width", type=int,
+                       help="designer-specified buswidth "
+                            "(default: run bus generation)")
+    synth.add_argument("--min-width", type=int)
+    synth.add_argument("--max-width", type=int)
+    synth.add_argument("--min-peak", type=float,
+                       help="min peak rate (bits/clock) on the last "
+                            "channel of the group")
+    synth.add_argument("--force", action="store_true",
+                       help="with --width: refine at the designer "
+                            "width even if Equation 1 is infeasible")
+    synth.add_argument("--simulate", action="store_true",
+                       help="simulate the refined spec and check "
+                            "oracle values")
+    synth.add_argument("--verify", action="store_true",
+                       help="verify the refinement against the golden "
+                            "interpreter (values, channel sequences, "
+                            "clocks)")
+    synth.add_argument("--report", action="store_true",
+                       help="print the full synthesis report "
+                            "(channels, procedures, FSMs, area)")
+    synth.add_argument("--vhdl", metavar="FILE",
+                       help="emit validated VHDL to FILE")
+    synth.set_defaults(func=cmd_synth)
+
+    sub.add_parser("fig7", help="print the Figure 7 sweep") \
+        .set_defaults(func=cmd_fig7)
+    sub.add_parser("fig8", help="print the Figure 8 designs") \
+        .set_defaults(func=cmd_fig8)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,102 @@
+"""Exception hierarchy for the interface-synthesis library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the package
+layout: specification problems, partitioning problems, bus-generation
+problems, protocol-generation problems, HDL emission problems and
+simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SpecError(ReproError):
+    """A system specification is malformed or violates a model rule."""
+
+
+class TypeSpecError(SpecError):
+    """A data type is constructed with invalid parameters."""
+
+
+class ExprError(SpecError):
+    """An expression is malformed or cannot be evaluated."""
+
+
+class StmtError(SpecError):
+    """A statement is malformed (e.g. non-constant loop bounds where
+    static trip counts are required)."""
+
+
+class InterpError(SpecError):
+    """The reference interpreter hit an unexecutable construct."""
+
+
+class PartitionError(ReproError):
+    """A partition is inconsistent (unassigned objects, empty modules,
+    contradictory assignments)."""
+
+
+class ChannelError(ReproError):
+    """A channel or channel group is malformed."""
+
+
+class EstimationError(ReproError):
+    """The performance estimator cannot produce an estimate."""
+
+
+class BusGenError(ReproError):
+    """Bus generation failed."""
+
+
+class InfeasibleBusError(BusGenError):
+    """No buswidth in the examined range satisfies Equation 1.
+
+    The paper (Section 3, step 5) prescribes splitting the channel group
+    into more than one bus in this situation; see
+    :mod:`repro.busgen.split`.
+    """
+
+    def __init__(self, message: str, demand: float = 0.0, best_rate: float = 0.0):
+        super().__init__(message)
+        #: Sum of channel average rates at the widest examined width.
+        self.demand = demand
+        #: Best achievable bus rate over the examined range.
+        self.best_rate = best_rate
+
+
+class ConstraintError(BusGenError):
+    """A bus constraint is malformed (unknown kind, negative weight...)."""
+
+
+class ProtocolError(ReproError):
+    """Protocol generation failed or a protocol is used out of spec."""
+
+
+class IdAssignmentError(ProtocolError):
+    """Channel ID assignment failed (duplicate codes, width overflow)."""
+
+
+class RefinementError(ProtocolError):
+    """Specification refinement (steps 4-5 of protocol generation)
+    failed."""
+
+
+class HdlError(ReproError):
+    """HDL emission produced (or was asked to validate) malformed code."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation failed."""
+
+
+class DeadlockError(SimulationError):
+    """All processes are blocked and no events remain."""
+
+
+class ArbitrationError(SimulationError):
+    """A bus-access conflict could not be resolved by the configured
+    arbiter."""

@@ -1,0 +1,44 @@
+"""Performance and traffic estimation (substrate for the paper's
+ref [10] estimator).  See DESIGN.md section 3."""
+
+from repro.estimate.area import (
+    BusAreaEstimate,
+    ProcedureArea,
+    estimate_bus_area,
+    estimate_spec_area,
+    procedure_area,
+)
+from repro.estimate.perf import (
+    PerformanceEstimator,
+    ProcessEstimate,
+    comp_clocks_body,
+    sweep_widths,
+    transfer_clocks,
+)
+from repro.estimate.traffic import (
+    ChannelTraffic,
+    GroupTraffic,
+    channel_traffic,
+    format_traffic_table,
+    group_traffic,
+    interconnect_reduction,
+)
+
+__all__ = [
+    "BusAreaEstimate",
+    "ChannelTraffic",
+    "ProcedureArea",
+    "estimate_bus_area",
+    "estimate_spec_area",
+    "procedure_area",
+    "GroupTraffic",
+    "PerformanceEstimator",
+    "ProcessEstimate",
+    "channel_traffic",
+    "comp_clocks_body",
+    "format_traffic_table",
+    "group_traffic",
+    "interconnect_reduction",
+    "sweep_widths",
+    "transfer_clocks",
+]

@@ -1,0 +1,136 @@
+"""First-order area estimation for generated bus interfaces.
+
+The paper's ref [10] is "Area and performance estimation from
+system-level specifications"; Figure 7 uses only the performance half,
+but a designer choosing among Figure 8's implementations also weighs
+interface *area*.  This module provides the classic first-order model
+for the hardware that protocol generation implies:
+
+* **wires** -- every pin of the bus crosses the module boundary
+  (data + ID + control);
+* **accessor controller** -- each generated send/receive procedure is a
+  little FSM; a handshake word costs two states (drive, wait) plus one
+  state per message for setup/teardown.  Gates ~ ``states *
+  GATES_PER_STATE`` plus output drivers (one per driven data pin);
+* **server controller** -- the variable process adds an ID decoder
+  (~``id_width`` gates per served channel), the same per-word FSM, and
+  a word-wide latch bank.
+
+Absolute numbers are technology-scaled by two documented constants;
+what the model is *for* is ranking: wider buses cost more wires and
+drivers but fewer FSM states (fewer words per message), which yields
+the area/performance trade-off table of the ``abl-area`` benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    # estimate is a low-level package (channels.rates imports it), so
+    # the high-level protogen types are imported lazily to avoid a
+    # cycle; at runtime the functions below receive them duck-typed.
+    from repro.protogen.procedures import CommProcedure
+    from repro.protogen.refine import RefinedBus, RefinedSpec
+
+#: Gate-equivalents per FSM state (one-hot state register + next-state
+#: logic), a conventional planning number.
+GATES_PER_STATE = 6
+#: Gate-equivalents per driven/latched data bit (tristate driver or
+#: flip-flop).
+GATES_PER_BIT = 2
+
+
+@dataclass(frozen=True)
+class ProcedureArea:
+    """Area of one generated procedure's controller."""
+
+    procedure_name: str
+    fsm_states: int
+    driver_bits: int
+
+    @property
+    def gates(self) -> int:
+        return (self.fsm_states * GATES_PER_STATE
+                + self.driver_bits * GATES_PER_BIT)
+
+
+@dataclass
+class BusAreaEstimate:
+    """Area of one generated bus and all its interface hardware."""
+
+    bus_name: str
+    wires: int
+    procedures: List[ProcedureArea]
+    #: ID-decoder gates across all variable processes.
+    decoder_gates: int
+
+    @property
+    def controller_gates(self) -> int:
+        return sum(p.gates for p in self.procedures)
+
+    @property
+    def total_gates(self) -> int:
+        return self.controller_gates + self.decoder_gates
+
+
+def procedure_area(procedure: "CommProcedure", width: int) -> ProcedureArea:
+    """Estimate one procedure's controller."""
+    words = procedure.layout.word_count(width)
+    # Two states per word under a handshake (drive, wait-ack); one per
+    # word for strobed protocols; setup adds its clock count in states.
+    states_per_word = 2 if procedure.protocol.num_control_lines >= 2 \
+        and procedure.protocol.setup_clocks == 0 else 1
+    fsm_states = (procedure.protocol.setup_clocks
+                  + words * states_per_word + 1)   # +1 idle state
+    driven = 0
+    for word in procedure.layout.words(width):
+        for word_slice in word.slices:
+            if word_slice.field.driver is procedure.role:
+                driven = max(driven, word_slice.bits)
+    # The widest simultaneously driven/latched slice sizes the datapath.
+    datapath_bits = max(driven, 1)
+    return ProcedureArea(
+        procedure_name=procedure.name,
+        fsm_states=fsm_states,
+        driver_bits=datapath_bits,
+    )
+
+
+def estimate_bus_area(bus: "RefinedBus") -> BusAreaEstimate:
+    """Estimate one refined bus's interface area.
+
+    State counts come from the *synthesized* controller FSMs
+    (:mod:`repro.protogen.fsm`), so the area model and the simulator's
+    timing share one structural source; the closed-form
+    :func:`procedure_area` matches it exactly (tested) and exists for
+    width sweeps that don't want to build FSM objects.
+    """
+    from repro.protogen.fsm import synthesize_fsm
+
+    structure = bus.structure
+    procedures: List[ProcedureArea] = []
+    for pair in bus.procedures.values():
+        for procedure in (pair.accessor, pair.server):
+            closed_form = procedure_area(procedure, structure.width)
+            fsm = synthesize_fsm(procedure, structure)
+            procedures.append(ProcedureArea(
+                procedure_name=procedure.name,
+                fsm_states=fsm.state_count,
+                driver_bits=closed_form.driver_bits,
+            ))
+    decoder_gates = 0
+    for vproc in bus.variable_processes:
+        decoder_gates += len(vproc.services) * max(structure.id_lines, 1)
+    return BusAreaEstimate(
+        bus_name=structure.name,
+        wires=structure.total_pins,
+        procedures=procedures,
+        decoder_gates=decoder_gates,
+    )
+
+
+def estimate_spec_area(spec: "RefinedSpec") -> Dict[str, BusAreaEstimate]:
+    """Area estimates for every bus of a refined specification."""
+    return {bus.name: estimate_bus_area(bus) for bus in spec.buses}

@@ -1,0 +1,92 @@
+"""Traffic summaries: per-channel and per-group message statistics.
+
+These are the numbers the paper's Section 2 reasons about when merging
+channels (Figure 2: per-channel bits moved over the process lifetime)
+and the "Total Bitwidth of the channels (pins)" row of Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.channels.channel import Channel
+from repro.channels.group import ChannelGroup
+
+
+@dataclass(frozen=True)
+class ChannelTraffic:
+    """Static traffic facts about one channel."""
+
+    channel_name: str
+    message_bits: int
+    data_bits: int
+    address_bits: int
+    accesses: int
+    total_bits: int
+
+
+def channel_traffic(channel: Channel) -> ChannelTraffic:
+    """Summarize one channel's traffic."""
+    return ChannelTraffic(
+        channel_name=channel.name,
+        message_bits=channel.message_bits,
+        data_bits=channel.data_bits,
+        address_bits=channel.address_bits,
+        accesses=channel.accesses,
+        total_bits=channel.total_bits,
+    )
+
+
+@dataclass(frozen=True)
+class GroupTraffic:
+    """Aggregated traffic facts about a channel group."""
+
+    group_name: str
+    channels: List[ChannelTraffic]
+    total_message_pins: int
+    total_bits: int
+    max_message_bits: int
+
+
+def group_traffic(group: ChannelGroup) -> GroupTraffic:
+    """Summarize a group's traffic (Figure 8's baseline rows)."""
+    per_channel = [channel_traffic(c) for c in group]
+    return GroupTraffic(
+        group_name=group.name,
+        channels=per_channel,
+        total_message_pins=group.total_message_pins,
+        total_bits=sum(t.total_bits for t in per_channel),
+        max_message_bits=group.max_message_bits,
+    )
+
+
+def interconnect_reduction(separate_pins: int, bus_pins: int) -> float:
+    """Percentage reduction in data lines from channel merging.
+
+    Figure 8 reports ``(separate - merged) / separate`` as a percentage:
+    46 separate pins reduced to a 20-bit bus is a 56% reduction.
+    """
+    if separate_pins <= 0:
+        raise ValueError(f"separate pin count must be positive, got {separate_pins}")
+    if bus_pins < 0:
+        raise ValueError(f"bus pin count must be >= 0, got {bus_pins}")
+    return 100.0 * (separate_pins - bus_pins) / separate_pins
+
+
+def format_traffic_table(traffic: GroupTraffic) -> str:
+    """Render a plain-text traffic table for reports and benches."""
+    header = (f"{'channel':<12} {'msg bits':>8} {'data':>6} {'addr':>6} "
+              f"{'accesses':>9} {'total bits':>11}")
+    rows = [header, "-" * len(header)]
+    for t in traffic.channels:
+        rows.append(
+            f"{t.channel_name:<12} {t.message_bits:>8} {t.data_bits:>6} "
+            f"{t.address_bits:>6} {t.accesses:>9} {t.total_bits:>11}"
+        )
+    rows.append("-" * len(header))
+    rows.append(
+        f"{'TOTAL':<12} {traffic.total_message_pins:>8} {'':>6} {'':>6} "
+        f"{'':>9} {traffic.total_bits:>11}"
+    )
+    return "\n".join(rows)

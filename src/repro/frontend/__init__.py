@@ -1,0 +1,27 @@
+"""Textual front end: a VHDL-flavoured specification language.
+
+Parses ``.spec`` sources into :mod:`repro.spec` objects (and optional
+partitions) and prints them back.  See DESIGN.md section 3.
+"""
+
+from repro.frontend.lexer import LexError, Token, tokenize
+from repro.frontend.parser import (
+    ParseError,
+    ParsedSpec,
+    parse_spec,
+    parse_spec_file,
+)
+from repro.frontend.printer import print_expr, print_spec, print_type
+
+__all__ = [
+    "LexError",
+    "ParseError",
+    "ParsedSpec",
+    "Token",
+    "parse_spec",
+    "parse_spec_file",
+    "print_expr",
+    "print_spec",
+    "print_type",
+    "tokenize",
+]

@@ -1,0 +1,125 @@
+"""Lexer for the textual specification language.
+
+The paper's systems are written in a VHDL-flavoured behavioral
+language (Figures 1, 3, 4, 6 all show fragments).  This front end
+accepts a compact dialect of it -- enough to express every construct
+of the specification model -- so systems can live in ``.spec`` files:
+
+.. code-block:: vhdl
+
+    system fig3 is
+      variable X   : integer(16) ;
+      variable MEM : array(0 to 63) of integer(16) ;
+
+      behavior P is
+        variable AD : integer(16) := 5 ;
+      begin
+        X <= 32 ;
+        MEM(AD) <= X + 7 ;
+      end behavior ;
+    end system ;
+
+Tokens: identifiers, integer literals (decimal, ``0x`` hex, negative
+via unary minus in the parser), the operators of the expression IR,
+punctuation, and keywords.  ``--`` comments run to end of line, except
+``--@`` *pragmas* (e.g. ``--@ trips 5`` for while-loop trip counts),
+which are surfaced as tokens for the parser.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import SpecError
+
+
+class LexError(SpecError):
+    """Invalid character or malformed literal in the source."""
+
+
+KEYWORDS = frozenset({
+    "system", "behavior", "variable", "begin", "end", "is", "of",
+    "array", "integer", "unsigned", "bit_vector", "to", "downto",
+    "if", "then", "else", "elsif", "for", "in", "loop", "while",
+    "wait", "and", "or", "not", "abs", "min", "max", "mod",
+    "partition", "module", "chip", "memory", "contains",
+})
+
+#: Multi-character operators first so maximal munch works.
+OPERATORS = ("<=", ">=", "/=", ":=", "=>", "<", ">", "=",
+             "+", "-", "*", "/", "(", ")", ":", ";", ",")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str       # 'ident', 'int', 'op', 'keyword', 'pragma', 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<pragma>--@[^\n]*)
+  | (?P<comment>--[^\n]*)
+  | (?P<ws>[ \t\r]+)
+  | (?P<nl>\n)
+  | (?P<hex>0[xX][0-9a-fA-F]+)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|/=|:=|=>|[<>=+\-*/():;,])
+""", re.VERBOSE)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a complete source text; raises :class:`LexError` with
+    line/column on the first invalid character."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    position = 0
+    length = len(source)
+    while position < length:
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            column = position - line_start + 1
+            raise LexError(
+                f"line {line}, column {column}: unexpected character "
+                f"{source[position]!r}"
+            )
+        kind = match.lastgroup
+        text = match.group()
+        column = position - line_start + 1
+        if kind == "nl":
+            line += 1
+            line_start = match.end()
+        elif kind in ("ws", "comment"):
+            pass
+        elif kind == "pragma":
+            tokens.append(Token("pragma", text[3:].strip(), line, column))
+        elif kind in ("int", "hex"):
+            tokens.append(Token("int", text, line, column))
+        elif kind == "ident":
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, line, column))
+            else:
+                tokens.append(Token("ident", text, line, column))
+        else:
+            tokens.append(Token("op", text, line, column))
+        position = match.end()
+    tokens.append(Token("eof", "", line, position - line_start + 1))
+    return tokens
+
+
+def int_value(token: Token) -> int:
+    """Numeric value of an 'int' token (decimal or 0x hex)."""
+    if token.text.lower().startswith("0x"):
+        return int(token.text, 16)
+    return int(token.text)

@@ -1,0 +1,539 @@
+"""Recursive-descent parser for the textual specification language.
+
+Grammar (EBNF; keywords case-insensitive, ``--`` comments ignored,
+``--@ key value`` pragmas attach to the preceding construct):
+
+.. code-block:: text
+
+    spec        = "system" ident "is" { declaration } { behavior }
+                  [ partition ] "end" "system" ";"
+    declaration = "variable" ident ":" type [ ":=" init ] ";"
+    type        = scalar | "array" "(" int "to" int ")" "of" scalar
+    scalar      = "integer" "(" int ")" | "unsigned" "(" int ")"
+                | "bit_vector" "(" int ")"
+    init        = expr | "(" expr { "," expr } ")"
+    behavior    = "behavior" ident "is" { declaration }
+                  "begin" { statement } "end" "behavior" ";"
+    statement   = assign | if | for | while | wait
+    assign      = target "<=" expr ";"
+    target      = ident [ "(" expr ")" ]
+    if          = "if" expr "then" { statement }
+                  { "elsif" expr "then" { statement } }
+                  [ "else" { statement } ] "end" "if" ";"
+    for         = "for" ident "in" int "to" int "loop"
+                  { statement } "end" "loop" ";"
+    while       = "while" expr "loop" { statement } "end" "loop" ";"
+                  [ pragma "trips" int ]
+    wait        = "wait" "for" int ";"
+    partition   = "partition" "is" { module } "end" "partition" ";"
+    module      = "module" ident ":" ("chip"|"memory")
+                  "contains" ident { "," ident } ";"
+
+Expressions use the usual precedence: ``or`` < ``and`` < comparison
+(``= /= < <= > >=``) < additive (``+ -``) < multiplicative
+(``* / mod``) < unary (``- not abs``) < primary (literal, name,
+``name(expr)``, ``min(a,b)``, ``max(a,b)``, parentheses).
+
+The parser builds :mod:`repro.spec` objects directly and, when a
+``partition`` block is present, a validated
+:class:`~repro.partition.partitioner.Partition` too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SpecError
+from repro.frontend.lexer import Token, int_value, tokenize
+from repro.partition.module import ModuleKind
+from repro.partition.partitioner import Partition
+from repro.spec.behavior import Behavior
+from repro.spec.expr import BinOp, Const, Expr, Index, Ref, UnOp
+from repro.spec.stmt import (
+    Assign,
+    For,
+    If,
+    Stmt,
+    WaitClocks,
+    While,
+)
+from repro.spec.system import SystemSpec
+from repro.spec.types import ArrayType, BitType, DataType, IntType
+from repro.spec.variable import Variable
+
+
+class ParseError(SpecError):
+    """Syntax or semantic error in a specification source."""
+
+
+@dataclass
+class ParsedSpec:
+    """Everything a source file yields."""
+
+    system: SystemSpec
+    #: Partition from the optional ``partition`` block (None if absent).
+    partition: Optional[Partition] = None
+    #: Behavior names in declaration order (a natural schedule).
+    behavior_order: List[str] = field(default_factory=list)
+
+
+class Parser:
+    """One-pass recursive-descent parser over the token stream."""
+
+    def __init__(self, source: str):
+        self._tokens = tokenize(source)
+        self._position = 0
+        #: Shared system variables by name.
+        self._shared: Dict[str, Variable] = {}
+        #: Current behavior's local scope (locals + loop vars).
+        self._scope: Dict[str, Variable] = {}
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> ParseError:
+        token = token or self._peek()
+        return ParseError(
+            f"line {token.line}, column {token.column}: {message} "
+            f"(found {token.text!r})"
+        )
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise self._error(f"expected {wanted!r}")
+        return self._advance()
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    def _keyword(self, word: str) -> Token:
+        return self._expect("keyword", word)
+
+    def _accept_keyword(self, word: str) -> Optional[Token]:
+        return self._accept("keyword", word)
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def parse(self) -> ParsedSpec:
+        self._keyword("system")
+        name = self._expect("ident").text
+        self._keyword("is")
+
+        while self._peek().kind == "keyword" and self._peek().text == "variable":
+            variable = self._parse_declaration()
+            if variable.name in self._shared:
+                raise self._error(f"duplicate variable {variable.name!r}")
+            self._shared[variable.name] = variable
+
+        behaviors: List[Behavior] = []
+        while self._accept_keyword("behavior"):
+            behaviors.append(self._parse_behavior())
+
+        partition_spec = None
+        if self._accept_keyword("partition"):
+            partition_spec = self._parse_partition_block()
+
+        self._keyword("end")
+        self._keyword("system")
+        self._expect("op", ";")
+        self._expect("eof")
+
+        system = SystemSpec(name, behaviors, list(self._shared.values()))
+        partition = None
+        if partition_spec is not None:
+            partition = self._build_partition(system, partition_spec)
+        return ParsedSpec(
+            system=system,
+            partition=partition,
+            behavior_order=[b.name for b in behaviors],
+        )
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def _parse_declaration(self) -> Variable:
+        self._keyword("variable")
+        name = self._expect("ident").text
+        self._expect("op", ":")
+        dtype = self._parse_type()
+        init = None
+        if self._accept("op", ":="):
+            init = self._parse_initializer(dtype)
+        self._expect("op", ";")
+        return Variable(name, dtype, init)
+
+    def _parse_type(self) -> DataType:
+        token = self._peek()
+        if self._accept_keyword("array"):
+            self._expect("op", "(")
+            lo = int_value(self._expect("int"))
+            self._keyword("to")
+            hi = int_value(self._expect("int"))
+            self._expect("op", ")")
+            if lo != 0:
+                raise self._error("array ranges must start at 0", token)
+            self._keyword("of")
+            element = self._parse_scalar_type()
+            return ArrayType(element, hi + 1)
+        return self._parse_scalar_type()
+
+    def _parse_scalar_type(self) -> DataType:
+        token = self._peek()
+        if self._accept_keyword("integer"):
+            return IntType(self._parse_width(), signed=True)
+        if self._accept_keyword("unsigned"):
+            return IntType(self._parse_width(), signed=False)
+        if self._accept_keyword("bit_vector"):
+            return BitType(self._parse_width())
+        raise self._error("expected a type (integer/unsigned/bit_vector"
+                          "/array)", token)
+
+    def _parse_width(self) -> int:
+        self._expect("op", "(")
+        width = int_value(self._expect("int"))
+        self._expect("op", ")")
+        return width
+
+    def _parse_initializer(self, dtype: DataType):
+        if isinstance(dtype, ArrayType):
+            self._expect("op", "(")
+            values = [self._parse_const_int()]
+            while self._accept("op", ","):
+                values.append(self._parse_const_int())
+            self._expect("op", ")")
+            if len(values) != dtype.length:
+                raise self._error(
+                    f"array initializer has {len(values)} values, type "
+                    f"needs {dtype.length}")
+            return values
+        return self._parse_const_int()
+
+    def _parse_const_int(self) -> int:
+        negative = bool(self._accept("op", "-"))
+        value = int_value(self._expect("int"))
+        return -value if negative else value
+
+    # ------------------------------------------------------------------
+    # Behaviors and statements
+    # ------------------------------------------------------------------
+
+    def _parse_behavior(self) -> Behavior:
+        name = self._expect("ident").text
+        self._keyword("is")
+        self._scope = {}
+        locals_: List[Variable] = []
+        while self._peek().kind == "keyword" \
+                and self._peek().text == "variable":
+            variable = self._parse_declaration()
+            if variable.name in self._scope or variable.name in self._shared:
+                raise self._error(
+                    f"variable {variable.name!r} shadows an existing one")
+            self._scope[variable.name] = variable
+            locals_.append(variable)
+        self._keyword("begin")
+        body = self._parse_statements(("end",))
+        self._keyword("end")
+        self._keyword("behavior")
+        self._expect("op", ";")
+        return Behavior(name, body, local_variables=locals_)
+
+    def _parse_statements(self, stop_keywords: Tuple[str, ...]) -> List[Stmt]:
+        statements: List[Stmt] = []
+        while True:
+            token = self._peek()
+            if token.kind == "keyword" and token.text in stop_keywords:
+                return statements
+            if token.kind == "eof":
+                raise self._error("unexpected end of file")
+            statements.append(self._parse_statement())
+
+    def _parse_statement(self) -> Stmt:
+        token = self._peek()
+        if token.kind == "keyword":
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "for":
+                return self._parse_for()
+            if token.text == "while":
+                return self._parse_while()
+            if token.text == "wait":
+                return self._parse_wait()
+            raise self._error("expected a statement")
+        if token.kind == "ident":
+            return self._parse_assign()
+        raise self._error("expected a statement")
+
+    def _parse_assign(self) -> Assign:
+        name_token = self._expect("ident")
+        variable = self._lookup(name_token)
+        index: Optional[Expr] = None
+        if self._accept("op", "("):
+            index = self._parse_expr()
+            self._expect("op", ")")
+        self._expect("op", "<=")
+        expr = self._parse_expr()
+        self._expect("op", ";")
+        if index is not None:
+            if not variable.dtype.is_array():
+                raise self._error(
+                    f"{variable.name} is not an array", name_token)
+            return Assign((variable, index), expr)
+        return Assign(variable, expr)
+
+    def _parse_if(self) -> If:
+        self._keyword("if")
+        condition = self._parse_expr()
+        self._keyword("then")
+        then_body = self._parse_statements(("elsif", "else", "end"))
+        if self._accept_keyword("elsif"):
+            # Desugar elsif chains into nested Ifs.
+            nested = self._parse_if_tail()
+            return If(condition, then_body, [nested])
+        else_body: List[Stmt] = []
+        if self._accept_keyword("else"):
+            else_body = self._parse_statements(("end",))
+        self._keyword("end")
+        self._keyword("if")
+        self._expect("op", ";")
+        return If(condition, then_body, else_body)
+
+    def _parse_if_tail(self) -> If:
+        """The continuation after an ``elsif``: parses like an if whose
+        closing ``end if ;`` is shared."""
+        condition = self._parse_expr()
+        self._keyword("then")
+        then_body = self._parse_statements(("elsif", "else", "end"))
+        if self._accept_keyword("elsif"):
+            nested = self._parse_if_tail()
+            return If(condition, then_body, [nested])
+        else_body: List[Stmt] = []
+        if self._accept_keyword("else"):
+            else_body = self._parse_statements(("end",))
+        self._keyword("end")
+        self._keyword("if")
+        self._expect("op", ";")
+        return If(condition, then_body, else_body)
+
+    def _parse_for(self) -> For:
+        self._keyword("for")
+        name_token = self._expect("ident")
+        if name_token.text in self._scope or name_token.text in self._shared:
+            raise self._error(
+                f"loop variable {name_token.text!r} shadows an existing "
+                "variable", name_token)
+        self._keyword("in")
+        lo = self._parse_const_int()
+        self._keyword("to")
+        hi = self._parse_const_int()
+        self._keyword("loop")
+        loop_var = Variable(name_token.text, IntType(32))
+        self._scope[name_token.text] = loop_var
+        body = self._parse_statements(("end",))
+        self._keyword("end")
+        self._keyword("loop")
+        self._expect("op", ";")
+        del self._scope[name_token.text]
+        return For(loop_var, lo, hi, body)
+
+    def _parse_while(self) -> While:
+        self._keyword("while")
+        condition = self._parse_expr()
+        self._keyword("loop")
+        body = self._parse_statements(("end",))
+        self._keyword("end")
+        self._keyword("loop")
+        self._expect("op", ";")
+        trip_count = 1
+        pragma = self._accept("pragma")
+        if pragma is not None:
+            parts = pragma.text.split()
+            if len(parts) == 2 and parts[0] == "trips" \
+                    and parts[1].isdigit():
+                trip_count = int(parts[1])
+            else:
+                raise self._error(
+                    f"unknown pragma {pragma.text!r} (expected "
+                    "'trips <count>')", pragma)
+        return While(condition, body, trip_count=trip_count)
+
+    def _parse_wait(self) -> WaitClocks:
+        self._keyword("wait")
+        self._keyword("for")
+        clocks = int_value(self._expect("int"))
+        self._expect("op", ";")
+        return WaitClocks(clocks)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._accept_keyword("or"):
+            left = BinOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_comparison()
+        while self._accept_keyword("and"):
+            left = BinOp("and", left, self._parse_comparison())
+        return left
+
+    _COMPARISONS = ("=", "/=", "<", "<=", ">", ">=")
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.kind == "op" and token.text in self._COMPARISONS:
+            self._advance()
+            return BinOp(token.text, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text in ("+", "-"):
+                self._advance()
+                left = BinOp(token.text, left,
+                             self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.text in ("*", "/"):
+                self._advance()
+                left = BinOp(token.text, left, self._parse_unary())
+            elif token.kind == "keyword" and token.text == "mod":
+                self._advance()
+                left = BinOp("mod", left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expr:
+        if self._accept("op", "-"):
+            operand = self._parse_unary()
+            if isinstance(operand, Const):
+                return Const(-operand.value)
+            return UnOp("-", operand)
+        if self._accept_keyword("not"):
+            return UnOp("not", self._parse_unary())
+        if self._accept_keyword("abs"):
+            self._expect("op", "(")
+            operand = self._parse_expr()
+            self._expect("op", ")")
+            return UnOp("abs", operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "int":
+            self._advance()
+            return Const(int_value(token))
+        if token.kind == "keyword" and token.text in ("min", "max"):
+            self._advance()
+            self._expect("op", "(")
+            first = self._parse_expr()
+            self._expect("op", ",")
+            second = self._parse_expr()
+            self._expect("op", ")")
+            return BinOp(token.text, first, second)
+        if token.kind == "ident":
+            self._advance()
+            variable = self._lookup(token)
+            if self._accept("op", "("):
+                index = self._parse_expr()
+                self._expect("op", ")")
+                if not variable.dtype.is_array():
+                    raise self._error(
+                        f"{variable.name} is not an array", token)
+                return Index(variable, index)
+            return Ref(variable)
+        if self._accept("op", "("):
+            expr = self._parse_expr()
+            self._expect("op", ")")
+            return expr
+        raise self._error("expected an expression")
+
+    def _lookup(self, token: Token) -> Variable:
+        name = token.text
+        if name in self._scope:
+            return self._scope[name]
+        if name in self._shared:
+            return self._shared[name]
+        raise self._error(f"unknown variable {name!r}", token)
+
+    # ------------------------------------------------------------------
+    # Partition block
+    # ------------------------------------------------------------------
+
+    def _parse_partition_block(self) -> List[Tuple[str, ModuleKind, List[str]]]:
+        self._keyword("is")
+        modules: List[Tuple[str, ModuleKind, List[str]]] = []
+        while self._accept_keyword("module"):
+            name = self._expect("ident").text
+            self._expect("op", ":")
+            if self._accept_keyword("chip"):
+                kind = ModuleKind.CHIP
+            elif self._accept_keyword("memory"):
+                kind = ModuleKind.MEMORY
+            else:
+                raise self._error("expected 'chip' or 'memory'")
+            self._keyword("contains")
+            members = [self._expect("ident").text]
+            while self._accept("op", ","):
+                members.append(self._expect("ident").text)
+            self._expect("op", ";")
+            modules.append((name, kind, members))
+        self._keyword("end")
+        self._keyword("partition")
+        self._expect("op", ";")
+        return modules
+
+    @staticmethod
+    def _build_partition(system: SystemSpec,
+                         modules: List[Tuple[str, ModuleKind, List[str]]]
+                         ) -> Partition:
+        partition = Partition(system)
+        for name, kind, members in modules:
+            module = partition.add_module(name, kind)
+            for member in members:
+                partition.assign(member, module)
+        partition.validate()
+        return partition
+
+
+def parse_spec(source: str) -> ParsedSpec:
+    """Parse a complete specification source text."""
+    return Parser(source).parse()
+
+
+def parse_spec_file(path: str) -> ParsedSpec:
+    """Parse a ``.spec`` file."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_spec(handle.read())

@@ -1,0 +1,152 @@
+"""Pretty-printer: specification objects back to source text.
+
+The inverse of :mod:`repro.frontend.parser`, used for saving
+programmatically built systems and for the parser round-trip property
+tests (``parse(print(spec))`` reproduces the same structure).
+
+Only *unrefined* specifications print -- generated ``Call`` statements
+have no surface syntax (the VHDL backend is their output form).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SpecError
+from repro.hdl.writer import SourceWriter
+from repro.partition.partitioner import Partition
+from repro.spec.expr import BinOp, Const, Expr, Index, Ref, UnOp
+from repro.spec.stmt import (
+    Assign,
+    ElementTarget,
+    For,
+    If,
+    Nop,
+    Stmt,
+    WaitClocks,
+    While,
+)
+from repro.spec.system import SystemSpec
+from repro.spec.types import ArrayType, BitType, DataType, IntType
+from repro.spec.variable import Variable
+
+
+def print_type(dtype: DataType) -> str:
+    if isinstance(dtype, ArrayType):
+        return (f"array(0 to {dtype.length - 1}) of "
+                f"{print_type(dtype.element)}")
+    if isinstance(dtype, IntType):
+        keyword = "integer" if dtype.signed else "unsigned"
+        return f"{keyword}({dtype.width})"
+    if isinstance(dtype, BitType):
+        return f"bit_vector({dtype.width})"
+    raise SpecError(f"cannot print type {dtype!r}")
+
+
+def print_expr(expr: Expr) -> str:
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, Ref):
+        return expr.variable.name
+    if isinstance(expr, Index):
+        return f"{expr.variable.name}({print_expr(expr.index)})"
+    if isinstance(expr, UnOp):
+        if expr.op == "abs":
+            return f"abs({print_expr(expr.operand)})"
+        if expr.op == "not":
+            return f"(not {print_expr(expr.operand)})"
+        return f"(- {print_expr(expr.operand)})"
+    if isinstance(expr, BinOp):
+        if expr.op in ("min", "max"):
+            return (f"{expr.op}({print_expr(expr.lhs)}, "
+                    f"{print_expr(expr.rhs)})")
+        return f"({print_expr(expr.lhs)} {expr.op} {print_expr(expr.rhs)})"
+    raise SpecError(f"cannot print expression {expr!r}")
+
+
+def _print_declaration(variable: Variable, w: SourceWriter) -> None:
+    init = ""
+    if variable.init is not None:
+        if isinstance(variable.init, list):
+            values = ", ".join(str(v) for v in variable.init)
+            init = f" := ({values})"
+        else:
+            init = f" := {variable.init}"
+    w.line(f"variable {variable.name} : {print_type(variable.dtype)}"
+           f"{init} ;")
+
+
+def _print_stmt(stmt: Stmt, w: SourceWriter) -> None:
+    if isinstance(stmt, Assign):
+        target = stmt.target
+        if isinstance(target, ElementTarget):
+            lhs = f"{target.variable.name}({print_expr(target.index)})"
+        else:
+            lhs = target.variable.name
+        w.line(f"{lhs} <= {print_expr(stmt.expr)} ;")
+    elif isinstance(stmt, If):
+        w.line(f"if {print_expr(stmt.cond)} then")
+        with w.indented():
+            for child in stmt.then_body:
+                _print_stmt(child, w)
+        if stmt.else_body:
+            w.line("else")
+            with w.indented():
+                for child in stmt.else_body:
+                    _print_stmt(child, w)
+        w.line("end if ;")
+    elif isinstance(stmt, For):
+        w.line(f"for {stmt.var.name} in {stmt.lo} to {stmt.hi} loop")
+        with w.indented():
+            for child in stmt.body:
+                _print_stmt(child, w)
+        w.line("end loop ;")
+    elif isinstance(stmt, While):
+        w.line(f"while {print_expr(stmt.cond)} loop")
+        with w.indented():
+            for child in stmt.body:
+                _print_stmt(child, w)
+        w.line("end loop ;")
+        w.line(f"--@ trips {stmt.trip_count}")
+    elif isinstance(stmt, WaitClocks):
+        w.line(f"wait for {stmt.clocks} ;")
+    elif isinstance(stmt, Nop):
+        pass
+    else:
+        raise SpecError(
+            f"cannot print statement {stmt!r}; refined specifications "
+            "print via the VHDL backend"
+        )
+
+
+def print_spec(system: SystemSpec,
+               partition: Optional[Partition] = None) -> str:
+    """Render a system (and optional partition) as parseable source."""
+    w = SourceWriter()
+    w.line(f"system {system.name} is")
+    with w.indented():
+        for variable in system.variables:
+            _print_declaration(variable, w)
+        for behavior in system.behaviors:
+            w.blank()
+            w.line(f"behavior {behavior.name} is")
+            with w.indented():
+                for local in behavior.local_variables:
+                    _print_declaration(local, w)
+            w.line("begin")
+            with w.indented():
+                for stmt in behavior.body:
+                    _print_stmt(stmt, w)
+            w.line("end behavior ;")
+        if partition is not None:
+            w.blank()
+            w.line("partition is")
+            with w.indented():
+                for module in partition.modules:
+                    members = [b.name for b in module.behaviors]
+                    members += [v.name for v in module.variables]
+                    w.line(f"module {module.name} : {module.kind} "
+                           f"contains {', '.join(members)} ;")
+            w.line("end partition ;")
+    w.line("end system ;")
+    return w.text()

@@ -1,0 +1,32 @@
+"""VHDL emission of refined specifications (Figures 4-5 of the paper)
+plus a structural validator.  See DESIGN.md section 3."""
+
+from repro.hdl.validate import (
+    ValidationReport,
+    count_procedures_per_channel,
+    validate_vhdl,
+)
+from repro.hdl.vhdl import (
+    emit_behavior,
+    emit_bus_declaration,
+    emit_procedure,
+    emit_refined_spec,
+    emit_variable_process,
+    vhdl_expr,
+    vhdl_type,
+)
+from repro.hdl.writer import SourceWriter
+
+__all__ = [
+    "SourceWriter",
+    "ValidationReport",
+    "count_procedures_per_channel",
+    "emit_behavior",
+    "emit_bus_declaration",
+    "emit_procedure",
+    "emit_refined_spec",
+    "emit_variable_process",
+    "validate_vhdl",
+    "vhdl_expr",
+    "vhdl_type",
+]

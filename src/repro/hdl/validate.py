@@ -1,0 +1,204 @@
+"""Lightweight structural validation of emitted VHDL.
+
+No VHDL toolchain exists in this offline environment, so generated code
+is checked lexically/structurally instead:
+
+* balanced construct pairs (``process``/``end process``,
+  ``loop``/``end loop``, ``if``/``end if``, ``record``/``end record``),
+* every referenced bus field exists in a declared record,
+* every called ``SendCHx``/``ReceiveCHx`` procedure is declared,
+* identifier sanity (no empty names, no unterminated statements).
+
+The validator is intentionally conservative: it accepts only the shapes
+the emitter produces, and the test suite asserts both that emitted code
+passes and that broken mutations fail.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import HdlError
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one VHDL text."""
+
+    errors: List[str] = field(default_factory=list)
+    #: Declared procedure names.
+    procedures: Set[str] = field(default_factory=set)
+    #: Declared record type names.
+    records: Set[str] = field(default_factory=set)
+    #: Declared process labels.
+    processes: Set[str] = field(default_factory=set)
+    #: Declared signals: name -> record type.
+    signals: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_failed(self) -> None:
+        if self.errors:
+            summary = "; ".join(self.errors[:10])
+            raise HdlError(f"VHDL validation failed: {summary}")
+
+
+_COMMENT = re.compile(r"--.*$")
+_PROCEDURE_DECL = re.compile(r"^\s*procedure\s+(\w+)\s*\(", re.IGNORECASE)
+_PROCEDURE_END = re.compile(r"^\s*end\s+(\w+)\s*;", re.IGNORECASE)
+_RECORD_DECL = re.compile(r"^\s*type\s+(\w+)\s+is\s+record\b", re.IGNORECASE)
+_SIGNAL_DECL = re.compile(r"^\s*signal\s+(\w+)\s*:\s*(\w+)\s*;", re.IGNORECASE)
+_PROCESS_DECL = re.compile(r"^\s*(\w+)\s*:\s*process\b", re.IGNORECASE)
+_CALL = re.compile(r"^\s*(\w+)\s*\(.*\)\s*;\s*$")
+_FIELD_REF = re.compile(r"\b(\w+)\.(\w+)\b")
+
+_CONTROL_KEYWORDS = ("if", "for", "while", "wait", "elsif", "function",
+                     "procedure", "null", "abs")
+
+
+def _strip(line: str) -> str:
+    return _COMMENT.sub("", line).rstrip()
+
+
+def validate_vhdl(text: str) -> ValidationReport:
+    """Validate emitted VHDL; returns a report (see module docstring)."""
+    report = ValidationReport()
+    lines = [_strip(line) for line in text.splitlines()]
+
+    _check_balance(lines, report)
+    _collect_declarations(lines, report)
+    _check_references(lines, report)
+    return report
+
+
+def _check_balance(lines: List[str], report: ValidationReport) -> None:
+    counters = {
+        "process": 0,
+        "loop": 0,
+        "if": 0,
+        "record": 0,
+        "case": 0,
+    }
+    for number, line in enumerate(lines, start=1):
+        lowered = line.strip().lower()
+        if not lowered:
+            continue
+        if re.match(r"^end\s+process\b", lowered):
+            counters["process"] -= 1
+        elif re.search(r":\s*process\b", lowered) or lowered == "process":
+            counters["process"] += 1
+        if re.match(r"^end\s+loop\b", lowered):
+            counters["loop"] -= 1
+        elif re.search(r"\bloop\s*$", lowered) and \
+                not lowered.startswith("end"):
+            counters["loop"] += 1
+        if re.match(r"^end\s+if\b", lowered):
+            counters["if"] -= 1
+        elif re.match(r"^if\b", lowered) or re.search(r"\bthen\s*$", lowered) \
+                and re.match(r"^(if|elsif)\b", lowered):
+            if re.match(r"^if\b", lowered):
+                counters["if"] += 1
+        if re.match(r"^end\s+record\b", lowered):
+            counters["record"] -= 1
+        elif re.search(r"\bis\s+record\b", lowered):
+            counters["record"] += 1
+        for kind, count in counters.items():
+            if count < 0:
+                report.errors.append(
+                    f"line {number}: unmatched 'end {kind}'"
+                )
+                counters[kind] = 0
+    for kind, count in counters.items():
+        if count > 0:
+            report.errors.append(f"{count} unterminated '{kind}' block(s)")
+
+
+def _collect_declarations(lines: List[str],
+                          report: ValidationReport) -> None:
+    for number, line in enumerate(lines, start=1):
+        match = _PROCEDURE_DECL.match(line)
+        if match:
+            name = match.group(1)
+            if name in report.procedures:
+                report.errors.append(
+                    f"line {number}: duplicate procedure {name}"
+                )
+            report.procedures.add(name)
+            continue
+        match = _RECORD_DECL.match(line)
+        if match:
+            report.records.add(match.group(1))
+            continue
+        match = _SIGNAL_DECL.match(line)
+        if match:
+            report.signals[match.group(1)] = match.group(2)
+            continue
+        match = _PROCESS_DECL.match(line)
+        if match:
+            name = match.group(1)
+            if name in report.processes:
+                report.errors.append(
+                    f"line {number}: duplicate process label {name}"
+                )
+            report.processes.add(name)
+
+
+def _check_references(lines: List[str], report: ValidationReport) -> None:
+    known_fields: Set[Tuple[str, str]] = set()
+    # Parse record bodies to learn their fields.
+    current_record = None
+    record_fields: Dict[str, Set[str]] = {}
+    for line in lines:
+        match = _RECORD_DECL.match(line)
+        if match:
+            current_record = match.group(1)
+            record_fields[current_record] = set()
+            continue
+        if current_record is not None:
+            if re.match(r"^\s*end\s+record\b", line, re.IGNORECASE):
+                current_record = None
+                continue
+            declared = re.match(r"^\s*([\w,\s]+)\s*:\s*", line)
+            if declared:
+                for field_name in declared.group(1).split(","):
+                    record_fields[current_record].add(field_name.strip())
+
+    for signal, record in report.signals.items():
+        for field_name in record_fields.get(record, ()):
+            known_fields.add((signal, field_name))
+
+    for number, line in enumerate(lines, start=1):
+        for match in _FIELD_REF.finditer(line):
+            prefix, suffix = match.group(1), match.group(2)
+            if prefix in report.signals:
+                if (prefix, suffix) not in known_fields:
+                    report.errors.append(
+                        f"line {number}: signal {prefix} has no field "
+                        f"{suffix}"
+                    )
+        call = _CALL.match(line)
+        if call:
+            name = call.group(1).lower()
+            if name in _CONTROL_KEYWORDS:
+                continue
+            called = call.group(1)
+            if re.match(r"^(Send|Receive)", called) and \
+                    called not in report.procedures:
+                report.errors.append(
+                    f"line {number}: call to undeclared procedure {called}"
+                )
+
+
+def count_procedures_per_channel(report: ValidationReport,
+                                 channel_names: List[str]) -> Dict[str, int]:
+    """How many generated procedures each channel has (expected: 2)."""
+    counts: Dict[str, int] = {name: 0 for name in channel_names}
+    for procedure in report.procedures:
+        for name in channel_names:
+            if procedure.lower().endswith(name.lower()):
+                counts[name] += 1
+    return counts

@@ -1,0 +1,66 @@
+"""Indentation-aware source writer for code generation."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class SourceWriter:
+    """Accumulates lines with managed indentation.
+
+    Usage::
+
+        w = SourceWriter()
+        w.line("process")
+        with w.indented():
+            w.line("X <= 32;")
+        w.line("end process;")
+    """
+
+    def __init__(self, indent_str: str = "  "):
+        self._lines: List[str] = []
+        self._indent = 0
+        self._indent_str = indent_str
+
+    def line(self, text: str = "") -> None:
+        if text:
+            self._lines.append(self._indent_str * self._indent + text)
+        else:
+            self._lines.append("")
+
+    def lines(self, texts) -> None:
+        for text in texts:
+            self.line(text)
+
+    def blank(self) -> None:
+        if self._lines and self._lines[-1] != "":
+            self._lines.append("")
+
+    def indent(self) -> None:
+        self._indent += 1
+
+    def dedent(self) -> None:
+        if self._indent == 0:
+            raise ValueError("dedent below zero")
+        self._indent -= 1
+
+    def indented(self) -> "_IndentContext":
+        return _IndentContext(self)
+
+    def text(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+    def __str__(self) -> str:
+        return self.text()
+
+
+class _IndentContext:
+    def __init__(self, writer: SourceWriter):
+        self._writer = writer
+
+    def __enter__(self) -> SourceWriter:
+        self._writer.indent()
+        return self._writer
+
+    def __exit__(self, *exc_info) -> None:
+        self._writer.dedent()

@@ -1,0 +1,21 @@
+"""System partitioning (substrate for the paper's ref [1], the SpecSyn
+partitioner).  See DESIGN.md section 3."""
+
+from repro.partition.channels import default_bus_groups, extract_channels
+from repro.partition.closeness import ClosenessModel, cut_traffic
+from repro.partition.improve import ImprovementReport, improve_partition
+from repro.partition.module import ModuleKind, SystemModule
+from repro.partition.partitioner import Partition, cluster_partition
+
+__all__ = [
+    "ClosenessModel",
+    "ImprovementReport",
+    "ModuleKind",
+    "Partition",
+    "SystemModule",
+    "cluster_partition",
+    "cut_traffic",
+    "default_bus_groups",
+    "improve_partition",
+    "extract_channels",
+]

@@ -1,0 +1,104 @@
+"""Closeness metrics for automatic partitioning.
+
+The SpecSyn partitioner (the paper's ref [1]) clusters objects using
+*closeness* functions: objects that communicate heavily should land in
+the same module so their traffic never crosses a chip boundary.  We
+implement the traffic-based closeness used by our greedy clusterer:
+
+* ``closeness(behavior, variable)`` -- total message bits the behavior
+  moves to/from the variable over its lifetime,
+* ``closeness(behavior, behavior)`` -- traffic both behaviors direct at
+  *shared* variables (they benefit from co-location with the variable
+  and hence with each other),
+* ``closeness(variable, variable)`` -- traffic from behaviors accessing
+  both (arrays accessed together belong in the same memory).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple, Union
+
+from repro.spec.access import analyze_behavior
+from repro.spec.behavior import Behavior
+from repro.spec.system import SystemSpec
+from repro.spec.types import message_bits
+from repro.spec.variable import Variable
+
+PartObject = Union[Behavior, Variable]
+
+
+class ClosenessModel:
+    """Precomputed traffic-based closeness over a system's objects."""
+
+    def __init__(self, system: SystemSpec):
+        self.system = system
+        # traffic[behavior][variable] = total message bits moved.
+        self._traffic: Dict[Behavior, Dict[Variable, int]] = {}
+        for behavior in system.behaviors:
+            per_variable: Dict[Variable, int] = {}
+            for summary in analyze_behavior(behavior):
+                bits = summary.count * message_bits(summary.variable.dtype)
+                per_variable[summary.variable] = (
+                    per_variable.get(summary.variable, 0) + bits
+                )
+            self._traffic[behavior] = per_variable
+
+    def traffic(self, behavior: Behavior, variable: Variable) -> int:
+        """Message bits ``behavior`` moves to/from ``variable``."""
+        return self._traffic.get(behavior, {}).get(variable, 0)
+
+    def closeness(self, a: PartObject, b: PartObject) -> float:
+        """Symmetric closeness between two partition objects."""
+        if isinstance(a, Behavior) and isinstance(b, Variable):
+            return float(self.traffic(a, b))
+        if isinstance(a, Variable) and isinstance(b, Behavior):
+            return float(self.traffic(b, a))
+        if isinstance(a, Behavior) and isinstance(b, Behavior):
+            total = 0
+            for variable in set(self._traffic.get(a, {})) & set(
+                    self._traffic.get(b, {})):
+                total += min(self.traffic(a, variable),
+                             self.traffic(b, variable))
+            return float(total)
+        if isinstance(a, Variable) and isinstance(b, Variable):
+            total = 0
+            for behavior in self.system.behaviors:
+                ta = self.traffic(behavior, a)
+                tb = self.traffic(behavior, b)
+                if ta and tb:
+                    total += min(ta, tb)
+            return float(total)
+        raise TypeError(f"cannot compute closeness of {a!r} and {b!r}")
+
+    def cluster_closeness(self, cluster_a: Iterable[PartObject],
+                          cluster_b: Iterable[PartObject]) -> float:
+        """Sum of pairwise closeness across two clusters."""
+        cluster_b = list(cluster_b)
+        return sum(self.closeness(a, b)
+                   for a in cluster_a for b in cluster_b)
+
+
+def object_name(obj: PartObject) -> str:
+    """Stable display/sort name of a partition object."""
+    return obj.name
+
+
+def cut_traffic(model: ClosenessModel,
+                assignment: Dict[PartObject, str]) -> int:
+    """Message bits crossing module boundaries under an assignment.
+
+    The quantity partitioning minimizes: every (behavior, variable) pair
+    split across modules contributes its full traffic to the cut.
+    """
+    total = 0
+    for behavior in model.system.behaviors:
+        for variable, bits in model._traffic[behavior].items():
+            module_b = assignment.get(behavior)
+            module_v = assignment.get(variable)
+            if module_b is not None and module_v is not None \
+                    and module_b != module_v:
+                total += bits
+    return total
+
+
+Pair = Tuple[PartObject, PartObject]

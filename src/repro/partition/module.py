@@ -1,0 +1,81 @@
+"""System modules: the chips and memories produced by partitioning.
+
+"System-level partitioning groups processes and variables in the system
+specification into modules representing chips and memories" (abstract).
+A :class:`SystemModule` is one such container; Figure 6's FLC uses two
+chips, the second holding only the large array variables (a memory).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Set
+
+from repro.errors import PartitionError
+from repro.spec.behavior import Behavior
+from repro.spec.variable import Variable
+
+
+class ModuleKind(enum.Enum):
+    """What a module physically represents."""
+
+    CHIP = "chip"
+    MEMORY = "memory"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class SystemModule:
+    """One partition bin: a chip or a memory.
+
+    Memories may hold only variables (a memory chip has no controller
+    processes of its own in this model -- the paper generates *variable
+    processes* for its contents during protocol generation instead).
+    """
+
+    def __init__(self, name: str, kind: ModuleKind = ModuleKind.CHIP):
+        if not name:
+            raise PartitionError("module name must be non-empty")
+        self.name = name
+        self.kind = kind
+        self.behaviors: List[Behavior] = []
+        self.variables: List[Variable] = []
+
+    def add_behavior(self, behavior: Behavior) -> None:
+        if self.kind is ModuleKind.MEMORY:
+            raise PartitionError(
+                f"module {self.name} is a memory; it cannot host behavior "
+                f"{behavior.name}"
+            )
+        if behavior in self.behaviors:
+            raise PartitionError(
+                f"behavior {behavior.name} already in module {self.name}"
+            )
+        self.behaviors.append(behavior)
+
+    def add_variable(self, variable: Variable) -> None:
+        if variable in self.variables:
+            raise PartitionError(
+                f"variable {variable.name} already in module {self.name}"
+            )
+        self.variables.append(variable)
+
+    @property
+    def storage_bits(self) -> int:
+        """Total bits of variable storage mapped to this module."""
+        return sum(v.dtype.bits for v in self.variables)
+
+    def contents(self) -> Set[object]:
+        return set(self.behaviors) | set(self.variables)
+
+    def describe(self) -> str:
+        behavior_names = ", ".join(b.name for b in self.behaviors) or "-"
+        variable_names = ", ".join(v.name for v in self.variables) or "-"
+        return (f"module {self.name} ({self.kind}): "
+                f"behaviors[{behavior_names}] variables[{variable_names}]")
+
+    def __repr__(self) -> str:
+        return (f"SystemModule({self.name!r}, {self.kind}, "
+                f"{len(self.behaviors)} behaviors, "
+                f"{len(self.variables)} variables)")

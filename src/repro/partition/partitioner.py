@@ -1,0 +1,180 @@
+"""System partitioning: manual assignment and greedy clustering.
+
+This is substrate #3 (the paper's ref [1], Vahid & Gajski's SpecSyn
+partitioner).  Two entry points:
+
+* :class:`Partition` -- explicit, designer-driven assignment of
+  behaviors and variables to modules.  The paper's experiments use a
+  known partition (Figure 6: FLC memories on chip 2), so this is the
+  primary path.
+* :func:`cluster_partition` -- greedy hierarchical clustering using the
+  traffic closeness of :mod:`repro.partition.closeness`, merging the
+  closest clusters until the requested module count remains.  Useful
+  when no partition is given; deterministic (ties break on names).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import PartitionError
+from repro.partition.closeness import ClosenessModel, PartObject, object_name
+from repro.partition.module import ModuleKind, SystemModule
+from repro.spec.behavior import Behavior
+from repro.spec.system import SystemSpec
+from repro.spec.variable import Variable
+
+
+class Partition:
+    """An assignment of a system's behaviors and variables to modules."""
+
+    def __init__(self, system: SystemSpec):
+        self.system = system
+        self.modules: List[SystemModule] = []
+        self._module_of: Dict[PartObject, SystemModule] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_module(self, name: str,
+                   kind: ModuleKind = ModuleKind.CHIP) -> SystemModule:
+        if any(m.name == name for m in self.modules):
+            raise PartitionError(f"duplicate module name {name!r}")
+        module = SystemModule(name, kind)
+        self.modules.append(module)
+        return module
+
+    def assign(self, obj: Union[Behavior, Variable, str],
+               module: Union[SystemModule, str]) -> None:
+        """Assign a behavior or shared variable to a module.
+
+        Accepts names for convenience; behavior names are resolved
+        first, then variable names.
+        """
+        resolved = self._resolve_object(obj)
+        target = self._resolve_module(module)
+        if resolved in self._module_of:
+            raise PartitionError(
+                f"{object_name(resolved)} is already assigned to "
+                f"{self._module_of[resolved].name}"
+            )
+        if isinstance(resolved, Behavior):
+            target.add_behavior(resolved)
+        else:
+            target.add_variable(resolved)
+        self._module_of[resolved] = target
+
+    def _resolve_object(self, obj: Union[Behavior, Variable, str]) -> PartObject:
+        if isinstance(obj, (Behavior, Variable)):
+            return obj
+        for behavior in self.system.behaviors:
+            if behavior.name == obj:
+                return behavior
+        for variable in self.system.variables:
+            if variable.name == obj:
+                return variable
+        raise PartitionError(
+            f"system {self.system.name} has no behavior or variable "
+            f"named {obj!r}"
+        )
+
+    def _resolve_module(self, module: Union[SystemModule, str]) -> SystemModule:
+        if isinstance(module, SystemModule):
+            if module not in self.modules:
+                raise PartitionError(
+                    f"module {module.name} does not belong to this partition"
+                )
+            return module
+        for candidate in self.modules:
+            if candidate.name == module:
+                return candidate
+        raise PartitionError(f"no module named {module!r}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def module_of(self, obj: Union[Behavior, Variable, str]) -> SystemModule:
+        resolved = self._resolve_object(obj)
+        try:
+            return self._module_of[resolved]
+        except KeyError:
+            raise PartitionError(
+                f"{object_name(resolved)} is not assigned to any module"
+            ) from None
+
+    def is_remote(self, behavior: Behavior, variable: Variable) -> bool:
+        """True when the behavior and variable live on different modules."""
+        return self.module_of(behavior) is not self.module_of(variable)
+
+    def validate(self) -> None:
+        """Every behavior and shared variable assigned exactly once."""
+        for behavior in self.system.behaviors:
+            if behavior not in self._module_of:
+                raise PartitionError(
+                    f"behavior {behavior.name} is unassigned"
+                )
+        for variable in self.system.variables:
+            if variable not in self._module_of:
+                raise PartitionError(
+                    f"shared variable {variable.name} is unassigned"
+                )
+
+    def describe(self) -> str:
+        return "\n".join(m.describe() for m in self.modules)
+
+    def __repr__(self) -> str:
+        return (f"Partition({self.system.name!r}, "
+                f"{len(self.modules)} modules)")
+
+
+def cluster_partition(system: SystemSpec, module_count: int,
+                      module_prefix: str = "module",
+                      model: Optional[ClosenessModel] = None) -> Partition:
+    """Greedy closeness clustering into ``module_count`` modules.
+
+    Starts with every behavior and shared variable in its own cluster
+    and repeatedly merges the pair with the highest closeness (ties:
+    lexicographically earliest pair of cluster names) until
+    ``module_count`` clusters remain.  Raises when the system has fewer
+    objects than the requested module count.
+    """
+    if module_count < 1:
+        raise PartitionError(f"module count must be >= 1, got {module_count}")
+    objects: List[PartObject] = [*system.behaviors, *system.variables]
+    if len(objects) < module_count:
+        raise PartitionError(
+            f"cannot split {len(objects)} objects into {module_count} modules"
+        )
+    model = model or ClosenessModel(system)
+
+    clusters: List[List[PartObject]] = [[obj] for obj in objects]
+
+    def cluster_name(cluster: Sequence[PartObject]) -> str:
+        return min(object_name(obj) for obj in cluster)
+
+    while len(clusters) > module_count:
+        best: Optional[Tuple[float, str, str, int, int]] = None
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                closeness = model.cluster_closeness(clusters[i], clusters[j])
+                key = (-closeness, cluster_name(clusters[i]),
+                       cluster_name(clusters[j]), i, j)
+                if best is None or key < best:
+                    best = key
+        assert best is not None
+        _, _, _, i, j = best
+        clusters[i] = clusters[i] + clusters[j]
+        del clusters[j]
+
+    clusters.sort(key=cluster_name)
+    partition = Partition(system)
+    for index, cluster in enumerate(clusters, start=1):
+        only_variables = all(isinstance(obj, Variable) for obj in cluster)
+        kind = ModuleKind.MEMORY if only_variables else ModuleKind.CHIP
+        module = partition.add_module(f"{module_prefix}{index}", kind)
+        for obj in sorted(cluster, key=object_name):
+            partition.assign(obj, module)
+    partition.validate()
+    return partition

@@ -1,0 +1,177 @@
+"""Communication protocol descriptors.
+
+Protocol-generation step 1 ("protocol selection", Section 4) chooses one
+of several data-transfer disciplines for the bus.  The paper names four:
+
+* **full handshake** -- two control lines ``START`` and ``DONE``; the
+  sender raises ``START`` with the data, the receiver latches and raises
+  ``DONE``, both return to zero.  The bus-generation algorithm assumes a
+  delay of *two clock cycles per bus word* for this protocol
+  (Equation 2).
+* **half handshake** -- a single ``REQ`` line; the receiver is assumed
+  ready and samples data a fixed time after ``REQ`` rises.  One clock
+  per word of synchronization overhead is saved relative to the full
+  handshake.
+* **fixed delay** -- no control lines; sender and receiver agree that a
+  word is valid for exactly one clock, transfers are scheduled
+  statically.  Only the ID lines announce which channel owns the bus.
+* **hardwired port** -- a dedicated point-to-point connection, no
+  sharing, no control or ID lines; the "bus" is just the data wires of a
+  single channel.
+
+Each descriptor records the control lines it needs and its per-word
+delay in clocks; those two numbers are all that bus generation
+(Equation 2: ``BusRate = width / (delay x ClockPeriod)``), performance
+estimation, and the simulator need.  The structural/behavioral details
+(who drives which line when) live in the procedure generators of
+:mod:`repro.protogen.procedures` and the executable coroutines of
+:mod:`repro.sim.bus`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """A data-transfer discipline for a shared bus.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in generated code and reports.
+    control_lines:
+        Names of the synchronization wires the protocol adds to the bus.
+    delay_clocks:
+        Clock cycles consumed per bus word transferred.  This is the
+        ``2`` of Equation 2 for the full handshake.
+    setup_clocks:
+        Extra clock cycles consumed once per *message*, before its
+        words stream.  Zero for the paper's protocols; the burst
+        protocol pays one handshake round here and then moves one word
+        per clock.
+    shareable:
+        Whether several channels may be multiplexed onto one bus under
+        this protocol.  Hardwired ports are dedicated, hence not
+        shareable.
+    """
+
+    name: str
+    control_lines: Tuple[str, ...]
+    delay_clocks: int
+    setup_clocks: int = 0
+    shareable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.delay_clocks < 1:
+            raise ProtocolError(
+                f"protocol {self.name}: delay_clocks must be >= 1 "
+                f"(got {self.delay_clocks}); zero-delay transfers would "
+                "give an infinite bus rate"
+            )
+        if self.setup_clocks < 0:
+            raise ProtocolError(
+                f"protocol {self.name}: setup_clocks must be >= 0 "
+                f"(got {self.setup_clocks})"
+            )
+        if len(set(self.control_lines)) != len(self.control_lines):
+            raise ProtocolError(
+                f"protocol {self.name}: duplicate control line names"
+            )
+
+    @property
+    def num_control_lines(self) -> int:
+        return len(self.control_lines)
+
+    def bus_rate(self, width: int, clock_period: float = 1.0) -> float:
+        """Equation 2: steady-state data rate of a ``width``-bit bus
+        under this protocol, in bits per clock (or bits/second for a
+        non-unit ``clock_period``).
+
+        Per-message setup is amortized away here (it is part of the
+        transfer *time* computed by the estimator, not of the sustained
+        capacity), which keeps Equation 2's form for every protocol.
+        """
+        if width < 1:
+            raise ProtocolError(f"buswidth must be >= 1, got {width}")
+        if clock_period <= 0:
+            raise ProtocolError(
+                f"clock period must be positive, got {clock_period}"
+            )
+        return width / (self.delay_clocks * clock_period)
+
+    def message_clocks(self, words: int) -> int:
+        """Clocks one ``words``-word message occupies the bus."""
+        if words < 0:
+            raise ProtocolError(f"word count must be >= 0, got {words}")
+        if words == 0:
+            return 0
+        return self.setup_clocks + words * self.delay_clocks
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Full handshake: START/DONE, two clocks per word (the paper's default).
+FULL_HANDSHAKE = Protocol(
+    name="full_handshake",
+    control_lines=("START", "DONE"),
+    delay_clocks=2,
+)
+
+#: Half handshake: a single request line, one clock per word.
+HALF_HANDSHAKE = Protocol(
+    name="half_handshake",
+    control_lines=("REQ",),
+    delay_clocks=1,
+)
+
+#: Fixed delay: statically scheduled, no control lines, one clock/word.
+FIXED_DELAY = Protocol(
+    name="fixed_delay",
+    control_lines=(),
+    delay_clocks=1,
+)
+
+#: Hardwired port: dedicated wires, single channel only.
+HARDWIRED = Protocol(
+    name="hardwired",
+    control_lines=(),
+    delay_clocks=1,
+    shareable=False,
+)
+
+#: Burst (block) transfer: one START/DONE handshake per *message*, then
+#: words stream at one per clock.  An extension in the spirit of the
+#: paper's Section 6 ("incorporating protocols other than a full
+#: handshake needs to be studied"): it trades the full handshake's
+#: per-word robustness for throughput on multi-word messages while
+#: keeping the same two control wires.
+BURST_HANDSHAKE = Protocol(
+    name="burst_handshake",
+    control_lines=("START", "DONE"),
+    delay_clocks=1,
+    setup_clocks=2,
+)
+
+#: All built-in protocols keyed by name.
+PROTOCOLS: Dict[str, Protocol] = {
+    p.name: p
+    for p in (FULL_HANDSHAKE, HALF_HANDSHAKE, FIXED_DELAY, HARDWIRED,
+              BURST_HANDSHAKE)
+}
+
+
+def get_protocol(name: str) -> Protocol:
+    """Look a protocol up by name, with a helpful error."""
+    try:
+        return PROTOCOLS[name]
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOLS))
+        raise ProtocolError(
+            f"unknown protocol {name!r}; known protocols: {known}"
+        ) from None

@@ -1,0 +1,84 @@
+"""Protocol generation (Section 4 of the paper): the five-step
+refinement producing a simulatable bus-based specification.
+See DESIGN.md section 3."""
+
+from repro.protocols import (
+    BURST_HANDSHAKE,
+    FIXED_DELAY,
+    FULL_HANDSHAKE,
+    HALF_HANDSHAKE,
+    HARDWIRED,
+    PROTOCOLS,
+    Protocol,
+    get_protocol,
+)
+from repro.protogen.fsm import (
+    FsmState,
+    FsmTransition,
+    ProtocolFsm,
+    synthesize_fsm,
+)
+from repro.protogen.idassign import IdAssignment, assign_ids
+from repro.protogen.procedures import (
+    ChannelProcedures,
+    CommProcedure,
+    FieldKind,
+    MessageField,
+    MessageLayout,
+    Role,
+    WordSlice,
+    WordSpec,
+    make_procedures,
+)
+from repro.protogen.report import (
+    bus_report,
+    performance_report,
+    synthesis_report,
+)
+from repro.protogen.refine import (
+    RefinedBus,
+    RefinedSpec,
+    generate_protocol,
+    refine_system,
+    remote_access_remains,
+)
+from repro.protogen.structure import BusStructure, make_structure
+from repro.protogen.varproc import VariableProcess, make_variable_processes
+
+__all__ = [
+    "BURST_HANDSHAKE",
+    "BusStructure",
+    "ChannelProcedures",
+    "CommProcedure",
+    "FIXED_DELAY",
+    "FULL_HANDSHAKE",
+    "FieldKind",
+    "FsmState",
+    "FsmTransition",
+    "HALF_HANDSHAKE",
+    "HARDWIRED",
+    "IdAssignment",
+    "MessageField",
+    "MessageLayout",
+    "PROTOCOLS",
+    "Protocol",
+    "ProtocolFsm",
+    "RefinedBus",
+    "RefinedSpec",
+    "Role",
+    "VariableProcess",
+    "WordSlice",
+    "WordSpec",
+    "assign_ids",
+    "generate_protocol",
+    "get_protocol",
+    "make_procedures",
+    "make_structure",
+    "make_variable_processes",
+    "bus_report",
+    "performance_report",
+    "refine_system",
+    "remote_access_remains",
+    "synthesis_report",
+    "synthesize_fsm",
+]

@@ -1,0 +1,77 @@
+"""Channel ID assignment (protocol generation step 2).
+
+"If there are N channels implemented on the same bus, log2(N) lines will
+be required to encode the channel ID.  Unique IDs are assigned to each
+channel."  Figure 3's four channels get 2 ID lines with CH0 = "00",
+CH1 = "01", CH2 = "10", CH3 = "11".
+
+IDs identify *which channel* owns the bus during a transaction, letting
+every behavior recognize when the shared control lines are meant for it.
+A single-channel bus needs no ID lines (``clog2(1) == 0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.channels.group import ChannelGroup
+from repro.errors import IdAssignmentError
+from repro.spec.types import clog2
+
+
+@dataclass(frozen=True)
+class IdAssignment:
+    """Unique binary codes for every channel of a group."""
+
+    #: ID bus width in bits: ``clog2(number of channels)``.
+    width: int
+    #: Channel name -> integer code.
+    codes: Dict[str, int] = field(default_factory=dict)
+
+    def code(self, channel_name: str) -> int:
+        try:
+            return self.codes[channel_name]
+        except KeyError:
+            raise IdAssignmentError(
+                f"no ID assigned to channel {channel_name!r}"
+            ) from None
+
+    def code_bits(self, channel_name: str) -> str:
+        """The code as a zero-padded binary string ('00', '01', ...)."""
+        if self.width == 0:
+            return ""
+        return format(self.code(channel_name), f"0{self.width}b")
+
+    def channel_for(self, code: int) -> str:
+        """Inverse lookup: which channel owns a code."""
+        for name, assigned in self.codes.items():
+            if assigned == code:
+                return name
+        raise IdAssignmentError(f"no channel has ID code {code}")
+
+    def validate(self) -> None:
+        values = list(self.codes.values())
+        if len(set(values)) != len(values):
+            raise IdAssignmentError("duplicate channel ID codes")
+        limit = 1 << self.width
+        for name, code in self.codes.items():
+            if not 0 <= code < limit:
+                raise IdAssignmentError(
+                    f"channel {name}: code {code} does not fit in "
+                    f"{self.width} ID bits"
+                )
+
+
+def assign_ids(group: ChannelGroup) -> IdAssignment:
+    """Assign sequential codes in the group's channel order.
+
+    Deterministic: the first channel gets 0, the second 1, and so on,
+    exactly as in Figure 3.
+    """
+    width = clog2(len(group.channels))
+    codes = {channel.name: index
+             for index, channel in enumerate(group.channels)}
+    assignment = IdAssignment(width=width, codes=codes)
+    assignment.validate()
+    return assignment

@@ -1,0 +1,139 @@
+"""Synthesis reports: the human-readable datasheet of a refined design.
+
+Collects everything a designer reviews after interface synthesis --
+channels and their IDs, the bus structure, generated procedures and
+their controller sizes, per-process performance estimates and the
+interface area -- into one plain-text report.  Used by the CLI's
+``--report`` flag and handy in notebooks/tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.estimate.area import estimate_bus_area
+from repro.estimate.perf import PerformanceEstimator
+from repro.protogen.fsm import synthesize_fsm
+from repro.protogen.refine import RefinedBus, RefinedSpec
+
+
+def _rule(width: int = 72) -> str:
+    return "-" * width
+
+
+def bus_report(bus: RefinedBus,
+               estimator: Optional[PerformanceEstimator] = None) -> str:
+    """Report one generated bus."""
+    estimator = estimator or PerformanceEstimator()
+    structure = bus.structure
+    group = bus.group
+    lines: List[str] = []
+    lines.append(_rule())
+    lines.append(f"BUS {structure.name}")
+    lines.append(_rule())
+    lines.append(f"protocol        : {structure.protocol.name} "
+                 f"({structure.protocol.delay_clocks} clk/word"
+                 + (f", {structure.protocol.setup_clocks} clk setup"
+                    if structure.protocol.setup_clocks else "") + ")")
+    lines.append(f"wires           : {structure.width} data + "
+                 f"{structure.id_lines} id + "
+                 f"{len(structure.control_lines)} control "
+                 f"({', '.join(structure.control_lines) or 'none'}) "
+                 f"= {structure.total_pins} pins")
+    if bus.design is not None:
+        lines.append(f"bus rate        : {bus.design.bus_rate:g} bits/clock "
+                     f"(demand {bus.design.demand:.3f})")
+        lines.append(f"interconnect    : "
+                     f"{bus.design.interconnect_reduction_percent:.0f}% "
+                     f"reduction vs {bus.design.separate_pins} "
+                     "separate pins")
+
+    lines.append("")
+    lines.append("channels:")
+    header = (f"  {'name':<10} {'id':<4} {'direction':<18} "
+              f"{'message':>8} {'accesses':>9} {'words':>6} "
+              f"{'clk/msg':>8}")
+    lines.append(header)
+    lines.append("  " + _rule(len(header) - 2))
+    for channel in group:
+        pair = bus.procedures[channel.name]
+        words = pair.layout.word_count(structure.width)
+        code = structure.ids.code_bits(channel.name) or "-"
+        arrow = (f"{channel.accessor.name} "
+                 f"{'>' if channel.is_write else '<'} "
+                 f"{channel.variable.name}")
+        lines.append(
+            f"  {channel.name:<10} {code:<4} {arrow:<18} "
+            f"{channel.message_bits:>8} {channel.accesses:>9} "
+            f"{words:>6} {pair.accessor.transfer_clocks(structure.width):>8}"
+        )
+
+    lines.append("")
+    lines.append("generated procedures (controller FSM states):")
+    for channel in group:
+        pair = bus.procedures[channel.name]
+        accessor_fsm = synthesize_fsm(pair.accessor, structure)
+        server_fsm = synthesize_fsm(pair.server, structure)
+        lines.append(
+            f"  {channel.name}: {pair.accessor.name} "
+            f"({accessor_fsm.state_count} states) / {pair.server.name} "
+            f"({server_fsm.state_count} states)"
+        )
+
+    lines.append("")
+    lines.append("variable processes:")
+    for vproc in bus.variable_processes:
+        served = ", ".join(s.channel.name for s in vproc.services)
+        lines.append(f"  {vproc.name}: serves [{served}]")
+
+    area = estimate_bus_area(bus)
+    lines.append("")
+    lines.append(f"interface area  : {area.wires} wires, "
+                 f"{area.controller_gates} controller gates + "
+                 f"{area.decoder_gates} decoder gates = "
+                 f"{area.total_gates} gate-equivalents")
+    return "\n".join(lines)
+
+
+def performance_report(spec: RefinedSpec,
+                       estimator: Optional[PerformanceEstimator] = None,
+                       ) -> str:
+    """Per-process execution estimates across all of the spec's buses."""
+    estimator = estimator or PerformanceEstimator()
+    lines = [_rule(), "PROCESS PERFORMANCE (estimated)", _rule()]
+    all_channels = [c for bus in spec.buses for c in bus.group]
+    header = (f"  {'process':<16} {'comp clk':>9} {'comm clk':>9} "
+              f"{'total':>9}")
+    lines.append(header)
+    lines.append("  " + _rule(len(header) - 2))
+    for behavior in spec.original.behaviors:
+        comp = estimator.comp_clocks(behavior, all_channels)
+        comm = 0
+        for bus in spec.buses:
+            comm += estimator.comm_clocks(
+                behavior, bus.group.channels, bus.structure.width,
+                bus.structure.protocol)
+        if comm == 0 and comp == 0:
+            continue
+        lines.append(f"  {behavior.name:<16} {comp:>9} {comm:>9} "
+                     f"{comp + comm:>9}")
+    return "\n".join(lines)
+
+
+def synthesis_report(spec: RefinedSpec) -> str:
+    """The full datasheet of a refined specification."""
+    estimator = PerformanceEstimator()
+    parts = [
+        _rule(),
+        f"INTERFACE SYNTHESIS REPORT -- {spec.name}",
+        f"system: {spec.original.name} "
+        f"({len(spec.original.behaviors)} behaviors, "
+        f"{len(spec.original.variables)} shared variables)",
+    ]
+    for bus in spec.buses:
+        parts.append("")
+        parts.append(bus_report(bus, estimator))
+    parts.append("")
+    parts.append(performance_report(spec, estimator))
+    parts.append(_rule())
+    return "\n".join(parts)

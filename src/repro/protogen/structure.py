@@ -1,0 +1,101 @@
+"""Bus structure definition (protocol generation step 3).
+
+"A bus consists of three sets of wires: (1) Data lines ... (2) Control
+lines ... (3) Identification or mode lines" (Section 4).  A
+:class:`BusStructure` captures all three for one generated bus: the
+Figure 4 record
+
+.. code-block:: vhdl
+
+    type HandShakeBus is record
+        START, DONE : bit;
+        ID   : bit_vector(1 downto 0);
+        DATA : bit_vector(7 downto 0);
+    end record;
+
+is an 8-bit full-handshake bus with 2 ID lines -- ``BusStructure`` with
+``width=8``, ``protocol=FULL_HANDSHAKE`` and a 4-channel ID assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.channels.group import ChannelGroup
+from repro.errors import ProtocolError
+from repro.protogen.idassign import IdAssignment, assign_ids
+from repro.protocols import Protocol
+
+
+@dataclass(frozen=True)
+class BusStructure:
+    """The physical structure of one generated bus."""
+
+    name: str
+    group: ChannelGroup
+    width: int
+    protocol: Protocol
+    ids: IdAssignment
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ProtocolError(
+                f"bus {self.name}: width must be >= 1, got {self.width}"
+            )
+        if not self.protocol.shareable and len(self.group) > 1:
+            raise ProtocolError(
+                f"bus {self.name}: protocol {self.protocol.name} cannot be "
+                f"shared by {len(self.group)} channels"
+            )
+        if not self.protocol.shareable and self.width < self.group.max_message_bits:
+            raise ProtocolError(
+                f"bus {self.name}: hardwired ports need the full message "
+                f"width ({self.group.max_message_bits} bits), got {self.width}"
+            )
+
+    # ------------------------------------------------------------------
+    # Wire inventory
+    # ------------------------------------------------------------------
+
+    @property
+    def data_lines(self) -> int:
+        return self.width
+
+    @property
+    def id_lines(self) -> int:
+        """ID lines; dedicated (single-channel, non-shareable) buses have
+        none even for N == 1 because ``clog2(1) == 0``."""
+        return self.ids.width
+
+    @property
+    def control_lines(self) -> List[str]:
+        return list(self.protocol.control_lines)
+
+    @property
+    def total_pins(self) -> int:
+        """Every wire crossing the module boundary."""
+        return self.data_lines + self.id_lines + len(self.control_lines)
+
+    @property
+    def record_type_name(self) -> str:
+        """Name of the generated record type (Figure 4 calls the full
+        handshake one ``HandShakeBus``)."""
+        camel = "".join(part.capitalize()
+                        for part in self.protocol.name.split("_"))
+        return f"{camel}Bus"
+
+    def describe(self) -> str:
+        controls = ", ".join(self.control_lines) or "none"
+        return (f"bus {self.name}: {self.width} data + {self.id_lines} id + "
+                f"{len(self.control_lines)} control ({controls}) = "
+                f"{self.total_pins} pins, protocol {self.protocol.name}")
+
+
+def make_structure(name: str, group: ChannelGroup, width: int,
+                   protocol: Protocol) -> BusStructure:
+    """Build the bus structure for a group at a selected width."""
+    return BusStructure(
+        name=name, group=group, width=width, protocol=protocol,
+        ids=assign_ids(group),
+    )

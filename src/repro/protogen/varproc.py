@@ -1,0 +1,84 @@
+"""Variable-process generation (protocol generation step 5).
+
+"In order to obtain a simulatable system specification, a separate
+behavior is created for each group of variables accessed over a channel.
+Appropriate send and receive procedure calls are included in the
+behavior to respond to access requests to the variable over the bus."
+
+Figure 5 shows the generated ``Xproc`` and ``MEMproc``: each loops
+forever waiting on the bus ID lines, dispatching to the server-side
+procedure of whichever of its channels the current ID addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.channels.channel import Channel
+from repro.errors import RefinementError
+from repro.protogen.procedures import ChannelProcedures
+from repro.spec.variable import Variable
+
+
+@dataclass(frozen=True)
+class VariableProcess:
+    """A generated server behavior for one shared variable.
+
+    ``services`` lists, in ID order, the channels this process answers
+    and the procedure pair of each; the process body is conceptually
+
+    .. code-block:: text
+
+        loop
+            wait on B.ID / B.START;
+            case B.ID is
+                when <id of ch_i> => <server procedure of ch_i>(storage);
+            end case;
+        end loop;
+    """
+
+    name: str
+    variable: Variable
+    services: Tuple[ChannelProcedures, ...]
+
+    def channels(self) -> List[Channel]:
+        return [s.channel for s in self.services]
+
+    def service_for(self, channel_name: str) -> ChannelProcedures:
+        for service in self.services:
+            if service.channel.name == channel_name:
+                return service
+        raise RefinementError(
+            f"variable process {self.name} does not serve channel "
+            f"{channel_name!r}"
+        )
+
+    def describe(self) -> str:
+        served = ", ".join(
+            f"{s.channel.name}:{s.server.name}" for s in self.services
+        )
+        return f"process {self.name} serves [{served}]"
+
+
+def make_variable_processes(
+        procedures: Dict[str, ChannelProcedures]) -> List[VariableProcess]:
+    """Create one variable process per variable appearing in a bus's
+    channels, preserving channel order within each process."""
+    by_variable: Dict[Variable, List[ChannelProcedures]] = {}
+    order: List[Variable] = []
+    for channel_procs in procedures.values():
+        variable = channel_procs.channel.variable
+        if variable not in by_variable:
+            by_variable[variable] = []
+            order.append(variable)
+        by_variable[variable].append(channel_procs)
+
+    processes: List[VariableProcess] = []
+    for variable in order:
+        processes.append(VariableProcess(
+            name=f"{variable.name}proc",
+            variable=variable,
+            services=tuple(by_variable[variable]),
+        ))
+    return processes

@@ -1,0 +1,73 @@
+"""Discrete-event simulation of refined specifications.
+
+Substrate #10-11 of the reproduction: the kernel, live buses, arbiters
+and the runtime that executes refined specs end to end.
+See DESIGN.md section 3.
+"""
+
+from repro.sim.analysis import (
+    BusStats,
+    ChannelStats,
+    analyze_bus,
+    channel_stats,
+    format_bus_stats,
+    occupancy_timeline,
+    overlap_clocks,
+)
+from repro.sim.arbiter import (
+    Arbiter,
+    ImmediateArbiter,
+    PriorityArbiter,
+    RoundRobinArbiter,
+    TdmaArbiter,
+)
+from repro.sim.bus import SimBus, StorageAdapter, Transaction
+from repro.sim.kernel import (
+    Delta,
+    ProcessStats,
+    SimStats,
+    Simulator,
+    Wait,
+    WaitUntil,
+)
+from repro.sim.runtime import RefinedSimulation, SimResult, simulate
+from repro.sim.signals import DataLines, Signal
+from repro.sim.trace import (
+    bus_signals,
+    format_transactions,
+    write_bus_vcd,
+    write_vcd,
+)
+
+__all__ = [
+    "Arbiter",
+    "BusStats",
+    "ChannelStats",
+    "analyze_bus",
+    "channel_stats",
+    "format_bus_stats",
+    "occupancy_timeline",
+    "overlap_clocks",
+    "DataLines",
+    "Delta",
+    "ImmediateArbiter",
+    "PriorityArbiter",
+    "ProcessStats",
+    "RefinedSimulation",
+    "RoundRobinArbiter",
+    "Signal",
+    "SimBus",
+    "SimResult",
+    "SimStats",
+    "Simulator",
+    "StorageAdapter",
+    "TdmaArbiter",
+    "Transaction",
+    "Wait",
+    "WaitUntil",
+    "bus_signals",
+    "format_transactions",
+    "simulate",
+    "write_bus_vcd",
+    "write_vcd",
+]

@@ -1,0 +1,149 @@
+"""Transaction-log analysis: latency, throughput and occupancy stats.
+
+The simulator's per-bus transaction logs hold everything needed to
+quantify the effects the paper reasons about qualitatively -- transfer
+delays from sharing (Figure 2's "individual data transfers may be
+delayed due to bus access conflicts"), utilization (the 100% ideal of
+Section 2), and arbitration cost (Section 6).  This module reduces a
+log to those numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.bus import Transaction
+
+
+@dataclass(frozen=True)
+class ChannelStats:
+    """Per-channel statistics over one simulation run."""
+
+    channel: str
+    count: int
+    total_clocks: int
+    min_clocks: int
+    max_clocks: int
+    #: Clocks between consecutive transaction starts (None if < 2).
+    mean_interarrival: float
+
+    @property
+    def mean_clocks(self) -> float:
+        return self.total_clocks / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class BusStats:
+    """Whole-bus statistics over one simulation run."""
+
+    transactions: int
+    busy_clocks: int
+    span_clocks: int
+    #: Largest number of clocks the bus sat idle between transactions.
+    longest_idle_gap: int
+    per_channel: Dict[str, ChannelStats]
+
+    @property
+    def utilization(self) -> float:
+        if self.span_clocks <= 0:
+            return 0.0
+        return self.busy_clocks / self.span_clocks
+
+
+def channel_stats(transactions: Sequence[Transaction],
+                  channel: str) -> ChannelStats:
+    """Statistics of one channel's transactions."""
+    mine = sorted((t for t in transactions if t.channel == channel),
+                  key=lambda t: t.start_time)
+    if not mine:
+        raise SimulationError(f"no transactions for channel {channel!r}")
+    durations = [t.clocks for t in mine]
+    starts = [t.start_time for t in mine]
+    gaps = [b - a for a, b in zip(starts, starts[1:])]
+    return ChannelStats(
+        channel=channel,
+        count=len(mine),
+        total_clocks=sum(durations),
+        min_clocks=min(durations),
+        max_clocks=max(durations),
+        mean_interarrival=(sum(gaps) / len(gaps)) if gaps else 0.0,
+    )
+
+
+def analyze_bus(transactions: Sequence[Transaction]) -> BusStats:
+    """Reduce one bus's transaction log to aggregate statistics."""
+    if not transactions:
+        return BusStats(transactions=0, busy_clocks=0, span_clocks=0,
+                        longest_idle_gap=0, per_channel={})
+    ordered = sorted(transactions, key=lambda t: t.start_time)
+    busy = sum(t.clocks for t in ordered)
+    span = ordered[-1].end_time - ordered[0].start_time
+    longest_gap = 0
+    for previous, current in zip(ordered, ordered[1:]):
+        longest_gap = max(longest_gap,
+                          current.start_time - previous.end_time)
+    channels = sorted({t.channel for t in ordered})
+    per_channel = {name: channel_stats(ordered, name)
+                   for name in channels}
+    return BusStats(
+        transactions=len(ordered),
+        busy_clocks=busy,
+        span_clocks=span,
+        longest_idle_gap=longest_gap,
+        per_channel=per_channel,
+    )
+
+
+def overlap_clocks(first: Sequence[Transaction],
+                   second: Sequence[Transaction]) -> int:
+    """Total clocks during which transactions of the two logs overlap
+    (the lane-parallelism measurement)."""
+    total = 0
+    for a in first:
+        for b in second:
+            lo = max(a.start_time, b.start_time)
+            hi = min(a.end_time, b.end_time)
+            if hi > lo:
+                total += hi - lo
+    return total
+
+
+def occupancy_timeline(transactions: Sequence[Transaction],
+                       bucket_clocks: int) -> List[Tuple[int, float]]:
+    """Bus occupancy per time bucket: ``[(bucket_start, fraction)]``.
+
+    Useful for plotting utilization over a run (the Figure 2 picture).
+    """
+    if bucket_clocks < 1:
+        raise SimulationError(
+            f"bucket size must be >= 1 clock, got {bucket_clocks}")
+    if not transactions:
+        return []
+    end = max(t.end_time for t in transactions)
+    buckets = [0] * ((end // bucket_clocks) + 1)
+    for t in transactions:
+        for clock in range(t.start_time, t.end_time):
+            buckets[clock // bucket_clocks] += 1
+    return [(index * bucket_clocks, count / bucket_clocks)
+            for index, count in enumerate(buckets)]
+
+
+def format_bus_stats(stats: BusStats) -> str:
+    """Plain-text rendering of bus statistics."""
+    lines = [
+        f"transactions : {stats.transactions}",
+        f"busy clocks  : {stats.busy_clocks} over a span of "
+        f"{stats.span_clocks} (utilization {stats.utilization:.3f})",
+        f"longest idle : {stats.longest_idle_gap} clocks",
+    ]
+    if stats.per_channel:
+        lines.append(f"{'channel':<12} {'count':>6} {'mean clk':>9} "
+                     f"{'min':>5} {'max':>5} {'interarrival':>13}")
+        for name, ch in stats.per_channel.items():
+            lines.append(
+                f"{name:<12} {ch.count:>6} {ch.mean_clocks:>9.2f} "
+                f"{ch.min_clocks:>5} {ch.max_clocks:>5} "
+                f"{ch.mean_interarrival:>13.2f}")
+    return "\n".join(lines)

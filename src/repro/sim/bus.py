@@ -1,0 +1,446 @@
+"""Executable buses: protocol coroutines over simulated wires.
+
+This module turns a generated :class:`~repro.protogen.structure.BusStructure`
+into live signals and implements, as kernel coroutines, the transfer
+disciplines of every protocol descriptor:
+
+* **full handshake** (START/DONE, 2 clocks per word) -- the paper's
+  Figure 4 procedures;
+* **half handshake / fixed delay / hardwired** (1 clock per word) -- a
+  two-phase word strobe; for the half handshake the strobe is the REQ
+  control line, for fixed-delay and hardwired buses it models the shared
+  clock edge of the statically agreed schedule (no extra wire is
+  counted).
+
+Word timing is exactly ``protocol.delay_clocks`` per bus word, which is
+what makes the simulator agree clock-for-clock with the performance
+estimator (ref [10]) in the uncontended case -- the cross-check the
+test suite performs.
+
+Within a *read* word, the accessor drives the address wires and the
+variable process answers on the data wires of the same word (SRAM-style;
+see :mod:`repro.protogen.procedures`), so the multi-driver
+:class:`~repro.sim.signals.DataLines` resolution is exercised for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.protogen.procedures import (
+    ChannelProcedures,
+    FieldKind,
+    Role,
+    WordSpec,
+)
+from repro.protogen.structure import BusStructure
+from repro.protogen.varproc import VariableProcess
+from repro.sim.arbiter import Arbiter, ImmediateArbiter
+from repro.sim.kernel import Delta, Simulator, Wait, WaitUntil
+from repro.sim.signals import DataLines, Signal
+from repro.spec.access import Direction
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One completed message transfer, for analysis and assertions."""
+
+    start_time: int
+    end_time: int
+    channel: str
+    direction: Direction
+    address: Optional[int]
+    #: Raw (encoded) data bits moved.
+    data: int
+    initiator: str
+
+    @property
+    def clocks(self) -> int:
+        return self.end_time - self.start_time
+
+
+class StorageAdapter:
+    """Server-side view of one variable's storage, in raw bus bits.
+
+    The bus moves unsigned bit patterns; typed encode/decode happens at
+    the edges.  ``read``/``write`` take the element address (``None``
+    for scalars).
+    """
+
+    def __init__(self, read: Callable[[Optional[int]], int],
+                 write: Callable[[Optional[int], int], None]):
+        self.read = read
+        self.write = write
+
+
+def _word_parts(word: WordSpec, role: Role,
+                message: int) -> Tuple[int, int]:
+    """(value, mask) a role drives onto the bus word, given the full
+    message value of its fields."""
+    value = 0
+    mask = 0
+    for word_slice in word.slices_driven_by(role):
+        field = word_slice.field
+        bits = word_slice.bits
+        slice_mask = (1 << bits) - 1
+        field_value = (message >> (field.offset + word_slice.field_lo))
+        value |= (field_value & slice_mask) << word_slice.word_offset
+        mask |= slice_mask << word_slice.word_offset
+    return value, mask
+
+
+def _gather(word: WordSpec, role: Role, bus_word: int) -> int:
+    """Message bits a role drove in ``bus_word``, repositioned into the
+    message integer."""
+    message = 0
+    for word_slice in word.slices_driven_by(role):
+        field = word_slice.field
+        bits = word_slice.bits
+        slice_mask = (1 << bits) - 1
+        chunk = (bus_word >> word_slice.word_offset) & slice_mask
+        message |= chunk << (field.offset + word_slice.field_lo)
+    return message
+
+
+class SimBus:
+    """Live signals plus protocol engines for one generated bus."""
+
+    def __init__(self, structure: BusStructure, sim: Simulator,
+                 arbiter: Optional[Arbiter] = None, trace: bool = False):
+        self.structure = structure
+        self.sim = sim
+        self.arbiter = arbiter or ImmediateArbiter(sim)
+        clock = lambda: sim.now  # noqa: E731 - tiny closure is clearest
+        self.controls: Dict[str, Signal] = {
+            name: Signal(f"{structure.name}.{name}", clock=clock, trace=trace)
+            for name in structure.protocol.control_lines
+        }
+        self.id_lines = Signal(f"{structure.name}.ID", clock=clock,
+                               trace=trace)
+        self.data = DataLines(f"{structure.name}.DATA", structure.width,
+                              clock=clock, trace=trace)
+        #: Word strobe for 1-clock protocols.  For the half handshake it
+        #: *is* the REQ control line; otherwise it models the clock edge
+        #: of the static schedule and is not a counted wire.
+        if "REQ" in self.controls:
+            self._strobe = self.controls["REQ"]
+        else:
+            self._strobe = Signal(f"{structure.name}._strobe", clock=clock,
+                                  trace=trace)
+        self.transactions: List[Transaction] = []
+        self.busy_clocks = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return self.structure.width
+
+    @property
+    def uses_handshake(self) -> bool:
+        lines = self.structure.protocol.control_lines
+        return "START" in lines and "DONE" in lines
+
+    @property
+    def uses_burst(self) -> bool:
+        """Burst protocols handshake once per message, then stream."""
+        return self.uses_handshake and \
+            self.structure.protocol.setup_clocks > 0
+
+    def utilization(self, end_time: int) -> float:
+        """Fraction of elapsed clocks the bus was transferring."""
+        if end_time <= 0:
+            return 0.0
+        return self.busy_clocks / end_time
+
+    def _clear_word(self) -> None:
+        """Turn the data wires over to the next word."""
+        self.data.drive("accessor", 0, 0)
+        self.data.drive("server", 0, 0)
+
+    # ------------------------------------------------------------------
+    # Accessor side
+    # ------------------------------------------------------------------
+
+    def accessor_transfer(self, procs: ChannelProcedures, initiator: str,
+                          address: Optional[int],
+                          data: Optional[int]) -> Generator:
+        """Coroutine performing one whole message transfer.
+
+        ``data`` is the raw encoded value for writes, ``None`` for
+        reads.  Returns the raw received data for reads (via the
+        generator's return value; call with ``yield from``).
+
+        The caller must hold the bus (arbiter) for the duration.
+        """
+        channel = procs.channel
+        layout = procs.layout
+        if channel.is_write:
+            if data is None:
+                raise SimulationError(
+                    f"channel {channel.name}: write transfer needs data"
+                )
+            message = layout.pack(address, data)
+        else:
+            message = layout.pack(address, 0) if layout.has_address else 0
+
+        code = self.structure.ids.code(channel.name)
+        words = layout.words(self.width)
+        start_time = self.sim.now
+
+        if self.uses_burst:
+            received = yield from self._accessor_burst(
+                code, words, message)
+        elif self.uses_handshake:
+            received = yield from self._accessor_handshake(
+                code, words, message)
+        else:
+            received = yield from self._accessor_strobed(
+                code, words, message)
+
+        self.busy_clocks += self.structure.protocol.message_clocks(
+            len(words))
+
+        if channel.is_write:
+            result: Optional[int] = None
+            logged_data = data
+        else:
+            data_field = layout.field(FieldKind.DATA)
+            assert data_field is not None
+            result = (received >> data_field.offset) & \
+                ((1 << data_field.bits) - 1)
+            logged_data = result
+        self.transactions.append(Transaction(
+            start_time=start_time, end_time=self.sim.now,
+            channel=channel.name, direction=channel.direction,
+            address=address, data=logged_data or 0, initiator=initiator,
+        ))
+        return result
+
+    def _accessor_handshake(self, code: int, words: List[WordSpec],
+                            message: int) -> Generator:
+        """Full handshake: 2 clocks per word (Figure 4's SendCHx body)."""
+        start = self.controls["START"]
+        done = self.controls["DONE"]
+        received = 0
+        for word in words:
+            value, mask = _word_parts(word, Role.ACCESSOR, message)
+            self._clear_word()
+            self.id_lines.set(code)
+            self.data.drive("accessor", value, mask)
+            start.set(1)
+            yield Wait(1)
+            if done.value != 1:
+                raise SimulationError(
+                    f"bus {self.structure.name}: DONE not asserted one "
+                    f"clock after START (word {word.index}, ID {code}); "
+                    "is the variable process running?"
+                )
+            received |= _gather(word, Role.SERVER, self.data.value)
+            start.set(0)
+            yield Wait(1)
+            if done.value != 0:
+                raise SimulationError(
+                    f"bus {self.structure.name}: DONE stuck high after "
+                    f"START fell (word {word.index}, ID {code})"
+                )
+        return received
+
+    def _accessor_burst(self, code: int, words: List[WordSpec],
+                        message: int) -> Generator:
+        """Burst: one START/DONE handshake per message (2 clocks), then
+        words stream at one per clock on the strobe."""
+        start = self.controls["START"]
+        done = self.controls["DONE"]
+        # Grant phase: announce the burst.
+        self._clear_word()
+        self.id_lines.set(code)
+        start.set(1)
+        yield Wait(1)
+        if done.value != 1:
+            raise SimulationError(
+                f"bus {self.structure.name}: burst grant not acknowledged "
+                f"(ID {code}); is the variable process running?"
+            )
+        # Stream phase: one word per clock.
+        received = 0
+        for word in words:
+            value, mask = _word_parts(word, Role.ACCESSOR, message)
+            self._clear_word()
+            self.data.drive("accessor", value, mask)
+            self._strobe.set(self._strobe.value + 1)
+            yield Delta()
+            received |= _gather(word, Role.SERVER, self.data.value)
+            yield Wait(1)
+        # Release phase.
+        start.set(0)
+        yield Wait(1)
+        if done.value != 0:
+            raise SimulationError(
+                f"bus {self.structure.name}: DONE stuck high after burst "
+                f"release (ID {code})"
+            )
+        return received
+
+    def _accessor_strobed(self, code: int, words: List[WordSpec],
+                          message: int) -> Generator:
+        """Two-phase strobe: 1 clock per word (half handshake /
+        fixed delay / hardwired)."""
+        received = 0
+        for word in words:
+            value, mask = _word_parts(word, Role.ACCESSOR, message)
+            self._clear_word()
+            self.id_lines.set(code)
+            self.data.drive("accessor", value, mask)
+            self._strobe.set(self._strobe.value + 1)
+            yield Delta()
+            # The server answered within this clock's passes.
+            received |= _gather(word, Role.SERVER, self.data.value)
+            yield Wait(1)
+        return received
+
+    # ------------------------------------------------------------------
+    # Server side (variable processes)
+    # ------------------------------------------------------------------
+
+    def variable_server(self, process: VariableProcess,
+                        storage: StorageAdapter) -> Generator:
+        """Daemon coroutine: the executable form of a generated variable
+        process (Figure 5's ``Xproc``/``MEMproc``)."""
+        services: Dict[int, ChannelProcedures] = {
+            self.structure.ids.code(s.channel.name): s
+            for s in process.services
+        }
+        if self.uses_burst:
+            yield from self._server_burst(process.name, services, storage)
+        elif self.uses_handshake:
+            yield from self._server_handshake(process.name, services,
+                                              storage)
+        else:
+            yield from self._server_strobed(process.name, services, storage)
+
+    def _server_handshake(self, name: str,
+                          services: Dict[int, ChannelProcedures],
+                          storage: StorageAdapter) -> Generator:
+        start = self.controls["START"]
+        done = self.controls["DONE"]
+        in_progress: Dict[int, _ServerTransfer] = {}
+        while True:
+            yield WaitUntil(
+                lambda: start.value == 1 and self.id_lines.value in services
+            )
+            code = self.id_lines.value
+            transfer = in_progress.get(code)
+            if transfer is None:
+                transfer = _ServerTransfer(services[code], self.width,
+                                           storage)
+                in_progress[code] = transfer
+            transfer.handle_word(self.data)
+            done.set(1)
+            yield WaitUntil(lambda: start.value == 0)
+            done.set(0)
+            if transfer.complete:
+                transfer.commit()
+                del in_progress[code]
+
+    def _server_burst(self, name: str,
+                      services: Dict[int, ChannelProcedures],
+                      storage: StorageAdapter) -> Generator:
+        start = self.controls["START"]
+        done = self.controls["DONE"]
+        while True:
+            yield WaitUntil(
+                lambda: start.value == 1 and self.id_lines.value in services
+            )
+            code = self.id_lines.value
+            done.set(1)
+            transfer = _ServerTransfer(services[code], self.width, storage)
+            last_strobe = self._strobe.value
+            while not transfer.complete:
+                yield WaitUntil(lambda: self._strobe.value != last_strobe)
+                last_strobe = self._strobe.value
+                transfer.handle_word(self.data)
+            transfer.commit()
+            yield WaitUntil(lambda: start.value == 0)
+            done.set(0)
+
+    def _server_strobed(self, name: str,
+                        services: Dict[int, ChannelProcedures],
+                        storage: StorageAdapter) -> Generator:
+        last_strobe = self._strobe.value
+        in_progress: Dict[int, _ServerTransfer] = {}
+        while True:
+            yield WaitUntil(lambda: self._strobe.value != last_strobe)
+            last_strobe = self._strobe.value
+            code = self.id_lines.value
+            if code not in services:
+                continue
+            transfer = in_progress.get(code)
+            if transfer is None:
+                transfer = _ServerTransfer(services[code], self.width,
+                                           storage)
+                in_progress[code] = transfer
+            transfer.handle_word(self.data)
+            if transfer.complete:
+                transfer.commit()
+                del in_progress[code]
+
+
+class _ServerTransfer:
+    """Word-by-word server-side state of one message transfer."""
+
+    def __init__(self, procs: ChannelProcedures, width: int,
+                 storage: StorageAdapter):
+        self.procs = procs
+        self.storage = storage
+        self.words = procs.layout.words(width)
+        self.next_word = 0
+        self.accessor_message = 0
+        self._data_value: Optional[int] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.next_word >= len(self.words)
+
+    def handle_word(self, data_lines: DataLines) -> None:
+        """Latch the accessor's slices of the current word and, for
+        reads, drive the server's slices."""
+        if self.complete:
+            raise SimulationError(
+                f"channel {self.procs.channel.name}: extra bus word after "
+                "message completed"
+            )
+        word = self.words[self.next_word]
+        self.accessor_message |= _gather(word, Role.ACCESSOR,
+                                         data_lines.value)
+        server_slices = word.slices_driven_by(Role.SERVER)
+        if server_slices:
+            value, mask = _word_parts(word, Role.SERVER,
+                                      self._server_message())
+            data_lines.drive("server", value, mask)
+        self.next_word += 1
+
+    def _server_message(self) -> int:
+        """Message value of server-driven fields (read data), fetched
+        once the address is complete."""
+        if self._data_value is None:
+            layout = self.procs.layout
+            address: Optional[int] = None
+            if layout.has_address:
+                address, _ = layout.unpack(self.accessor_message)
+            raw = self.storage.read(address)
+            data_field = layout.field(FieldKind.DATA)
+            assert data_field is not None
+            self._data_value = (raw & ((1 << data_field.bits) - 1)) \
+                << data_field.offset
+        return self._data_value
+
+    def commit(self) -> None:
+        """Apply a completed write to storage (reads need nothing)."""
+        if not self.procs.channel.is_write:
+            return
+        layout = self.procs.layout
+        address, data = layout.unpack(self.accessor_message)
+        self.storage.write(address, data)

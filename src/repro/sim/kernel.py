@@ -1,0 +1,266 @@
+"""Discrete-event simulation kernel.
+
+The paper's headline property is that the refined specification is
+*simulatable*.  This kernel provides the execution substrate: a clock-
+accurate cooperative scheduler for generator-based processes, in the
+style of a (much simplified) VHDL simulation cycle:
+
+* Time advances in integer **clocks**.
+* Within one clock, processes run in **passes** until a fixpoint: a
+  process whose wait condition became true because another process ran
+  in the same clock gets to run before time advances (the analogue of
+  VHDL delta cycles).
+* A process is a Python generator that yields *wait requests*:
+
+  - ``Wait(n)``      -- resume ``n`` clocks from now (n >= 1);
+  - ``Delta()``      -- resume in the next pass of the same clock;
+  - ``WaitUntil(f)`` -- resume in the first pass where ``f()`` is true.
+
+* **Daemon** processes (the generated variable processes, which serve
+  the bus forever) do not keep the simulation alive: it ends when every
+  non-daemon process has finished.
+
+Determinism: within a pass, runnable processes execute in registration
+order.  All state lives in ordinary Python objects (usually
+:class:`~repro.sim.signals.Signal`), so ``WaitUntil`` predicates are
+plain closures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional
+
+from repro.errors import DeadlockError, SimulationError
+
+
+class Wait:
+    """Resume the yielding process ``clocks`` ticks in the future."""
+
+    __slots__ = ("clocks",)
+
+    def __init__(self, clocks: int):
+        if not isinstance(clocks, int) or clocks < 1:
+            raise SimulationError(
+                f"Wait requires a positive integer clock count, got {clocks!r}"
+            )
+        self.clocks = clocks
+
+    def __repr__(self) -> str:
+        return f"Wait({self.clocks})"
+
+
+class Delta:
+    """Resume in the next pass of the current clock."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Delta()"
+
+
+class WaitUntil:
+    """Resume when the predicate evaluates true."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: Callable[[], bool]):
+        if not callable(predicate):
+            raise SimulationError("WaitUntil requires a callable predicate")
+        self.predicate = predicate
+
+    def __repr__(self) -> str:
+        return "WaitUntil(...)"
+
+
+ProcessBody = Generator[object, None, None]
+
+
+@dataclass
+class _Process:
+    """Bookkeeping for one simulated process."""
+
+    name: str
+    body: ProcessBody
+    daemon: bool
+    #: Clock at which the process becomes runnable (for Wait); None when
+    #: blocked on a predicate or on Delta.
+    wake_time: Optional[int] = 0
+    #: Predicate blocking the process (WaitUntil), else None.
+    predicate: Optional[Callable[[], bool]] = None
+    #: True when blocked on Delta (runnable next pass).
+    delta: bool = False
+    finished: bool = False
+    start_time: Optional[int] = None
+    finish_time: Optional[int] = None
+
+    def runnable(self, now: int) -> bool:
+        if self.finished:
+            return False
+        if self.delta:
+            return True
+        if self.predicate is not None:
+            return bool(self.predicate())
+        assert self.wake_time is not None
+        return self.wake_time <= now
+
+
+@dataclass
+class ProcessStats:
+    """Post-run statistics of one process."""
+
+    name: str
+    daemon: bool
+    finished: bool
+    start_time: Optional[int]
+    finish_time: Optional[int]
+
+    @property
+    def active_clocks(self) -> Optional[int]:
+        """Clocks from first execution to completion (None if either
+        endpoint is missing)."""
+        if self.start_time is None or self.finish_time is None:
+            return None
+        return self.finish_time - self.start_time
+
+
+@dataclass
+class SimStats:
+    """Outcome of a simulation run."""
+
+    end_time: int
+    processes: Dict[str, ProcessStats] = field(default_factory=dict)
+
+    def clocks(self, name: str) -> int:
+        stats = self.processes[name]
+        if stats.active_clocks is None:
+            raise SimulationError(f"process {name} never completed")
+        return stats.active_clocks
+
+
+class Simulator:
+    """The cooperative clock-accurate scheduler."""
+
+    def __init__(self, max_clocks: int = 10_000_000,
+                 max_passes_per_clock: int = 10_000):
+        self.max_clocks = max_clocks
+        self.max_passes_per_clock = max_passes_per_clock
+        self._processes: List[_Process] = []
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in clocks."""
+        return self._now
+
+    def add_process(self, name: str, body: ProcessBody,
+                    daemon: bool = False) -> None:
+        """Register a process; it becomes runnable at time 0."""
+        if any(p.name == name for p in self._processes):
+            raise SimulationError(f"duplicate process name {name!r}")
+        if not hasattr(body, "send"):
+            raise SimulationError(
+                f"process {name}: body must be a generator (did you call "
+                "the function?)"
+            )
+        self._processes.append(_Process(name=name, body=body, daemon=daemon))
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimStats:
+        """Run until every non-daemon process finishes.
+
+        Raises :class:`DeadlockError` when non-daemon processes remain
+        but none can ever become runnable, and
+        :class:`SimulationError` when ``max_clocks`` is exceeded.
+        """
+        while True:
+            self._run_passes()
+            if self._all_workers_done():
+                break
+            next_time = self._next_wake_time()
+            if next_time is None:
+                blocked = [p.name for p in self._processes
+                           if not p.finished and not p.daemon]
+                raise DeadlockError(
+                    f"deadlock at clock {self._now}: processes "
+                    f"{blocked} are blocked and no timer is pending"
+                )
+            if next_time <= self._now:
+                raise SimulationError(
+                    f"scheduler error: wake time {next_time} is not in "
+                    f"the future of {self._now}"
+                )
+            if next_time > self.max_clocks:
+                raise SimulationError(
+                    f"exceeded max_clocks={self.max_clocks}"
+                )
+            self._now = next_time
+
+        return SimStats(
+            end_time=self._now,
+            processes={
+                p.name: ProcessStats(
+                    name=p.name, daemon=p.daemon, finished=p.finished,
+                    start_time=p.start_time, finish_time=p.finish_time,
+                )
+                for p in self._processes
+            },
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_passes(self) -> None:
+        """Run all processes at the current clock to a fixpoint."""
+        for _ in range(self.max_passes_per_clock):
+            ran_any = False
+            for process in self._processes:
+                if process.runnable(self._now):
+                    self._step(process)
+                    ran_any = True
+            if not ran_any:
+                return
+        raise SimulationError(
+            f"exceeded {self.max_passes_per_clock} passes at clock "
+            f"{self._now}; processes are likely delta-cycling forever"
+        )
+
+    def _step(self, process: _Process) -> None:
+        """Advance one process to its next wait request."""
+        if process.start_time is None:
+            process.start_time = self._now
+        process.delta = False
+        process.predicate = None
+        process.wake_time = None
+        try:
+            request = next(process.body)
+        except StopIteration:
+            process.finished = True
+            process.finish_time = self._now
+            return
+        except Exception as error:
+            raise SimulationError(
+                f"process {process.name} raised at clock {self._now}: "
+                f"{error!r}"
+            ) from error
+
+        if isinstance(request, Wait):
+            process.wake_time = self._now + request.clocks
+        elif isinstance(request, Delta):
+            process.delta = True
+        elif isinstance(request, WaitUntil):
+            process.predicate = request.predicate
+        else:
+            raise SimulationError(
+                f"process {process.name} yielded {request!r}; expected "
+                "Wait, Delta or WaitUntil"
+            )
+
+    def _all_workers_done(self) -> bool:
+        return all(p.finished or p.daemon for p in self._processes)
+
+    def _next_wake_time(self) -> Optional[int]:
+        """Earliest pending Wait among unfinished processes."""
+        times = [p.wake_time for p in self._processes
+                 if not p.finished and p.wake_time is not None]
+        return min(times) if times else None

@@ -1,0 +1,119 @@
+"""Signals: the simulated wires of generated buses.
+
+A :class:`Signal` is a named value holder with an optional value-change
+trace (enough to export a VCD-style waveform from
+:mod:`repro.sim.trace`).  The kernel's cooperative pass discipline
+provides the ordering guarantees a full resolved-signal/delta
+implementation would; what remains is bookkeeping.
+
+``DataLines`` models the one physically interesting wrinkle: during a
+*read* transaction, the accessor drives the address portion of a bus
+word while the variable process drives the data portion -- two drivers
+on disjoint wires of the same DATA field.  It therefore keeps one
+contribution (value, mask) per driver role and resolves them with OR,
+raising on overlapping masks (a genuine drive conflict, which protocol
+generation must never produce).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class Signal:
+    """A named scalar signal with optional value-change recording."""
+
+    __slots__ = ("name", "value", "_clock", "changes", "trace_enabled")
+
+    def __init__(self, name: str, init: int = 0,
+                 clock: Optional[Callable[[], int]] = None,
+                 trace: bool = False):
+        self.name = name
+        self.value = init
+        self._clock = clock
+        self.trace_enabled = trace
+        #: (time, value) pairs, recorded when tracing is on.
+        self.changes: List[Tuple[int, int]] = [(0, init)] if trace else []
+
+    def set(self, value: int) -> None:
+        if value == self.value:
+            return
+        self.value = value
+        if self.trace_enabled and self._clock is not None:
+            self.changes.append((self._clock(), value))
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name}={self.value})"
+
+
+class DataLines:
+    """The DATA field of a bus: width-limited, multi-driver by role.
+
+    Each driver role ("accessor", "server") contributes ``(value,
+    mask)``; the resolved bus value is the OR of contributions.  Masks
+    of simultaneous drivers must be disjoint.
+    """
+
+    def __init__(self, name: str, width: int,
+                 clock: Optional[Callable[[], int]] = None,
+                 trace: bool = False):
+        if width < 1:
+            raise SimulationError(f"data lines need width >= 1, got {width}")
+        self.name = name
+        self.width = width
+        self._full_mask = (1 << width) - 1
+        self._contributions: Dict[str, Tuple[int, int]] = {}
+        self._clock = clock
+        self.trace_enabled = trace
+        self.changes: List[Tuple[int, int]] = [(0, 0)] if trace else []
+        self._last_value = 0
+
+    def drive(self, role: str, value: int, mask: int) -> None:
+        """Set one role's contribution; ``mask`` selects the wires it
+        drives (0 mask releases them)."""
+        if mask & ~self._full_mask:
+            raise SimulationError(
+                f"{self.name}: drive mask {mask:#x} exceeds width "
+                f"{self.width}"
+            )
+        if value & ~mask:
+            raise SimulationError(
+                f"{self.name}: driver {role} sets bits outside its mask"
+            )
+        for other_role, (_, other_mask) in self._contributions.items():
+            if other_role != role and (mask & other_mask):
+                raise SimulationError(
+                    f"{self.name}: drive conflict between {role} and "
+                    f"{other_role} on wires {mask & other_mask:#x}"
+                )
+        if mask == 0:
+            self._contributions.pop(role, None)
+        else:
+            self._contributions[role] = (value, mask)
+        self._record()
+
+    def release(self, role: str) -> None:
+        """Stop driving (high-impedance) for one role."""
+        self._contributions.pop(role, None)
+        self._record()
+
+    @property
+    def value(self) -> int:
+        """The resolved bus word (undriven wires read 0)."""
+        resolved = 0
+        for value, _ in self._contributions.values():
+            resolved |= value
+        return resolved
+
+    def _record(self) -> None:
+        if not self.trace_enabled or self._clock is None:
+            return
+        value = self.value
+        if value != self._last_value:
+            self._last_value = value
+            self.changes.append((self._clock(), value))
+
+    def __repr__(self) -> str:
+        return f"DataLines({self.name}={self.value:#x}, width={self.width})"

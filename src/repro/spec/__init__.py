@@ -1,0 +1,109 @@
+"""System specification model (behaviors, variables, expressions).
+
+This package is substrate #1 of the reproduction: the SpecCharts/VHDL
+-flavoured specification model that the paper's interface synthesis
+operates on.  See DESIGN.md section 3.
+"""
+
+from repro.spec.access import (
+    AccessSummary,
+    Direction,
+    analyze_behavior,
+    analyze_system,
+    total_traffic_bits,
+)
+from repro.spec.behavior import Behavior
+from repro.spec.expr import (
+    BinOp,
+    Const,
+    Environment,
+    Expr,
+    Index,
+    Ref,
+    UnOp,
+    as_expr,
+    vmax,
+    vmin,
+)
+from repro.spec.interp import AccessEvent, InterpResult, Interpreter, run_reference
+from repro.spec.simplify import (
+    simplify_behavior,
+    simplify_body,
+    simplify_expr,
+)
+from repro.spec.stmt import (
+    Assign,
+    Call,
+    ElementTarget,
+    For,
+    If,
+    Nop,
+    ScalarTarget,
+    Stmt,
+    Target,
+    WaitClocks,
+    While,
+    map_body,
+    walk,
+)
+from repro.spec.system import SystemSpec
+from repro.spec.types import (
+    ArrayType,
+    BitType,
+    DataType,
+    IntType,
+    address_bits,
+    clog2,
+    data_bits,
+    message_bits,
+)
+from repro.spec.variable import Variable
+
+__all__ = [
+    "AccessEvent",
+    "AccessSummary",
+    "ArrayType",
+    "Assign",
+    "Behavior",
+    "BinOp",
+    "BitType",
+    "Call",
+    "Const",
+    "DataType",
+    "Direction",
+    "ElementTarget",
+    "Environment",
+    "Expr",
+    "For",
+    "If",
+    "Index",
+    "IntType",
+    "InterpResult",
+    "Interpreter",
+    "Nop",
+    "Ref",
+    "ScalarTarget",
+    "Stmt",
+    "SystemSpec",
+    "Target",
+    "UnOp",
+    "Variable",
+    "WaitClocks",
+    "While",
+    "address_bits",
+    "analyze_behavior",
+    "analyze_system",
+    "as_expr",
+    "clog2",
+    "data_bits",
+    "map_body",
+    "message_bits",
+    "run_reference",
+    "simplify_behavior",
+    "simplify_body",
+    "simplify_expr",
+    "total_traffic_bits",
+    "vmax",
+    "vmin",
+    "walk",
+]

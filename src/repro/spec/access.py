@@ -1,0 +1,152 @@
+"""Static access analysis: who touches which shared variable, how often.
+
+Interface synthesis is driven by *access traffic*: each read or write of
+a shared variable that lands on another module after partitioning is one
+message over a channel.  This module statically derives, per (behavior,
+variable, direction):
+
+* the number of accesses executed over the behavior's lifetime
+  (``count``), obtained from loop trip counts, and
+* whether accesses are indexed (array element) or whole-scalar, which
+  determines the message format (address + data vs. data only).
+
+Counting rules
+--------------
+* A site inside nested loops multiplies the trip counts of all enclosing
+  loops.
+* Both arms of an ``If`` are counted in full.  This is a conservative
+  upper bound; the paper's estimator (ref [10]) profiles branch
+  frequencies, but the evaluation workloads (FLC, Figures 6-8) are
+  branch-free on their communication paths, so the bound is exact where
+  it matters.  The bound direction is documented so users know rates are
+  never under-estimated (Equation 1 feasibility stays safe).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.spec.behavior import Behavior
+from repro.spec.stmt import Assign, Call, For, If, Stmt, While
+from repro.spec.variable import Variable
+
+
+class Direction(enum.Enum):
+    """Direction of an access from the *accessor's* point of view."""
+
+    READ = "read"
+    WRITE = "write"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """One static access site with its execution count."""
+
+    variable: Variable
+    direction: Direction
+    count: int
+    indexed: bool
+
+
+@dataclass
+class AccessSummary:
+    """Aggregated accesses of one behavior to one shared variable in one
+    direction."""
+
+    behavior: Behavior
+    variable: Variable
+    direction: Direction
+    #: Total executions of all matching sites over the behavior lifetime.
+    count: int = 0
+    #: True when at least one site is an array-element access.
+    indexed: bool = False
+
+    @property
+    def key(self) -> Tuple[str, str, Direction]:
+        return (self.behavior.name, self.variable.name, self.direction)
+
+
+def _iter_sites(body: Sequence[Stmt], multiplier: int) -> Iterator[AccessSite]:
+    """Yield raw access sites with execution counts."""
+    for stmt in body:
+        if isinstance(stmt, While):
+            # The condition is evaluated once per iteration plus the
+            # final failing test: trip_count + 1 times.
+            for read in stmt.cond.reads():
+                yield AccessSite(
+                    read.variable,
+                    Direction.READ,
+                    multiplier * (stmt.trip_count + 1),
+                    read.index is not None,
+                )
+            yield from _iter_sites(stmt.body, multiplier * stmt.trip_count)
+            continue
+        if isinstance(stmt, Assign):
+            yield AccessSite(
+                stmt.target.variable,
+                Direction.WRITE,
+                multiplier,
+                stmt.target.index_expr() is not None,
+            )
+        if isinstance(stmt, Call):
+            for result in stmt.results:
+                yield AccessSite(
+                    result.variable,
+                    Direction.WRITE,
+                    multiplier,
+                    result.index_expr() is not None,
+                )
+        for read in stmt.reads():
+            yield AccessSite(
+                read.variable,
+                Direction.READ,
+                multiplier,
+                read.index is not None,
+            )
+        if isinstance(stmt, If):
+            yield from _iter_sites(stmt.then_body, multiplier)
+            yield from _iter_sites(stmt.else_body, multiplier)
+        elif isinstance(stmt, For):
+            yield from _iter_sites(stmt.body, multiplier * stmt.trip_count)
+
+
+def analyze_behavior(behavior: Behavior) -> List[AccessSummary]:
+    """Access summaries of one behavior, restricted to its shared
+    (non-local) variables, deterministic order."""
+    declared = behavior.declared_variables()
+    summaries: Dict[Tuple[Variable, Direction], AccessSummary] = {}
+    for site in _iter_sites(behavior.body, 1):
+        if site.variable in declared:
+            continue
+        key = (site.variable, site.direction)
+        summary = summaries.get(key)
+        if summary is None:
+            summary = AccessSummary(behavior, site.variable, site.direction)
+            summaries[key] = summary
+        summary.count += site.count
+        summary.indexed = summary.indexed or site.indexed
+    return sorted(
+        summaries.values(),
+        key=lambda s: (s.variable.name, s.direction.value),
+    )
+
+
+def analyze_system(behaviors: Sequence[Behavior]) -> List[AccessSummary]:
+    """Access summaries across a set of behaviors, deterministic order."""
+    out: List[AccessSummary] = []
+    for behavior in behaviors:
+        out.extend(analyze_behavior(behavior))
+    return out
+
+
+def total_traffic_bits(summaries: Sequence[AccessSummary]) -> int:
+    """Total message bits moved by the given accesses (message size per
+    the variable's type times access count)."""
+    from repro.spec.types import message_bits
+
+    return sum(s.count * message_bits(s.variable.dtype) for s in summaries)

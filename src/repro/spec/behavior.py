@@ -1,0 +1,122 @@
+"""Behaviors (processes) of the system specification.
+
+A behavior is a named sequential body of statements plus the variables it
+declares locally.  Variables referenced by the body but *not* declared
+locally are the system-level shared variables of the specification
+(``MEM``, ``STATUS``, ``X``, ``trru0`` ... in the paper's figures); those
+are the potential channel endpoints after partitioning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Set
+
+from repro.errors import SpecError
+from repro.spec.stmt import Assign, Call, For, Stmt, walk
+from repro.spec.variable import Variable
+
+
+class Behavior:
+    """A sequential process.
+
+    Parameters
+    ----------
+    name:
+        Unique behavior name within the system.
+    body:
+        Statement list executed once from top to bottom.  Behaviors that
+        conceptually loop forever (e.g. servers) wrap their body in a
+        ``While``; the paper's processes P and Q run once per activation.
+    local_variables:
+        Variables owned by this behavior.  They never become channels.
+        Loop index variables of ``For`` statements are implicitly local
+        and need not be listed.
+    """
+
+    def __init__(self, name: str, body: Sequence[Stmt] = (),
+                 local_variables: Iterable[Variable] = ()):
+        if not name:
+            raise SpecError("behavior name must be non-empty")
+        self.name = name
+        self.body: List[Stmt] = list(body)
+        self.local_variables: List[Variable] = list(local_variables)
+        seen: Set[str] = set()
+        for variable in self.local_variables:
+            if variable.name in seen:
+                raise SpecError(
+                    f"behavior {name}: duplicate local variable {variable.name}"
+                )
+            seen.add(variable.name)
+
+    # ------------------------------------------------------------------
+    # Variable classification
+    # ------------------------------------------------------------------
+
+    def declared_variables(self) -> Set[Variable]:
+        """Locals plus loop index variables."""
+        declared = set(self.local_variables)
+        for stmt in walk(self.body):
+            if isinstance(stmt, For):
+                declared.add(stmt.var)
+        return declared
+
+    def referenced_variables(self) -> Set[Variable]:
+        """Every variable read or written anywhere in the body."""
+        referenced: Set[Variable] = set()
+        for stmt in walk(self.body):
+            for read in stmt.reads():
+                referenced.add(read.variable)
+            if isinstance(stmt, Assign):
+                referenced.add(stmt.target.variable)
+            if isinstance(stmt, Call):
+                for result in stmt.results:
+                    referenced.add(result.variable)
+        return referenced
+
+    def global_variables(self) -> Set[Variable]:
+        """Referenced variables not declared by this behavior.
+
+        These are the shared system variables whose accesses become
+        channels when partitioning places them on another module.
+        """
+        return self.referenced_variables() - self.declared_variables()
+
+    # ------------------------------------------------------------------
+    # Mutation helpers used by refinement
+    # ------------------------------------------------------------------
+
+    def add_local(self, variable: Variable) -> None:
+        """Declare an additional local (refinement adds temporaries)."""
+        if any(v.name == variable.name for v in self.local_variables):
+            raise SpecError(
+                f"behavior {self.name}: local {variable.name} already declared"
+            )
+        self.local_variables.append(variable)
+
+    def fresh_local_name(self, base: str) -> str:
+        """A local-variable name not yet used in this behavior."""
+        used = {v.name for v in self.declared_variables()}
+        if base not in used:
+            return base
+        counter = 2
+        while f"{base}{counter}" in used:
+            counter += 1
+        return f"{base}{counter}"
+
+    def statements(self) -> Iterator[Stmt]:
+        """Depth-first traversal of the whole body."""
+        return walk(self.body)
+
+    def __repr__(self) -> str:
+        return (f"Behavior({self.name!r}, statements={len(self.body)}, "
+                f"locals={len(self.local_variables)})")
+
+
+def unique_names(behaviors: Sequence[Behavior]) -> Dict[str, Behavior]:
+    """Index behaviors by name, rejecting duplicates."""
+    by_name: Dict[str, Behavior] = {}
+    for behavior in behaviors:
+        if behavior.name in by_name:
+            raise SpecError(f"duplicate behavior name {behavior.name!r}")
+        by_name[behavior.name] = behavior
+    return by_name

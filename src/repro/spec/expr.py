@@ -1,0 +1,399 @@
+"""Expression IR for behavior bodies.
+
+Expressions appear on the right-hand side of assignments and in branch /
+loop conditions.  Interface synthesis needs two operations over them:
+
+* **reference discovery** -- which variables does an expression read, and
+  is the read indexed (array element) or whole-value?  This drives access
+  analysis and, later, the variable-reference rewriting of protocol
+  generation step 4.
+* **evaluation** -- the reference interpreter and the simulator both
+  execute behaviors, so expressions must be computable against an
+  environment mapping variables to values.
+
+The IR is deliberately small: constants, variable references, array
+indexing, unary and binary operators, and ``min``/``max`` (used heavily by
+fuzzy-rule evaluation in the FLC example).  Integer arithmetic wraps to
+the width of the consuming type at assignment time, not per-operator,
+which matches how behavioral synthesis treats intermediate results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Tuple, Union
+
+from repro.errors import ExprError
+from repro.spec.types import ArrayType, Value
+from repro.spec.variable import Variable
+
+
+class Expr:
+    """Base class of all expressions."""
+
+    def reads(self) -> Iterator["VarRead"]:
+        """Yield every variable read performed by this expression."""
+        raise NotImplementedError
+
+    def evaluate(self, env: "Environment") -> int:
+        """Evaluate against an environment of variable values."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Dict["Expr", "Expr"]) -> "Expr":
+        """Return a copy with sub-expressions replaced per ``mapping``.
+
+        Matching is by identity, which is what refinement needs: it
+        replaces *specific occurrences* of remote reads with freshly
+        created temporaries.
+        """
+        raise NotImplementedError
+
+    def is_constant(self) -> bool:
+        """True when the expression contains no variable reads."""
+        return not any(True for _ in self.reads())
+
+    # Operator sugar so behaviors read naturally in example code.
+    def __add__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("+", self, as_expr(other))
+
+    def __radd__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("+", as_expr(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("-", self, as_expr(other))
+
+    def __rsub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("-", as_expr(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("*", self, as_expr(other))
+
+    def __rmul__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("*", as_expr(other), self)
+
+    def __floordiv__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("/", self, as_expr(other))
+
+    def __mod__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("mod", self, as_expr(other))
+
+    def eq(self, other: "ExprLike") -> "BinOp":
+        return BinOp("=", self, as_expr(other))
+
+    def ne(self, other: "ExprLike") -> "BinOp":
+        return BinOp("/=", self, as_expr(other))
+
+    def __lt__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("<", self, as_expr(other))
+
+    def __le__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("<=", self, as_expr(other))
+
+    def __gt__(self, other: "ExprLike") -> "BinOp":
+        return BinOp(">", self, as_expr(other))
+
+    def __ge__(self, other: "ExprLike") -> "BinOp":
+        return BinOp(">=", self, as_expr(other))
+
+
+ExprLike = Union[Expr, int]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce a Python int into a :class:`Const`; pass expressions through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, int) and not isinstance(value, bool):
+        return Const(value)
+    raise ExprError(f"cannot use {value!r} as an expression")
+
+
+@dataclass(frozen=True)
+class VarRead:
+    """One variable read inside an expression.
+
+    ``index`` is the index *expression* for array-element reads and
+    ``None`` for scalar (whole-variable) reads.  ``site`` is the exact
+    expression node performing the read, so refinement can substitute it.
+    """
+
+    variable: Variable
+    index: "Expr | None"
+    site: Expr
+
+
+class Const(Expr):
+    """An integer literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ExprError(f"constant must be an int, got {value!r}")
+        self.value = value
+
+    def reads(self) -> Iterator[VarRead]:
+        return iter(())
+
+    def evaluate(self, env: "Environment") -> int:
+        return self.value
+
+    def substitute(self, mapping: Dict[Expr, Expr]) -> Expr:
+        return mapping.get(self, self)
+
+    def __repr__(self) -> str:
+        return f"Const({self.value})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class Ref(Expr):
+    """A read of a whole (scalar) variable."""
+
+    __slots__ = ("variable",)
+
+    def __init__(self, variable: Variable):
+        if not isinstance(variable, Variable):
+            raise ExprError(f"Ref requires a Variable, got {variable!r}")
+        self.variable = variable
+
+    def reads(self) -> Iterator[VarRead]:
+        yield VarRead(self.variable, None, self)
+
+    def evaluate(self, env: "Environment") -> int:
+        value = env.read(self.variable)
+        if isinstance(value, list):
+            raise ExprError(
+                f"whole-array read of {self.variable.name} cannot be used "
+                "as a scalar expression; index it"
+            )
+        return value
+
+    def substitute(self, mapping: Dict[Expr, Expr]) -> Expr:
+        return mapping.get(self, self)
+
+    def __repr__(self) -> str:
+        return f"Ref({self.variable.name})"
+
+    def __str__(self) -> str:
+        return self.variable.name
+
+
+class Index(Expr):
+    """A read of one array element, ``MEM(addr)``."""
+
+    __slots__ = ("variable", "index")
+
+    def __init__(self, variable: Variable, index: ExprLike):
+        if not isinstance(variable, Variable):
+            raise ExprError(f"Index requires a Variable, got {variable!r}")
+        if not variable.dtype.is_array():
+            raise ExprError(f"variable {variable.name} is not an array")
+        self.variable = variable
+        self.index = as_expr(index)
+
+    def reads(self) -> Iterator[VarRead]:
+        yield VarRead(self.variable, self.index, self)
+        yield from self.index.reads()
+
+    def evaluate(self, env: "Environment") -> int:
+        index = self.index.evaluate(env)
+        dtype = self.variable.dtype
+        assert isinstance(dtype, ArrayType)
+        dtype.validate_index(index)
+        value = env.read(self.variable)
+        assert isinstance(value, list)
+        return value[index]
+
+    def substitute(self, mapping: Dict[Expr, Expr]) -> Expr:
+        if self in mapping:
+            return mapping[self]
+        new_index = self.index.substitute(mapping)
+        if new_index is self.index:
+            return self
+        return Index(self.variable, new_index)
+
+    def __repr__(self) -> str:
+        return f"Index({self.variable.name}, {self.index!r})"
+
+    def __str__(self) -> str:
+        return f"{self.variable.name}({self.index})"
+
+
+_BINARY_OPS: Dict[str, Callable[[int, int], int]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: _checked_div(a, b),
+    "mod": lambda a, b: _checked_mod(a, b),
+    "=": lambda a, b: int(a == b),
+    "/=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "and": lambda a, b: int(bool(a) and bool(b)),
+    "or": lambda a, b: int(bool(a) or bool(b)),
+    "min": lambda a, b: min(a, b),
+    "max": lambda a, b: max(a, b),
+}
+
+
+def _checked_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ExprError("division by zero")
+    # VHDL integer division truncates toward zero.
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+def _checked_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise ExprError("mod by zero")
+    return a - b * (_checked_div(a, b))
+
+
+class BinOp(Expr):
+    """A binary operator application."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: ExprLike, rhs: ExprLike):
+        if op not in _BINARY_OPS:
+            raise ExprError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.lhs = as_expr(lhs)
+        self.rhs = as_expr(rhs)
+
+    def reads(self) -> Iterator[VarRead]:
+        yield from self.lhs.reads()
+        yield from self.rhs.reads()
+
+    def evaluate(self, env: "Environment") -> int:
+        return _BINARY_OPS[self.op](self.lhs.evaluate(env), self.rhs.evaluate(env))
+
+    def substitute(self, mapping: Dict[Expr, Expr]) -> Expr:
+        if self in mapping:
+            return mapping[self]
+        new_lhs = self.lhs.substitute(mapping)
+        new_rhs = self.rhs.substitute(mapping)
+        if new_lhs is self.lhs and new_rhs is self.rhs:
+            return self
+        return BinOp(self.op, new_lhs, new_rhs)
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op!r}, {self.lhs!r}, {self.rhs!r})"
+
+    def __str__(self) -> str:
+        if self.op in ("min", "max"):
+            return f"{self.op}({self.lhs}, {self.rhs})"
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+_UNARY_OPS: Dict[str, Callable[[int], int]] = {
+    "-": lambda a: -a,
+    "not": lambda a: int(not a),
+    "abs": lambda a: abs(a),
+}
+
+
+class UnOp(Expr):
+    """A unary operator application."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: ExprLike):
+        if op not in _UNARY_OPS:
+            raise ExprError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = as_expr(operand)
+
+    def reads(self) -> Iterator[VarRead]:
+        yield from self.operand.reads()
+
+    def evaluate(self, env: "Environment") -> int:
+        return _UNARY_OPS[self.op](self.operand.evaluate(env))
+
+    def substitute(self, mapping: Dict[Expr, Expr]) -> Expr:
+        if self in mapping:
+            return mapping[self]
+        new_operand = self.operand.substitute(mapping)
+        if new_operand is self.operand:
+            return self
+        return UnOp(self.op, new_operand)
+
+    def __repr__(self) -> str:
+        return f"UnOp({self.op!r}, {self.operand!r})"
+
+    def __str__(self) -> str:
+        if self.op == "abs":
+            return f"abs({self.operand})"
+        return f"({self.op} {self.operand})"
+
+
+def vmin(a: ExprLike, b: ExprLike) -> BinOp:
+    """``min`` expression (fuzzy AND in the FLC rules)."""
+    return BinOp("min", as_expr(a), as_expr(b))
+
+
+def vmax(a: ExprLike, b: ExprLike) -> BinOp:
+    """``max`` expression (fuzzy OR / aggregation in the FLC rules)."""
+    return BinOp("max", as_expr(a), as_expr(b))
+
+
+class Environment:
+    """Mapping from variables to current values, used by evaluation.
+
+    The interpreter and the simulator both provide one; remote variables
+    are *not* present in a refined behavior's environment, which is how
+    tests assert that refinement removed every direct remote access.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[Variable, Value] = {}
+
+    def declare(self, variable: Variable) -> None:
+        """Add a variable with its initial (or default) value."""
+        self._values[variable] = variable.initial_value()
+
+    def is_declared(self, variable: Variable) -> bool:
+        return variable in self._values
+
+    def read(self, variable: Variable) -> Value:
+        try:
+            return self._values[variable]
+        except KeyError:
+            raise ExprError(
+                f"variable {variable.name} is not accessible in this "
+                "environment (remote after partitioning?)"
+            ) from None
+
+    def write(self, variable: Variable, value: Value) -> None:
+        if variable not in self._values:
+            raise ExprError(
+                f"variable {variable.name} is not accessible in this "
+                "environment (remote after partitioning?)"
+            )
+        variable.dtype.validate(value)
+        self._values[variable] = value
+
+    def write_element(self, variable: Variable, index: int, value: int) -> None:
+        dtype = variable.dtype
+        if not isinstance(dtype, ArrayType):
+            raise ExprError(f"variable {variable.name} is not an array")
+        dtype.validate_index(index)
+        dtype.element.validate(value)
+        current = self.read(variable)
+        assert isinstance(current, list)
+        current[index] = value
+
+    def snapshot(self) -> Dict[str, Value]:
+        """Copy of all values keyed by variable name (for test asserts)."""
+        out: Dict[str, Value] = {}
+        for variable, value in self._values.items():
+            out[variable.name] = list(value) if isinstance(value, list) else value
+        return out
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return tuple(self._values)

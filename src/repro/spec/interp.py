@@ -1,0 +1,251 @@
+"""Reference interpreter for (unrefined) system specifications.
+
+Protocol generation promises a *behavior-preserving* refinement: the
+refined, bus-based specification must compute the same values as the
+original direct-access specification.  To test that promise we need a
+golden model.  This interpreter executes behaviors directly against
+shared variable storage -- no buses, no protocols -- and records:
+
+* the final value of every variable,
+* a trace of every shared-variable access (with value and index), and
+* the computation-clock count under the statement cost model of
+  :mod:`repro.spec.stmt` (communication is free here; the simulator adds
+  protocol delays to the same baseline).
+
+Behaviors execute in a caller-supplied sequential order.  The paper's
+evaluation workloads are producer/consumer phased (EVAL_* fill the
+``trru`` arrays, then CONV_* read them), so a sequential schedule
+produces the canonical result the concurrent simulation must match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import InterpError
+from repro.spec.access import Direction
+from repro.spec.behavior import Behavior
+from repro.spec.expr import Environment
+from repro.spec.stmt import (
+    Assign,
+    Call,
+    ElementTarget,
+    For,
+    If,
+    Nop,
+    Stmt,
+    WaitClocks,
+    While,
+)
+from repro.spec.system import SystemSpec
+from repro.spec.types import ArrayType, IntType, Value
+from repro.spec.variable import Variable
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One dynamic access to a shared variable."""
+
+    behavior: str
+    variable: str
+    direction: Direction
+    index: Optional[int]
+    value: int
+
+
+@dataclass
+class InterpResult:
+    """Outcome of interpreting a specification."""
+
+    #: Final values of all shared variables, keyed by name.
+    final_values: Dict[str, Value]
+    #: Per-behavior computation clocks.
+    clocks: Dict[str, int]
+    #: Dynamic trace of shared-variable accesses, in execution order.
+    trace: List[AccessEvent] = field(default_factory=list)
+
+    def trace_for(self, variable_name: str) -> List[AccessEvent]:
+        return [e for e in self.trace if e.variable == variable_name]
+
+
+class Interpreter:
+    """Executes behaviors of a :class:`SystemSpec` sequentially."""
+
+    def __init__(self, system: SystemSpec, max_steps: int = 10_000_000):
+        self.system = system
+        self.max_steps = max_steps
+        self._shared = set(system.variables)
+
+    def run(self, order: Optional[Sequence[str]] = None) -> InterpResult:
+        """Execute behaviors in ``order`` (names); default is declaration
+        order.  Returns final values, clock counts and the access trace.
+        """
+        if order is None:
+            behaviors = list(self.system.behaviors)
+        else:
+            behaviors = [self.system.behavior(name) for name in order]
+
+        env = Environment()
+        for variable in self.system.variables:
+            env.declare(variable)
+
+        trace: List[AccessEvent] = []
+        clocks: Dict[str, int] = {}
+        for behavior in behaviors:
+            clocks[behavior.name] = self._run_behavior(behavior, env, trace)
+
+        return InterpResult(final_values=self._shared_snapshot(env),
+                            clocks=clocks, trace=trace)
+
+    # ------------------------------------------------------------------
+
+    def _shared_snapshot(self, env: Environment) -> Dict[str, Value]:
+        out: Dict[str, Value] = {}
+        for variable in self.system.variables:
+            value = env.read(variable)
+            out[variable.name] = list(value) if isinstance(value, list) else value
+        return out
+
+    def _run_behavior(self, behavior: Behavior, shared_env: Environment,
+                      trace: List[AccessEvent]) -> int:
+        state = _BehaviorState(behavior, shared_env, self._shared, trace,
+                               self.max_steps)
+        state.exec_body(behavior.body)
+        return state.clocks
+
+
+class _BehaviorState:
+    """Execution state of one behavior run."""
+
+    def __init__(self, behavior: Behavior, env: Environment, shared: set,
+                 trace: List[AccessEvent], max_steps: int):
+        self.behavior = behavior
+        self.env = env
+        self.shared = shared
+        self.trace = trace
+        self.max_steps = max_steps
+        self.clocks = 0
+        self.steps = 0
+        for local in behavior.local_variables:
+            if not env.is_declared(local):
+                env.declare(local)
+
+    # -- tracing wrapper -------------------------------------------------
+
+    def _evaluate(self, expr) -> int:
+        """Evaluate with shared-read tracing."""
+        for read in expr.reads():
+            if read.variable in self.shared:
+                index = (read.index.evaluate(self.env)
+                         if read.index is not None else None)
+                value = self._peek(read.variable, index)
+                self.trace.append(AccessEvent(
+                    self.behavior.name, read.variable.name,
+                    Direction.READ, index, value))
+        return expr.evaluate(self.env)
+
+    def _peek(self, variable: Variable, index: Optional[int]) -> int:
+        value = self.env.read(variable)
+        if index is not None:
+            assert isinstance(value, list)
+            dtype = variable.dtype
+            assert isinstance(dtype, ArrayType)
+            dtype.validate_index(index)
+            return value[index]
+        if isinstance(value, list):
+            raise InterpError(
+                f"whole-array read of {variable.name} without index"
+            )
+        return value
+
+    # -- statement execution ----------------------------------------------
+
+    def exec_body(self, body: Sequence[Stmt]) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: Stmt) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise InterpError(
+                f"behavior {self.behavior.name}: exceeded {self.max_steps} "
+                "interpreter steps (runaway loop?)"
+            )
+        if isinstance(stmt, Assign):
+            self._exec_assign(stmt)
+        elif isinstance(stmt, If):
+            self.clocks += 1
+            if self._evaluate(stmt.cond):
+                self.exec_body(stmt.then_body)
+            else:
+                self.exec_body(stmt.else_body)
+        elif isinstance(stmt, For):
+            if not self.env.is_declared(stmt.var):
+                self.env.declare(stmt.var)
+            for i in range(stmt.lo, stmt.hi + 1):
+                self.clocks += 1  # index update / bounds test
+                self.env.write(stmt.var, self._wrap(stmt.var, i))
+                self.exec_body(stmt.body)
+        elif isinstance(stmt, While):
+            while True:
+                self.clocks += 1  # condition test
+                if not self._evaluate(stmt.cond):
+                    break
+                self.exec_body(stmt.body)
+                self.steps += 1
+                if self.steps > self.max_steps:
+                    raise InterpError(
+                        f"behavior {self.behavior.name}: exceeded "
+                        f"{self.max_steps} steps in while loop"
+                    )
+        elif isinstance(stmt, WaitClocks):
+            self.clocks += stmt.clocks
+        elif isinstance(stmt, Nop):
+            pass
+        elif isinstance(stmt, Call):
+            raise InterpError(
+                "Call statements only exist in refined specifications; "
+                "run those in the simulator (repro.sim.runtime)"
+            )
+        else:
+            raise InterpError(f"unknown statement {stmt!r}")
+
+    def _exec_assign(self, stmt: Assign) -> None:
+        self.clocks += 1
+        value = self._evaluate(stmt.expr)
+        target = stmt.target
+        variable = target.variable
+        if isinstance(target, ElementTarget):
+            index = self._evaluate(target.index)
+            dtype = variable.dtype
+            assert isinstance(dtype, ArrayType)
+            wrapped = self._wrap_scalar(dtype.element, value)
+            self.env.write_element(variable, index, wrapped)
+            if variable in self.shared:
+                self.trace.append(AccessEvent(
+                    self.behavior.name, variable.name, Direction.WRITE,
+                    index, wrapped))
+        else:
+            wrapped = self._wrap(variable, value)
+            self.env.write(variable, wrapped)
+            if variable in self.shared:
+                self.trace.append(AccessEvent(
+                    self.behavior.name, variable.name, Direction.WRITE,
+                    None, wrapped))
+
+    @staticmethod
+    def _wrap_scalar(dtype, value: int) -> int:
+        if isinstance(dtype, IntType):
+            return dtype.wrap(value)
+        # Bit vectors wrap modulo 2**width.
+        return value & ((1 << dtype.bits) - 1)
+
+    def _wrap(self, variable: Variable, value: int) -> int:
+        return self._wrap_scalar(variable.dtype, value)
+
+
+def run_reference(system: SystemSpec,
+                  order: Optional[Sequence[str]] = None) -> InterpResult:
+    """Convenience wrapper: interpret ``system`` and return the result."""
+    return Interpreter(system).run(order)

@@ -1,0 +1,128 @@
+"""The top-level system specification container.
+
+A :class:`SystemSpec` is the input to interface synthesis: a set of
+concurrent behaviors plus the shared variables they communicate through
+(Figure 1: process A reads/writes ``MEM`` and ``STATUS``).  It performs
+the well-formedness checks that every downstream stage relies on:
+
+* behavior and variable names are unique,
+* every shared variable referenced by a behavior is declared in the
+  system (or locally in the behavior),
+* no two behaviors declare the same local variable object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.errors import SpecError
+from repro.spec.behavior import Behavior, unique_names
+from repro.spec.variable import Variable
+
+
+class SystemSpec:
+    """A complete system specification.
+
+    Parameters
+    ----------
+    name:
+        System name (used in generated HDL entity names).
+    behaviors:
+        The concurrent processes.
+    variables:
+        The shared (system-level) variables.
+    """
+
+    def __init__(self, name: str, behaviors: Sequence[Behavior] = (),
+                 variables: Iterable[Variable] = ()):
+        if not name:
+            raise SpecError("system name must be non-empty")
+        self.name = name
+        self.behaviors: List[Behavior] = list(behaviors)
+        self.variables: List[Variable] = list(variables)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def add_behavior(self, behavior: Behavior) -> Behavior:
+        self.behaviors.append(behavior)
+        self.validate()
+        return behavior
+
+    def add_variable(self, variable: Variable) -> Variable:
+        self.variables.append(variable)
+        self.validate()
+        return variable
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def behavior(self, name: str) -> Behavior:
+        for behavior in self.behaviors:
+            if behavior.name == name:
+                return behavior
+        raise SpecError(f"system {self.name}: no behavior named {name!r}")
+
+    def variable(self, name: str) -> Variable:
+        for variable in self.variables:
+            if variable.name == name:
+                return variable
+        raise SpecError(f"system {self.name}: no shared variable named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`SpecError` on any well-formedness violation."""
+        unique_names(self.behaviors)
+
+        seen_variable_names: Set[str] = set()
+        for variable in self.variables:
+            if variable.name in seen_variable_names:
+                raise SpecError(
+                    f"system {self.name}: duplicate shared variable "
+                    f"{variable.name!r}"
+                )
+            seen_variable_names.add(variable.name)
+
+        shared: Set[Variable] = set(self.variables)
+        owners: Dict[Variable, str] = {}
+        for behavior in self.behaviors:
+            for local in behavior.declared_variables():
+                if local in shared:
+                    raise SpecError(
+                        f"variable {local.name} is both shared and local to "
+                        f"behavior {behavior.name}"
+                    )
+                previous = owners.get(local)
+                if previous is not None and previous != behavior.name:
+                    raise SpecError(
+                        f"variable {local.name} is declared local by two "
+                        f"behaviors ({previous} and {behavior.name})"
+                    )
+                owners[local] = behavior.name
+
+        for behavior in self.behaviors:
+            undeclared = behavior.global_variables() - shared
+            if undeclared:
+                names = ", ".join(sorted(v.name for v in undeclared))
+                raise SpecError(
+                    f"behavior {behavior.name} references undeclared shared "
+                    f"variable(s): {names}"
+                )
+
+    # ------------------------------------------------------------------
+    # Queries used by partitioning
+    # ------------------------------------------------------------------
+
+    def accessors(self, variable: Variable) -> List[Behavior]:
+        """Behaviors that reference the given shared variable."""
+        return [b for b in self.behaviors if variable in b.global_variables()]
+
+    def __repr__(self) -> str:
+        return (f"SystemSpec({self.name!r}, behaviors={len(self.behaviors)}, "
+                f"variables={len(self.variables)})")

@@ -1,0 +1,60 @@
+"""Variables of the system specification.
+
+A :class:`Variable` is a named, typed storage location.  Before
+partitioning, behaviors read and write variables directly; after
+partitioning, a variable may live on a different system module than the
+behavior accessing it, in which case every access becomes an abstract
+communication channel (Figure 1 of the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.errors import SpecError
+from repro.spec.types import DataType, Value
+
+_ids = itertools.count()
+
+
+class Variable:
+    """A named storage location with a data type and optional initializer.
+
+    Variables are compared by identity: two variables with the same name
+    are still distinct storage (names are only required to be unique
+    within one :class:`~repro.spec.system.SystemSpec`).
+    """
+
+    __slots__ = ("name", "dtype", "init", "_uid")
+
+    def __init__(self, name: str, dtype: DataType, init: Optional[Value] = None):
+        if not name or not name.replace("_", "").isalnum() or name[0].isdigit():
+            raise SpecError(f"invalid variable name {name!r}")
+        if init is not None:
+            dtype.validate(init)
+        self.name = name
+        self.dtype = dtype
+        self.init = init
+        self._uid = next(_ids)
+
+    def initial_value(self) -> Value:
+        """The initializer if present, else the type default.
+
+        Always returns a fresh object for array types so two environments
+        never alias storage.
+        """
+        if self.init is None:
+            return self.dtype.default()
+        if isinstance(self.init, list):
+            return list(self.init)
+        return self.init
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r}, {self.dtype})"
+
+    def __hash__(self) -> int:
+        return self._uid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other

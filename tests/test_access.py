@@ -1,0 +1,155 @@
+"""Unit tests for static access analysis."""
+
+import pytest
+
+from repro.spec.access import (
+    Direction,
+    analyze_behavior,
+    analyze_system,
+    total_traffic_bits,
+)
+from repro.spec.behavior import Behavior
+from repro.spec.expr import Index, Ref
+from repro.spec.stmt import Assign, For, If, While
+from repro.spec.types import ArrayType, IntType
+from repro.spec.variable import Variable
+
+
+@pytest.fixture
+def shared():
+    x = Variable("x", IntType(16))
+    arr = Variable("arr", ArrayType(IntType(16), 128))
+    return x, arr
+
+
+def summary_map(behavior):
+    return {(s.variable.name, s.direction): s
+            for s in analyze_behavior(behavior)}
+
+
+class TestCounts:
+    def test_single_write(self, shared):
+        x, _ = shared
+        behavior = Behavior("B", [Assign(x, 1)])
+        summaries = summary_map(behavior)
+        assert summaries[("x", Direction.WRITE)].count == 1
+
+    def test_loop_multiplies(self, shared):
+        _, arr = shared
+        i = Variable("i", IntType(16))
+        behavior = Behavior("B", [
+            For(i, 0, 127, [Assign((arr, Ref(i)), 0)]),
+        ])
+        summaries = summary_map(behavior)
+        write = summaries[("arr", Direction.WRITE)]
+        assert write.count == 128
+        assert write.indexed
+
+    def test_nested_loops_multiply(self, shared):
+        x, _ = shared
+        i = Variable("i", IntType(16))
+        j = Variable("j", IntType(16))
+        behavior = Behavior("B", [
+            For(i, 0, 3, [For(j, 0, 4, [Assign(x, 0)])]),
+        ])
+        assert summary_map(behavior)[("x", Direction.WRITE)].count == 20
+
+    def test_both_if_branches_counted(self, shared):
+        """Conservative upper bound: both arms count in full."""
+        x, _ = shared
+        local = Variable("local", IntType(16), init=1)
+        behavior = Behavior("B", [
+            If(Ref(local) > 0, [Assign(x, 1)], [Assign(x, 2)]),
+        ], local_variables=[local])
+        assert summary_map(behavior)[("x", Direction.WRITE)].count == 2
+
+    def test_while_condition_counts_trip_plus_one(self, shared):
+        """The condition is evaluated trip_count + 1 times."""
+        x, _ = shared
+        local = Variable("local", IntType(16))
+        behavior = Behavior("B", [
+            While(Ref(x) > 0, [Assign(local, 1)], trip_count=5),
+        ], local_variables=[local])
+        assert summary_map(behavior)[("x", Direction.READ)].count == 6
+
+    def test_while_body_multiplied_by_trip_count(self, shared):
+        x, _ = shared
+        local = Variable("local", IntType(16), init=10)
+        behavior = Behavior("B", [
+            While(Ref(local) > 0, [Assign(x, 1)], trip_count=5),
+        ], local_variables=[local])
+        assert summary_map(behavior)[("x", Direction.WRITE)].count == 5
+
+    def test_multiple_reads_in_one_statement_count_individually(self, shared):
+        x, _ = shared
+        local = Variable("local", IntType(16))
+        behavior = Behavior("B", [
+            Assign(local, Ref(x) + Ref(x)),
+        ], local_variables=[local])
+        assert summary_map(behavior)[("x", Direction.READ)].count == 2
+
+    def test_read_in_array_index(self, shared):
+        x, arr = shared
+        local = Variable("local", IntType(16))
+        behavior = Behavior("B", [
+            Assign(local, Index(arr, Ref(x))),
+        ], local_variables=[local])
+        summaries = summary_map(behavior)
+        assert summaries[("x", Direction.READ)].count == 1
+        read = summaries[("arr", Direction.READ)]
+        assert read.count == 1
+        assert read.indexed
+
+
+class TestScoping:
+    def test_locals_excluded(self, shared):
+        x, _ = shared
+        local = Variable("local", IntType(16))
+        behavior = Behavior("B", [
+            Assign(local, 1),
+            Assign(x, Ref(local)),
+        ], local_variables=[local])
+        summaries = summary_map(behavior)
+        assert ("local", Direction.WRITE) not in summaries
+        assert ("local", Direction.READ) not in summaries
+
+    def test_loop_variable_excluded(self, shared):
+        _, arr = shared
+        i = Variable("i", IntType(16))
+        behavior = Behavior("B", [
+            For(i, 0, 3, [Assign((arr, Ref(i)), Ref(i))]),
+        ])
+        names = {s.variable.name for s in analyze_behavior(behavior)}
+        assert names == {"arr"}
+
+    def test_read_and_write_are_separate_summaries(self, shared):
+        """Figure 1: A<MEM and A>MEM are distinct channels."""
+        _, arr = shared
+        behavior = Behavior("B", [
+            Assign((arr, 0), Index(arr, 1) + 1),
+        ])
+        summaries = summary_map(behavior)
+        assert ("arr", Direction.READ) in summaries
+        assert ("arr", Direction.WRITE) in summaries
+
+
+class TestSystemLevel:
+    def test_analyze_system_order_is_deterministic(self, shared):
+        x, arr = shared
+        a = Behavior("A", [Assign(x, 1)])
+        b = Behavior("B", [Assign((arr, 0), 1)])
+        first = [(s.behavior.name, s.variable.name, s.direction)
+                 for s in analyze_system([a, b])]
+        second = [(s.behavior.name, s.variable.name, s.direction)
+                  for s in analyze_system([a, b])]
+        assert first == second
+
+    def test_total_traffic_bits(self, shared):
+        x, arr = shared
+        i = Variable("i", IntType(16))
+        behavior = Behavior("B", [
+            Assign(x, 1),                             # 16 bits
+            For(i, 0, 127, [Assign((arr, Ref(i)), 0)]),  # 128 * 23
+        ])
+        total = total_traffic_bits(analyze_behavior(behavior))
+        assert total == 16 + 128 * 23

@@ -1,0 +1,239 @@
+"""Tests for the example systems: FLC (Figure 6), answering machine,
+Ethernet coprocessor."""
+
+import pytest
+
+from repro.apps.answering_machine import (
+    build_answering_machine,
+    reference_state as am_reference,
+)
+from repro.apps.ethernet import (
+    build_ethernet,
+    reference_state as eth_reference,
+)
+from repro.apps.flc import build_flc, reference_ctrl_output
+from repro.errors import SpecError
+from repro.estimate.perf import PerformanceEstimator
+from repro.partition.module import ModuleKind
+from repro.protocols import FULL_HANDSHAKE
+from repro.spec.access import Direction
+from repro.spec.interp import run_reference
+
+
+class TestFlcStructure:
+    def test_figure6_variables(self, flc):
+        """The array variables of Figure 6, with their exact shapes."""
+        imf = flc.variables["InitMemberFunct"]
+        assert imf.dtype.length == 1920
+        for k in range(4):
+            trru = flc.variables[f"trru{k}"]
+            assert trru.dtype.length == 128
+            assert trru.dtype.element_bits == 16
+        assert flc.variables["rule1"].dtype.length == 3
+        assert flc.variables["rule3"].dtype.length == 3
+
+    def test_figure6_processes(self, flc):
+        names = {b.name for b in flc.system.behaviors}
+        expected = {"INITIALIZE", "CONVERT_FACTS", "CENTROID",
+                    "CONVERT_CTRL"}
+        expected |= {f"EVAL_R{k}" for k in range(4)}
+        expected |= {f"CONV_R{k}" for k in range(4)}
+        assert names == expected
+
+    def test_partition_memories_on_chip2(self, flc):
+        chip2 = flc.partition.module_of("InitMemberFunct")
+        assert chip2.name == "CHIP2"
+        assert chip2.kind is ModuleKind.MEMORY
+        for k in range(4):
+            assert flc.partition.module_of(f"trru{k}") is chip2
+        assert flc.partition.module_of("EVAL_R3").name == "CHIP1"
+
+    def test_bus_b_channels_match_figure6(self, flc):
+        """ch1: EVAL_R3 writing trru0; ch2: CONV_R2 reading trru2."""
+        ch1 = flc.bus_b.channel("ch1")
+        assert ch1.accessor.name == "EVAL_R3"
+        assert ch1.variable.name == "trru0"
+        assert ch1.direction is Direction.WRITE
+        ch2 = flc.bus_b.channel("ch2")
+        assert ch2.accessor.name == "CONV_R2"
+        assert ch2.variable.name == "trru2"
+        assert ch2.direction is Direction.READ
+
+    def test_channel_traffic_matches_paper(self, flc):
+        """Each bus-B channel: 128 accesses of 23-bit messages, total
+        channel pins 46 (Figure 8's baseline)."""
+        for channel in flc.bus_b:
+            assert channel.message_bits == 23
+            assert channel.accesses == 128
+        assert flc.bus_b.total_message_pins == 46
+
+    def test_input_validation(self):
+        with pytest.raises(SpecError):
+            build_flc(temperature=1000)
+        with pytest.raises(SpecError):
+            build_flc(humidity=-1)
+
+
+class TestFlcFunction:
+    def test_golden_run_matches_oracle(self, flc):
+        result = run_reference(flc.system, order=flc.schedule)
+        assert result.final_values["ctrl_out"] == \
+            reference_ctrl_output(250, 180)
+
+    @pytest.mark.parametrize("temperature,humidity", [
+        (0, 0), (40, 60), (160, 160), (300, 100), (319, 319),
+    ])
+    def test_oracle_equivalence_across_inputs(self, temperature, humidity):
+        model = build_flc(temperature, humidity)
+        result = run_reference(model.system, order=model.schedule)
+        assert result.final_values["ctrl_out"] == \
+            reference_ctrl_output(temperature, humidity)
+
+    def test_output_in_actuator_range(self):
+        for temperature, humidity in [(10, 10), (200, 250), (319, 0)]:
+            assert 0 <= reference_ctrl_output(temperature, humidity) <= 510
+
+    def test_hotter_means_more_cooling(self):
+        """Sanity of the fuzzy rules: hot+humid demands more cooling
+        than cold+dry."""
+        cold = reference_ctrl_output(40, 60)
+        hot = reference_ctrl_output(300, 280)
+        assert hot > cold
+
+
+class TestFlcFigure7Anchor:
+    def test_conv_r2_crosses_2000_clocks_between_width_4_and_5(self, flc):
+        """'if process CONV_R2 has a maximum execution time constraint
+        of 2000 clocks, then only buswidths greater than 4 bits will be
+        considered' (Section 5)."""
+        estimator = PerformanceEstimator()
+        conv_r2 = flc.system.behavior("CONV_R2")
+        at4 = estimator.estimate(conv_r2, flc.bus_b.channels, 4,
+                                 FULL_HANDSHAKE)
+        at5 = estimator.estimate(conv_r2, flc.bus_b.channels, 5,
+                                 FULL_HANDSHAKE)
+        assert at4.exec_clocks > 2000
+        assert at5.exec_clocks <= 2000
+
+    def test_plateau_beyond_23_pins(self, flc):
+        """'bus widths greater than 23 pins do not yield any further
+        improvements'."""
+        estimator = PerformanceEstimator()
+        for name in ("EVAL_R3", "CONV_R2"):
+            behavior = flc.system.behavior(name)
+            at23 = estimator.estimate(behavior, flc.bus_b.channels, 23,
+                                      FULL_HANDSHAKE).exec_clocks
+            for width in (24, 30, 46):
+                assert estimator.estimate(
+                    behavior, flc.bus_b.channels, width,
+                    FULL_HANDSHAKE).exec_clocks == at23
+
+    def test_execution_time_decreases_with_width(self, flc):
+        estimator = PerformanceEstimator()
+        conv_r2 = flc.system.behavior("CONV_R2")
+        clocks = [estimator.estimate(conv_r2, flc.bus_b.channels, w,
+                                     FULL_HANDSHAKE).exec_clocks
+                  for w in range(1, 24)]
+        assert all(a >= b for a, b in zip(clocks, clocks[1:]))
+
+    def test_eval_r3_slower_than_conv_r2(self, flc):
+        """Figure 7 shows EVAL_R3's curve above CONV_R2's."""
+        estimator = PerformanceEstimator()
+        for width in (2, 8, 16, 23):
+            eval_clocks = estimator.estimate(
+                flc.system.behavior("EVAL_R3"), flc.bus_b.channels,
+                width, FULL_HANDSHAKE).exec_clocks
+            conv_clocks = estimator.estimate(
+                flc.system.behavior("CONV_R2"), flc.bus_b.channels,
+                width, FULL_HANDSHAKE).exec_clocks
+            assert eval_clocks > conv_clocks
+
+
+class TestAnsweringMachine:
+    def test_golden_matches_oracle(self):
+        model = build_answering_machine()
+        result = run_reference(model.system, order=model.schedule)
+        for key, value in am_reference().items():
+            assert result.final_values[key] == value, key
+
+    def test_channel_inventory(self):
+        model = build_answering_machine()
+        triples = {(c.accessor.name, c.variable.name, c.direction)
+                   for c in model.channels}
+        assert ("RECORD_GREETING", "GREETING", Direction.WRITE) in triples
+        assert ("ANSWER_CALL", "GREETING", Direction.READ) in triples
+        assert ("ANSWER_CALL", "MESSAGES", Direction.WRITE) in triples
+        assert ("PLAYBACK", "MESSAGES", Direction.READ) in triples
+
+    def test_message_formats(self):
+        model = build_answering_machine()
+        greeting_write = next(c for c in model.channels
+                              if c.variable.name == "GREETING"
+                              and c.is_write)
+        assert greeting_write.message_bits == 6 + 8
+        message_write = next(c for c in model.channels
+                             if c.variable.name == "MESSAGES"
+                             and c.is_write)
+        assert message_write.message_bits == 8 + 8
+
+
+class TestEthernet:
+    def test_golden_matches_oracle(self):
+        model = build_ethernet()
+        result = run_reference(model.system, order=model.schedule)
+        for key, value in eth_reference().items():
+            assert result.final_values[key] == value, key
+
+    def test_channel_inventory(self):
+        model = build_ethernet()
+        triples = {(c.accessor.name, c.variable.name, c.direction)
+                   for c in model.channels}
+        assert ("HOST_IF", "TX_BUFFER", Direction.WRITE) in triples
+        assert ("TXU", "TX_BUFFER", Direction.READ) in triples
+        assert ("RXU", "RX_BUFFER", Direction.WRITE) in triples
+        assert ("HOST_IF", "RX_BUFFER", Direction.READ) in triples
+        assert ("TXU", "TX_LEN", Direction.READ) in triples
+
+
+class TestConvolution:
+    """The image-convolution extension system (not one of the paper's
+    three; see repro.apps.convolution)."""
+
+    def test_golden_matches_oracle(self):
+        from repro.apps.convolution import (
+            build_convolution,
+            reference_checksum,
+            reference_output_frame,
+        )
+
+        model = build_convolution()
+        result = run_reference(model.system, order=model.schedule)
+        assert result.final_values["out_checksum"] == reference_checksum()
+        assert result.final_values["FRAME_OUT"] == \
+            reference_output_frame()
+
+    def test_filter_is_read_heavy(self):
+        from repro.apps.convolution import SIZE, build_convolution
+
+        model = build_convolution()
+        filter_reads = next(
+            c for c in model.channels
+            if c.accessor.name == "FILTER" and c.is_read)
+        interior = (SIZE - 2) ** 2
+        border = 2 * SIZE + 2 * (SIZE - 2)
+        assert filter_reads.accesses == 9 * interior + border
+
+    def test_split_refinement_simulates_correctly(self):
+        from repro.apps.convolution import (
+            build_convolution,
+            reference_checksum,
+        )
+        from repro.busgen.split import split_group
+        from repro.protogen.refine import refine_system
+        from repro.sim.runtime import simulate
+
+        model = build_convolution()
+        result = split_group(model.bus)
+        refined = refine_system(model.system, list(result.designs))
+        sim = simulate(refined, schedule=model.schedule)
+        assert sim.final_values["out_checksum"] == reference_checksum()

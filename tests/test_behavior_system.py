@@ -1,0 +1,148 @@
+"""Unit tests for behaviors and the system container."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.spec.behavior import Behavior, unique_names
+from repro.spec.expr import Index, Ref
+from repro.spec.stmt import Assign, Call, For, If
+from repro.spec.system import SystemSpec
+from repro.spec.types import ArrayType, IntType
+from repro.spec.variable import Variable
+
+
+@pytest.fixture
+def pieces():
+    shared = Variable("shared", IntType(16))
+    arr = Variable("arr", ArrayType(IntType(16), 8))
+    local = Variable("local", IntType(16))
+    return shared, arr, local
+
+
+class TestBehavior:
+    def test_global_variables_excludes_locals(self, pieces):
+        shared, arr, local = pieces
+        behavior = Behavior("B", [
+            Assign(local, Ref(shared)),
+            Assign((arr, 0), Ref(local)),
+        ], local_variables=[local])
+        assert behavior.global_variables() == {shared, arr}
+
+    def test_loop_variables_are_implicitly_local(self, pieces):
+        shared, _, _ = pieces
+        i = Variable("i", IntType(16))
+        behavior = Behavior("B", [
+            For(i, 0, 3, [Assign(shared, Ref(i))]),
+        ])
+        assert i in behavior.declared_variables()
+        assert behavior.global_variables() == {shared}
+
+    def test_referenced_includes_call_results(self, pieces):
+        shared, _, local = pieces
+        behavior = Behavior("B", [
+            Call("proc", results=[shared]),
+        ])
+        assert shared in behavior.referenced_variables()
+
+    def test_rejects_duplicate_local_names(self, pieces):
+        _, _, local = pieces
+        other = Variable("local", IntType(16))
+        with pytest.raises(SpecError):
+            Behavior("B", [], local_variables=[local, other])
+
+    def test_fresh_local_name(self, pieces):
+        _, _, local = pieces
+        behavior = Behavior("B", [], local_variables=[local])
+        assert behavior.fresh_local_name("local") == "local2"
+        assert behavior.fresh_local_name("other") == "other"
+
+    def test_add_local_rejects_duplicate(self, pieces):
+        _, _, local = pieces
+        behavior = Behavior("B", [], local_variables=[local])
+        with pytest.raises(SpecError):
+            behavior.add_local(Variable("local", IntType(16)))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecError):
+            Behavior("")
+
+    def test_unique_names_rejects_duplicates(self):
+        a = Behavior("same")
+        b = Behavior("same")
+        with pytest.raises(SpecError):
+            unique_names([a, b])
+
+
+class TestSystemSpec:
+    def test_undeclared_shared_variable_rejected(self, pieces):
+        shared, _, _ = pieces
+        behavior = Behavior("B", [Assign(shared, 1)])
+        with pytest.raises(SpecError, match="undeclared"):
+            SystemSpec("sys", [behavior], [])
+
+    def test_variable_cannot_be_shared_and_local(self, pieces):
+        shared, _, _ = pieces
+        behavior = Behavior("B", [Assign(shared, 1)],
+                            local_variables=[shared])
+        with pytest.raises(SpecError, match="both shared and local"):
+            SystemSpec("sys", [behavior], [shared])
+
+    def test_local_cannot_belong_to_two_behaviors(self, pieces):
+        _, _, local = pieces
+        a = Behavior("A", [Assign(local, 1)], local_variables=[local])
+        b = Behavior("B", [Assign(local, 2)], local_variables=[local])
+        with pytest.raises(SpecError, match="two"):
+            SystemSpec("sys", [a, b], [])
+
+    def test_duplicate_shared_names_rejected(self):
+        a = Variable("v", IntType(16))
+        b = Variable("v", IntType(16))
+        with pytest.raises(SpecError, match="duplicate"):
+            SystemSpec("sys", [], [a, b])
+
+    def test_duplicate_behavior_names_rejected(self):
+        with pytest.raises(SpecError):
+            SystemSpec("sys", [Behavior("B"), Behavior("B")], [])
+
+    def test_lookup(self, pieces):
+        shared, _, _ = pieces
+        behavior = Behavior("B", [Assign(shared, 1)])
+        system = SystemSpec("sys", [behavior], [shared])
+        assert system.behavior("B") is behavior
+        assert system.variable("shared") is shared
+        with pytest.raises(SpecError):
+            system.behavior("missing")
+        with pytest.raises(SpecError):
+            system.variable("missing")
+
+    def test_accessors(self, pieces):
+        shared, arr, _ = pieces
+        a = Behavior("A", [Assign(shared, 1)])
+        b = Behavior("B", [Assign((arr, 0), 1)])
+        system = SystemSpec("sys", [a, b], [shared, arr])
+        assert system.accessors(shared) == [a]
+        assert system.accessors(arr) == [b]
+
+    def test_add_behavior_validates(self, pieces):
+        shared, _, _ = pieces
+        system = SystemSpec("sys", [], [shared])
+        system.add_behavior(Behavior("ok", [Assign(shared, 1)]))
+        undeclared = Variable("nope", IntType(16))
+        with pytest.raises(SpecError):
+            system.add_behavior(Behavior("bad", [Assign(undeclared, 1)]))
+
+    def test_reads_in_index_count_as_global(self, pieces):
+        shared, arr, _ = pieces
+        behavior = Behavior("B", [
+            Assign((arr, Ref(shared)), 0),
+        ])
+        system = SystemSpec("sys", [behavior], [shared, arr])
+        assert behavior.global_variables() == {shared, arr}
+        assert system.accessors(shared) == [behavior]
+
+    def test_if_condition_reads_are_global(self, pieces):
+        shared, _, local = pieces
+        behavior = Behavior("B", [
+            If(Ref(shared) > 0, [Assign(local, 1)], []),
+        ], local_variables=[local])
+        assert shared in behavior.global_variables()

@@ -1,0 +1,228 @@
+"""Unit tests for the bus generation algorithm (Section 3)."""
+
+import pytest
+
+from repro.busgen.algorithm import buswidth_range, generate_bus
+from repro.busgen.constraints import (
+    BusConstraint,
+    ConstraintKind,
+    ConstraintSet,
+    max_buswidth,
+    max_peak_rate,
+    min_avg_rate,
+    min_buswidth,
+    min_peak_rate,
+)
+from repro.busgen.split import split_group
+from repro.channels.channel import Channel
+from repro.channels.group import ChannelGroup
+from repro.errors import BusGenError, ConstraintError, InfeasibleBusError
+from repro.protocols import FULL_HANDSHAKE, HARDWIRED
+from repro.spec.access import Direction
+from repro.spec.behavior import Behavior
+from repro.spec.expr import Ref
+from repro.spec.stmt import Assign, For, WaitClocks
+from repro.spec.types import ArrayType, IntType
+from repro.spec.variable import Variable
+
+
+def make_group(comp_wait=8, accesses=128, names=("a", "b")):
+    """Channels with enough computation to be feasible at some width."""
+    channels = []
+    for name in names:
+        arr = Variable(f"arr_{name}", ArrayType(IntType(16), 128))
+        i = Variable("i", IntType(16))
+        behavior = Behavior(f"B_{name}", [
+            For(i, 0, accesses - 1, [
+                WaitClocks(comp_wait),
+                Assign((arr, Ref(i)), Ref(i)),
+            ]),
+        ])
+        channels.append(Channel(name, behavior, arr, Direction.WRITE,
+                                accesses))
+    return ChannelGroup("g", channels)
+
+
+class TestWidthRange:
+    def test_range_is_one_to_max_message(self):
+        group = make_group()
+        assert list(buswidth_range(group)) == list(range(1, 24))
+
+
+class TestGenerateBus:
+    def test_unconstrained_selects_smallest_feasible(self):
+        group = make_group()
+        design = generate_bus(group)
+        assert design.feasible_widths
+        assert design.width == design.feasible_widths[0]
+        assert design.cost == 0
+
+    def test_selected_width_satisfies_equation_one(self):
+        design = generate_bus(make_group())
+        assert design.bus_rate >= design.demand
+
+    def test_evaluations_cover_all_widths(self):
+        design = generate_bus(make_group())
+        assert [e.width for e in design.evaluations] == list(range(1, 24))
+
+    def test_designer_specified_width(self):
+        """Section 4: the designer may fix the width (Figure 3 uses 8)."""
+        design = generate_bus(make_group(), widths=[8])
+        assert design.width == 8
+
+    def test_infeasible_designer_width_raises(self):
+        group = make_group(comp_wait=0)
+        with pytest.raises(InfeasibleBusError):
+            generate_bus(group, widths=[1])
+
+    def test_min_width_constraint_steers_selection(self):
+        group = make_group()
+        baseline = generate_bus(group)
+        constrained = generate_bus(
+            group, constraints=ConstraintSet([min_buswidth(20, weight=5)]))
+        assert constrained.width >= baseline.width
+        assert constrained.width >= 20 or constrained.cost > 0
+
+    def test_max_width_constraint(self):
+        group = make_group()
+        design = generate_bus(
+            group,
+            constraints=ConstraintSet([max_buswidth(10, weight=100)]))
+        assert design.width <= 10
+
+    def test_min_peak_rate_constraint_figure8a(self):
+        """Min peak 10 bits/clock under the 2-clock handshake demands
+        width >= 20 (Figure 8 design A)."""
+        group = make_group()
+        design = generate_bus(
+            group,
+            constraints=ConstraintSet([min_peak_rate("a", 10, weight=10)]))
+        assert design.width >= 20
+
+    def test_cost_tie_breaks_to_narrower_bus(self):
+        group = make_group()
+        design = generate_bus(group)
+        equal_cost = [e for e in design.evaluations
+                      if e.feasible and e.cost == design.cost]
+        assert design.width == min(e.width for e in equal_cost)
+
+    def test_interconnect_reduction(self):
+        design = generate_bus(make_group())
+        expected = 100.0 * (46 - design.width) / 46
+        assert design.interconnect_reduction_percent == \
+            pytest.approx(expected)
+
+    def test_infeasible_group_raises_with_diagnostics(self):
+        # Four computation-free channels out-demand every width.
+        group = make_group(comp_wait=0, names=("a", "b", "c", "d"))
+        with pytest.raises(InfeasibleBusError) as excinfo:
+            generate_bus(group)
+        assert excinfo.value.demand > excinfo.value.best_rate
+
+    def test_hardwired_rejects_multichannel_groups(self):
+        with pytest.raises(BusGenError, match="not shareable"):
+            generate_bus(make_group(), protocol=HARDWIRED)
+
+    def test_empty_width_list_rejected(self):
+        with pytest.raises(BusGenError):
+            generate_bus(make_group(), widths=[])
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(BusGenError):
+            generate_bus(make_group(), widths=[0, 5])
+
+
+class TestConstraints:
+    def test_violation_below_lower_bound(self):
+        constraint = min_buswidth(14)
+        assert constraint.violation(10, {}) == 4
+        assert constraint.violation(14, {}) == 0
+        assert constraint.violation(20, {}) == 0
+
+    def test_violation_above_upper_bound(self):
+        constraint = max_buswidth(16)
+        assert constraint.violation(20, {}) == 4
+        assert constraint.violation(16, {}) == 0
+
+    def test_cost_is_weighted_squared_sum(self):
+        constraints = ConstraintSet([
+            min_buswidth(14, weight=2),
+            max_buswidth(10, weight=3),
+        ])
+        # width 12: min violated by 2 (2*4=8), max violated by 2 (3*4=12)
+        assert constraints.cost(12, {}) == 8 + 12
+
+    def test_rate_constraint_requires_channel(self):
+        with pytest.raises(ConstraintError):
+            BusConstraint(ConstraintKind.MIN_PEAK_RATE, 10)
+
+    def test_width_constraint_rejects_channel(self):
+        with pytest.raises(ConstraintError):
+            BusConstraint(ConstraintKind.MIN_BUSWIDTH, 10, channel="a")
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConstraintError):
+            min_buswidth(10, weight=-1)
+
+    def test_unknown_channel_in_rates(self):
+        group = make_group()
+        with pytest.raises(ConstraintError, match="not in the group"):
+            generate_bus(group, constraints=ConstraintSet(
+                [min_peak_rate("nope", 10)]))
+
+    def test_avg_and_peak_constraints_evaluate(self):
+        group = make_group()
+        design = generate_bus(group, constraints=ConstraintSet([
+            min_avg_rate("a", 0.1, weight=1),
+            max_peak_rate("a", 100, weight=1),
+        ]))
+        assert design.cost == 0  # both trivially satisfied
+
+    def test_describe(self):
+        constraints = ConstraintSet([min_peak_rate("ch2", 10, weight=10)])
+        text = constraints.describe()
+        assert "min_peak_rate" in text
+        assert "ch2" in text
+        assert ConstraintSet().describe() == "(no constraints)"
+
+
+class TestSplitGroup:
+    def test_feasible_group_stays_single_bus(self):
+        result = split_group(make_group())
+        assert result.bus_count == 1
+        assert not result.was_split
+
+    def test_infeasible_group_splits(self):
+        """Zero-computation channels saturate any shared bus; the group
+        splits across several (Section 3 step 5 / Section 6)."""
+        group = make_group(comp_wait=0, names=("a", "b", "c", "d"))
+        result = split_group(group)
+        assert result.was_split
+        assert result.bus_count >= 2
+        for design in result.designs:
+            assert design.bus_rate >= design.demand
+
+    def test_split_respects_max_buses(self):
+        group = make_group(comp_wait=0, names=("a", "b", "c", "d"))
+        with pytest.raises(InfeasibleBusError):
+            split_group(group, max_buses=1)
+
+    def test_split_preserves_all_channels(self):
+        group = make_group(comp_wait=0, names=("a", "b", "c", "d"))
+        result = split_group(group)
+        names = sorted(c.name for d in result.designs
+                       for c in d.group.channels)
+        assert names == ["a", "b", "c", "d"]
+
+    def test_constraints_follow_their_channels(self):
+        group = make_group(comp_wait=0, names=("a", "b", "c", "d"))
+        result = split_group(group, constraints=ConstraintSet(
+            [min_peak_rate("a", 10, weight=10)]))
+        for design in result.designs:
+            member_names = {c.name for c in design.group.channels}
+            if "a" in member_names:
+                assert design.width >= 20
+
+    def test_describe(self):
+        result = split_group(make_group())
+        assert "bus(es)" in result.describe()

@@ -1,0 +1,219 @@
+"""Unit tests for channels, groups and rate computation (Section 2)."""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.channels.group import ChannelGroup
+from repro.channels.rates import GroupRateModel, average_rate, peak_rate
+from repro.errors import ChannelError
+from repro.protocols import FULL_HANDSHAKE, HALF_HANDSHAKE
+from repro.spec.access import Direction
+from repro.spec.behavior import Behavior
+from repro.spec.expr import Index, Ref
+from repro.spec.stmt import Assign, For, WaitClocks
+from repro.spec.types import ArrayType, IntType
+from repro.spec.variable import Variable
+
+
+def make_channel(accesses=128, length=128, comp_wait=0,
+                 direction=Direction.WRITE, name="ch"):
+    """A behavior writing/reading an array `accesses` times."""
+    arr = Variable("arr", ArrayType(IntType(16), length))
+    i = Variable("i", IntType(16))
+    if direction is Direction.WRITE:
+        body_stmt = Assign((arr, Ref(i)), Ref(i))
+    else:
+        local = Variable("tmp", IntType(16))
+        body_stmt = Assign(local, Index(arr, Ref(i)))
+    body = [body_stmt]
+    if comp_wait:
+        body.insert(0, WaitClocks(comp_wait))
+    behavior = Behavior(f"B_{name}", [For(i, 0, accesses - 1, body)],
+                        local_variables=[v for v in [body_stmt] if False])
+    return Channel(name=name, accessor=behavior, variable=arr,
+                   direction=direction, accesses=accesses)
+
+
+class TestChannel:
+    def test_flc_message_format(self):
+        channel = make_channel()
+        assert channel.data_bits == 16
+        assert channel.address_bits == 7
+        assert channel.message_bits == 23
+        assert channel.total_bits == 128 * 23
+
+    def test_direction_flags(self):
+        write = make_channel(direction=Direction.WRITE)
+        read = make_channel(direction=Direction.READ)
+        assert write.is_write and not write.is_read
+        assert read.is_read and not read.is_write
+
+    def test_describe_uses_paper_notation(self):
+        channel = make_channel(direction=Direction.WRITE, name="ch1")
+        assert ">" in channel.describe()
+        channel = make_channel(direction=Direction.READ, name="ch2")
+        assert "<" in channel.describe()
+
+    def test_negative_access_count_rejected(self):
+        arr = Variable("arr", ArrayType(IntType(16), 4))
+        with pytest.raises(ChannelError):
+            Channel("c", Behavior("B"), arr, Direction.WRITE, accesses=-1)
+
+
+class TestChannelGroup:
+    def test_max_and_total_message_pins(self):
+        a = make_channel(name="a", length=128)          # 23 bits
+        b = make_channel(name="b", length=64)           # 22 bits
+        group = ChannelGroup("g", [a, b])
+        assert group.max_message_bits == 23
+        assert group.total_message_pins == 45
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ChannelError):
+            ChannelGroup("g", [])
+
+    def test_rejects_duplicate_names(self):
+        a = make_channel(name="x")
+        b = make_channel(name="x")
+        with pytest.raises(ChannelError):
+            ChannelGroup("g", [a, b])
+
+    def test_channels_of(self):
+        a = make_channel(name="a")
+        b = make_channel(name="b")
+        group = ChannelGroup("g", [a, b])
+        assert group.channels_of(a.accessor) == [a]
+
+    def test_behaviors_deduplicated(self):
+        a = make_channel(name="a")
+        group = ChannelGroup("g", [a])
+        assert group.behaviors() == [a.accessor]
+
+    def test_lookup(self):
+        a = make_channel(name="a")
+        group = ChannelGroup("g", [a])
+        assert group.channel("a") is a
+        with pytest.raises(ChannelError):
+            group.channel("missing")
+
+
+class TestPeakRate:
+    def test_peak_rate_is_width_over_delay(self):
+        """A 20-bit bus under the 2-clock handshake peaks at 10
+        bits/clock -- Figure 8 design A's constraint anchor."""
+        channel = make_channel()   # 23-bit messages
+        assert peak_rate(channel, 20, FULL_HANDSHAKE) == 10.0
+
+    def test_peak_rate_saturates_at_message_bits(self):
+        channel = make_channel()   # 23-bit messages
+        assert peak_rate(channel, 32, FULL_HANDSHAKE) == 23 / 2
+
+    def test_peak_rate_protocol_dependence(self):
+        channel = make_channel()
+        assert peak_rate(channel, 8, HALF_HANDSHAKE) == 8.0
+        assert peak_rate(channel, 8, FULL_HANDSHAKE) == 4.0
+
+    def test_invalid_width(self):
+        with pytest.raises(ChannelError):
+            peak_rate(make_channel(), 0, FULL_HANDSHAKE)
+
+
+class TestAverageRate:
+    def test_average_rate_definition(self):
+        """total bits / process lifetime (Section 2)."""
+        channel = make_channel(accesses=128)
+        rate = average_rate(channel, [channel], 23, FULL_HANDSHAKE)
+        # lifetime = comp (128 x loop overhead; the remote write itself
+        # is pure communication) + comm (128 messages x 1 word x 2 clk)
+        comp = 128 * 1
+        comm = 128 * 2
+        assert rate == pytest.approx(128 * 23 / (comp + comm))
+
+    def test_narrower_bus_lowers_average_rate(self):
+        """A stretched lifetime lowers the average rate -- the feedback
+        that makes narrow buses self-consistent (Section 3 step 3)."""
+        channel = make_channel()
+        wide = average_rate(channel, [channel], 23, FULL_HANDSHAKE)
+        narrow = average_rate(channel, [channel], 1, FULL_HANDSHAKE)
+        assert narrow < wide
+
+    def test_computation_lowers_average_rate(self):
+        busy = make_channel(comp_wait=50, name="busy")
+        idle = make_channel(comp_wait=0, name="idle")
+        rate_busy = average_rate(busy, [busy], 8, FULL_HANDSHAKE)
+        rate_idle = average_rate(idle, [idle], 8, FULL_HANDSHAKE)
+        assert rate_busy < rate_idle
+
+    def test_sibling_channels_stretch_lifetime(self):
+        """Two channels of one behavior share its lifetime."""
+        arr1 = Variable("arr1", ArrayType(IntType(16), 64))
+        arr2 = Variable("arr2", ArrayType(IntType(16), 64))
+        i = Variable("i", IntType(16))
+        behavior = Behavior("B", [
+            For(i, 0, 63, [
+                Assign((arr1, Ref(i)), 0),
+                Assign((arr2, Ref(i)), 0),
+            ]),
+        ])
+        ch1 = Channel("c1", behavior, arr1, Direction.WRITE, 64)
+        ch2 = Channel("c2", behavior, arr2, Direction.WRITE, 64)
+        alone = average_rate(ch1, [ch1], 8, FULL_HANDSHAKE)
+        together = average_rate(ch1, [ch1, ch2], 8, FULL_HANDSHAKE)
+        assert together < alone
+
+
+class TestGroupRateModel:
+    def test_feasibility_equation_one(self):
+        """BusRate >= sum of average rates (Equation 1)."""
+        a = make_channel(name="a")
+        b = make_channel(name="b", direction=Direction.READ)
+        group = ChannelGroup("g", [a, b])
+        model = GroupRateModel(group, FULL_HANDSHAKE)
+        width = group.max_message_bits
+        assert model.bus_rate_at(width) == width / 2
+        demand = model.demand_at(width)
+        assert model.is_feasible(width) == (model.bus_rate_at(width) >= demand)
+
+    def test_feasibility_need_not_be_contiguous(self):
+        """Feasibility is NOT monotone in width: widening the bus also
+        shortens process lifetimes, *raising* the demanded average
+        rates, and the ceil() in the word count steps unevenly.  This
+        is exactly why the paper's algorithm examines every width in
+        the range rather than binary-searching (Section 3).
+        """
+        a = make_channel(name="a", comp_wait=4)
+        b = make_channel(name="b", comp_wait=4, direction=Direction.READ)
+        group = ChannelGroup("g", [a, b])
+        model = GroupRateModel(group, FULL_HANDSHAKE)
+        feasible = [w for w in range(1, 24) if model.is_feasible(w)]
+        # This workload demonstrates the gap: feasible at 7, not at 8.
+        assert 7 in feasible
+        assert 8 not in feasible
+        # And every reported-feasible width truly satisfies Equation 1.
+        for width in feasible:
+            assert model.bus_rate_at(width) >= model.demand_at(width)
+
+    def test_widest_width_feasible_for_compute_bound_channels(self):
+        a = make_channel(name="a", comp_wait=16)
+        b = make_channel(name="b", comp_wait=16, direction=Direction.READ)
+        group = ChannelGroup("g", [a, b])
+        model = GroupRateModel(group, FULL_HANDSHAKE)
+        assert model.is_feasible(group.max_message_bits)
+
+    def test_rates_reported_per_channel(self):
+        a = make_channel(name="a")
+        group = ChannelGroup("g", [a])
+        model = GroupRateModel(group, FULL_HANDSHAKE)
+        rates = model.rates_at(8)
+        assert set(rates) == {"a"}
+        assert rates["a"].width == 8
+        assert rates["a"].lifetime_clocks > 0
+
+    def test_clock_period_scales_rates(self):
+        a = make_channel(name="a")
+        fast = GroupRateModel(ChannelGroup("g", [a], clock_period=1.0),
+                              FULL_HANDSHAKE)
+        slow = GroupRateModel(ChannelGroup("g", [a], clock_period=2.0),
+                              FULL_HANDSHAKE)
+        assert slow.bus_rate_at(8) == fast.bus_rate_at(8) / 2
+        assert slow.demand_at(8) == pytest.approx(fast.demand_at(8) / 2)

@@ -1,0 +1,114 @@
+"""Tests for the repro-synth command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "full_handshake" in out
+        assert "burst_handshake" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["synth", "nope"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestSynth:
+    def test_flc_designer_width(self, capsys):
+        assert main(["synth", "flc", "--width", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "width=20" in out
+        assert "interface area" in out
+
+    def test_flc_generated_width_with_constraint(self, capsys):
+        assert main(["synth", "flc", "--min-peak", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "width=20" in out   # Figure 8 design A
+
+    def test_simulate_checks_oracle(self, capsys):
+        assert main(["synth", "answering-machine", "--simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle check: OK" in out
+
+    def test_vhdl_output(self, tmp_path, capsys):
+        target = str(tmp_path / "out.vhd")
+        assert main(["synth", "ethernet", "--vhdl", target]) == 0
+        assert os.path.exists(target)
+        text = open(target, encoding="utf-8").read()
+        assert "architecture refined" in text
+
+    def test_protocol_selection(self, capsys):
+        assert main(["synth", "flc", "--width", "8",
+                     "--protocol", "half_handshake", "--simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "half_handshake" in out
+        assert "oracle check: OK" in out
+
+    def test_infeasible_width_falls_back_to_split(self, capsys):
+        # Width 1 cannot carry bus B's demand; the CLI reports the
+        # infeasibility, splits the group, and completes the flow.
+        code = main(["synth", "flc", "--width", "1", "--simulate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no feasible buswidth" in out
+        assert "bus(es)" in out
+        assert "oracle check: OK" in out
+
+    def test_force_overrides_infeasibility(self, capsys):
+        code = main(["synth", "flc", "--width", "1", "--force",
+                     "--simulate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "--force: proceeding with designer width 1" in out
+        assert "oracle check: OK" in out
+
+    def test_spec_file_flow(self, capsys):
+        spec = os.path.join(os.path.dirname(__file__), "..", "examples",
+                            "specs", "gcd_accelerator.spec")
+        code = main(["synth", spec, "--simulate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "simulated" in out
+
+
+class TestFigures:
+    def test_fig7(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "EVAL_R3" in out
+        assert out.count("\n") > 30
+
+    def test_fig8(self, capsys):
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "design A: width 20" in out
+        assert "design B: width 18" in out
+        assert "design C: width 16" in out
+
+
+class TestMultiBusSpecFlow:
+    def test_pipeline_dsp_synthesizes_all_module_pairs(self, capsys):
+        spec = os.path.join(os.path.dirname(__file__), "..", "examples",
+                            "specs", "pipeline_dsp.spec")
+        code = main(["synth", spec, "--simulate", "--verify"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "module-pair buses to synthesize" in out
+        assert "bus_BUFFERS_DSP" in out
+        assert "bus_BUFFERS_FRONTEND" in out
+        assert "verification PASSED" in out

@@ -1,0 +1,179 @@
+"""Unit tests for the performance estimator (ref [10] substrate)."""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.errors import EstimationError
+from repro.estimate.perf import (
+    PerformanceEstimator,
+    comp_clocks_body,
+    sweep_widths,
+    transfer_clocks,
+)
+from repro.estimate.traffic import (
+    channel_traffic,
+    format_traffic_table,
+    group_traffic,
+    interconnect_reduction,
+)
+from repro.channels.group import ChannelGroup
+from repro.protocols import FIXED_DELAY, FULL_HANDSHAKE, HALF_HANDSHAKE
+from repro.spec.access import Direction
+from repro.spec.behavior import Behavior
+from repro.spec.expr import Ref
+from repro.spec.stmt import Assign, For, If, WaitClocks, While
+from repro.spec.types import ArrayType, IntType
+from repro.spec.variable import Variable
+
+
+class TestTransferClocks:
+    def test_figure4_case(self):
+        """16-bit message over an 8-bit handshake bus: 2 words x 2 clk."""
+        assert transfer_clocks(16, 8, FULL_HANDSHAKE) == 4
+
+    def test_flc_23bit_messages(self):
+        assert transfer_clocks(23, 4, FULL_HANDSHAKE) == 12  # 6 words
+        assert transfer_clocks(23, 5, FULL_HANDSHAKE) == 10  # 5 words
+        assert transfer_clocks(23, 23, FULL_HANDSHAKE) == 2  # 1 word
+
+    def test_plateau_beyond_message_bits(self):
+        """Widths past the message size buy nothing (Figure 7's
+        plateau at 23 pins)."""
+        at_23 = transfer_clocks(23, 23, FULL_HANDSHAKE)
+        for width in (24, 32, 64):
+            assert transfer_clocks(23, width, FULL_HANDSHAKE) == at_23
+
+    def test_monotone_nonincreasing_in_width(self):
+        values = [transfer_clocks(23, w, FULL_HANDSHAKE)
+                  for w in range(1, 40)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_protocol_delay_scales(self):
+        assert transfer_clocks(16, 8, HALF_HANDSHAKE) == 2
+        assert transfer_clocks(16, 8, FIXED_DELAY) == 2
+        assert transfer_clocks(16, 8, FULL_HANDSHAKE) == 4
+
+    def test_zero_bits(self):
+        assert transfer_clocks(0, 8, FULL_HANDSHAKE) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EstimationError):
+            transfer_clocks(-1, 8, FULL_HANDSHAKE)
+        with pytest.raises(EstimationError):
+            transfer_clocks(8, 0, FULL_HANDSHAKE)
+
+
+class TestCompClocks:
+    def test_statement_costs(self):
+        x = Variable("x", IntType(16))
+        i = Variable("i", IntType(16))
+        body = [
+            Assign(x, 1),                                # 1
+            WaitClocks(5),                               # 5
+            For(i, 0, 9, [Assign(x, 2)]),                # 10 * 2
+        ]
+        assert comp_clocks_body(body) == 26
+
+    def test_if_costs_worst_case_branch(self):
+        x = Variable("x", IntType(16))
+        body = [If(Ref(x) > 0,
+                   [Assign(x, 1), Assign(x, 2)],
+                   [Assign(x, 3)])]
+        assert comp_clocks_body(body) == 3
+
+    def test_while_counts_final_test(self):
+        x = Variable("x", IntType(16))
+        body = [While(Ref(x) > 0, [Assign(x, 1)], trip_count=4)]
+        assert comp_clocks_body(body) == 4 * 2 + 1
+
+    def test_remote_write_costs_nothing(self):
+        """Assignments into remote variables are pure communication."""
+        x = Variable("x", IntType(16))
+        local = Variable("l", IntType(16))
+        body = [Assign(x, 1), Assign(local, 2)]
+        assert comp_clocks_body(body) == 2
+        assert comp_clocks_body(body, remote=frozenset({x})) == 1
+
+    def test_remote_read_statement_keeps_its_clock(self):
+        """A statement that *reads* remote data still computes."""
+        x = Variable("x", IntType(16))
+        local = Variable("l", IntType(16))
+        body = [Assign(local, Ref(x) + 1)]
+        assert comp_clocks_body(body, remote=frozenset({x})) == 1
+
+
+class TestEstimator:
+    @pytest.fixture
+    def setup(self):
+        arr = Variable("arr", ArrayType(IntType(16), 128))
+        i = Variable("i", IntType(16))
+        behavior = Behavior("B", [
+            WaitClocks(100),
+            For(i, 0, 127, [Assign((arr, Ref(i)), Ref(i))]),
+        ])
+        channel = Channel("c", behavior, arr, Direction.WRITE, 128)
+        return behavior, channel
+
+    def test_breakdown(self, setup):
+        behavior, channel = setup
+        estimator = PerformanceEstimator()
+        estimate = estimator.estimate(behavior, [channel], 8,
+                                      FULL_HANDSHAKE)
+        assert estimate.comp_clocks == 100 + 128  # wait + loop overhead
+        assert estimate.comm_clocks == 128 * 3 * 2  # 23 bits / 8 -> 3 words
+        assert estimate.exec_clocks == \
+            estimate.comp_clocks + estimate.comm_clocks
+
+    def test_other_behaviors_channels_ignored(self, setup):
+        behavior, channel = setup
+        other = Channel("o", Behavior("OTHER"), channel.variable,
+                        Direction.READ, 1000)
+        estimator = PerformanceEstimator()
+        with_other = estimator.estimate(behavior, [channel, other], 8,
+                                        FULL_HANDSHAKE)
+        alone = estimator.estimate(behavior, [channel], 8, FULL_HANDSHAKE)
+        assert with_other.exec_clocks == alone.exec_clocks
+
+    def test_sweep(self, setup):
+        behavior, channel = setup
+        sweep = sweep_widths(behavior, [channel], [1, 8, 23],
+                             FULL_HANDSHAKE)
+        assert set(sweep) == {1, 8, 23}
+        assert sweep[1].exec_clocks > sweep[8].exec_clocks \
+            > sweep[23].exec_clocks
+
+    def test_comp_cache_distinguishes_remote_sets(self, setup):
+        behavior, channel = setup
+        estimator = PerformanceEstimator()
+        with_remote = estimator.comp_clocks(behavior, [channel])
+        without = estimator.comp_clocks(behavior)
+        assert without == with_remote + 128  # writes count as comp again
+
+
+class TestTraffic:
+    def test_channel_traffic(self, fig3):
+        traffic = channel_traffic(fig3.channels[0])
+        assert traffic.total_bits == \
+            traffic.message_bits * traffic.accesses
+
+    def test_group_traffic_totals(self, fig3):
+        traffic = group_traffic(fig3.group)
+        assert traffic.total_message_pins == 76  # 22+16+16+22
+        assert traffic.max_message_bits == 22
+
+    def test_interconnect_reduction_figure8(self):
+        """46 separate pins -> 20-bit bus = 56% (Figure 8 design A)."""
+        assert round(interconnect_reduction(46, 20)) == 57 or \
+            round(interconnect_reduction(46, 20)) == 56
+        assert interconnect_reduction(46, 20) == pytest.approx(56.52, abs=0.01)
+
+    def test_interconnect_reduction_validation(self):
+        with pytest.raises(ValueError):
+            interconnect_reduction(0, 1)
+        with pytest.raises(ValueError):
+            interconnect_reduction(10, -1)
+
+    def test_format_traffic_table(self, fig3):
+        table = format_traffic_table(group_traffic(fig3.group))
+        assert "TOTAL" in table
+        assert "76" in table

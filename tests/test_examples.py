@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = [
+    "quickstart.py",
+    "flc_interface_synthesis.py",
+    "protocol_playground.py",
+    "ethernet_codegen.py",
+    "controller_fsms.py",
+    "convolution_tradeoffs.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    completed = subprocess.run(
+        [sys.executable, path],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_figure3_values():
+    path = os.path.join(EXAMPLES_DIR, "quickstart.py")
+    completed = subprocess.run(
+        [sys.executable, path],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert "MEM(5)  = 39" in completed.stdout
+    assert "MEM(60) = 42" in completed.stdout
+    assert "validation OK" in completed.stdout
+
+
+def test_flc_example_reports_match():
+    path = os.path.join(EXAMPLES_DIR, "flc_interface_synthesis.py")
+    completed = subprocess.run(
+        [sys.executable, path],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert "MATCH" in completed.stdout
+    assert "design A: width 20" in completed.stdout

@@ -1,0 +1,248 @@
+"""Unit tests for the expression IR."""
+
+import pytest
+
+from repro.errors import ExprError
+from repro.spec.expr import (
+    BinOp,
+    Const,
+    Environment,
+    Index,
+    Ref,
+    UnOp,
+    as_expr,
+    vmax,
+    vmin,
+)
+from repro.spec.types import ArrayType, IntType
+from repro.spec.variable import Variable
+
+
+@pytest.fixture
+def env():
+    environment = Environment()
+    x = Variable("x", IntType(16), init=10)
+    arr = Variable("arr", ArrayType(IntType(16), 4), init=[5, 6, 7, 8])
+    environment.declare(x)
+    environment.declare(arr)
+    return environment, x, arr
+
+
+class TestConst:
+    def test_evaluates_to_value(self):
+        assert Const(42).evaluate(Environment()) == 42
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ExprError):
+            Const("42")
+        with pytest.raises(ExprError):
+            Const(True)
+
+    def test_is_constant(self):
+        assert Const(1).is_constant()
+
+    def test_no_reads(self):
+        assert list(Const(1).reads()) == []
+
+
+class TestRef:
+    def test_evaluates_variable(self, env):
+        environment, x, _ = env
+        assert Ref(x).evaluate(environment) == 10
+
+    def test_reads_yield_variable(self, env):
+        _, x, _ = env
+        reads = list(Ref(x).reads())
+        assert len(reads) == 1
+        assert reads[0].variable is x
+        assert reads[0].index is None
+
+    def test_whole_array_read_rejected(self, env):
+        environment, _, arr = env
+        with pytest.raises(ExprError):
+            Ref(arr).evaluate(environment)
+
+    def test_undeclared_variable_read_fails(self):
+        x = Variable("x", IntType(16))
+        with pytest.raises(ExprError, match="not accessible"):
+            Ref(x).evaluate(Environment())
+
+    def test_rejects_non_variable(self):
+        with pytest.raises(ExprError):
+            Ref(42)
+
+
+class TestIndex:
+    def test_evaluates_element(self, env):
+        environment, _, arr = env
+        assert Index(arr, 2).evaluate(environment) == 7
+
+    def test_dynamic_index(self, env):
+        environment, x, arr = env
+        environment.write(x, 3)
+        assert Index(arr, Ref(x)).evaluate(environment) == 8
+
+    def test_out_of_range_index(self, env):
+        environment, _, arr = env
+        with pytest.raises(Exception):
+            Index(arr, 4).evaluate(environment)
+
+    def test_rejects_scalar_variable(self, env):
+        _, x, _ = env
+        with pytest.raises(ExprError):
+            Index(x, 0)
+
+    def test_reads_include_index_expression(self, env):
+        _, x, arr = env
+        reads = list(Index(arr, Ref(x)).reads())
+        variables = {r.variable for r in reads}
+        assert variables == {x, arr}
+
+
+class TestBinOp:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("+", 3, 4, 7),
+        ("-", 3, 4, -1),
+        ("*", 3, 4, 12),
+        ("/", 7, 2, 3),
+        ("/", -7, 2, -3),   # VHDL truncates toward zero
+        ("mod", 7, 3, 1),
+        ("=", 3, 3, 1),
+        ("/=", 3, 4, 1),
+        ("<", 3, 4, 1),
+        ("<=", 4, 4, 1),
+        (">", 4, 3, 1),
+        (">=", 3, 4, 0),
+        ("and", 1, 0, 0),
+        ("or", 1, 0, 1),
+        ("min", 3, 4, 3),
+        ("max", 3, 4, 4),
+    ])
+    def test_operators(self, op, a, b, expected):
+        assert BinOp(op, a, b).evaluate(Environment()) == expected
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExprError):
+            BinOp("/", 1, 0).evaluate(Environment())
+
+    def test_mod_by_zero(self):
+        with pytest.raises(ExprError):
+            BinOp("mod", 1, 0).evaluate(Environment())
+
+    def test_unknown_operator(self):
+        with pytest.raises(ExprError):
+            BinOp("**", 1, 2)
+
+    def test_operator_sugar(self, env):
+        environment, x, _ = env
+        assert (Ref(x) + 5).evaluate(environment) == 15
+        assert (Ref(x) - 5).evaluate(environment) == 5
+        assert (Ref(x) * 2).evaluate(environment) == 20
+        assert (Ref(x) // 3).evaluate(environment) == 3
+        assert (Ref(x) % 3).evaluate(environment) == 1
+        assert (3 + Ref(x)).evaluate(environment) == 13
+        assert (3 - Ref(x)).evaluate(environment) == -7
+
+    def test_comparison_sugar(self, env):
+        environment, x, _ = env
+        assert (Ref(x) < 20).evaluate(environment) == 1
+        assert (Ref(x) >= 10).evaluate(environment) == 1
+        assert Ref(x).eq(10).evaluate(environment) == 1
+        assert Ref(x).ne(10).evaluate(environment) == 0
+
+    def test_vmin_vmax(self, env):
+        environment, x, _ = env
+        assert vmin(Ref(x), 3).evaluate(environment) == 3
+        assert vmax(Ref(x), 3).evaluate(environment) == 10
+
+
+class TestUnOp:
+    def test_negation(self):
+        assert UnOp("-", 5).evaluate(Environment()) == -5
+
+    def test_abs(self):
+        assert UnOp("abs", -5).evaluate(Environment()) == 5
+
+    def test_not(self):
+        assert UnOp("not", 0).evaluate(Environment()) == 1
+        assert UnOp("not", 3).evaluate(Environment()) == 0
+
+    def test_unknown(self):
+        with pytest.raises(ExprError):
+            UnOp("~", 1)
+
+
+class TestSubstitute:
+    def test_substitutes_ref_site(self, env):
+        _, x, _ = env
+        y = Variable("y", IntType(16))
+        site = Ref(x)
+        expr = site + 1
+        replaced = expr.substitute({site: Ref(y)})
+        reads = {r.variable for r in replaced.reads()}
+        assert reads == {y}
+
+    def test_substitution_is_by_identity(self, env):
+        _, x, _ = env
+        y = Variable("y", IntType(16))
+        site_a = Ref(x)
+        site_b = Ref(x)
+        expr = BinOp("+", site_a, site_b)
+        replaced = expr.substitute({site_a: Ref(y)})
+        reads = [r.variable for r in replaced.reads()]
+        assert sorted(v.name for v in reads) == ["x", "y"]
+
+    def test_no_match_returns_same_object(self):
+        expr = Const(1) + 2
+        assert expr.substitute({}) is expr
+
+
+class TestAsExpr:
+    def test_int_becomes_const(self):
+        expr = as_expr(5)
+        assert isinstance(expr, Const)
+
+    def test_expr_passes_through(self):
+        expr = Const(5)
+        assert as_expr(expr) is expr
+
+    def test_rejects_bool_and_str(self):
+        with pytest.raises(ExprError):
+            as_expr(True)
+        with pytest.raises(ExprError):
+            as_expr("5")
+
+
+class TestEnvironment:
+    def test_write_validates_type(self, env):
+        environment, x, _ = env
+        with pytest.raises(Exception):
+            environment.write(x, 1 << 20)
+
+    def test_write_element(self, env):
+        environment, _, arr = env
+        environment.write_element(arr, 1, 99)
+        assert Index(arr, 1).evaluate(environment) == 99
+
+    def test_write_element_on_scalar_fails(self, env):
+        environment, x, _ = env
+        with pytest.raises(ExprError):
+            environment.write_element(x, 0, 1)
+
+    def test_snapshot_copies_arrays(self, env):
+        environment, _, arr = env
+        snap = environment.snapshot()
+        environment.write_element(arr, 0, 42)
+        assert snap["arr"][0] == 5
+
+    def test_initial_value_from_init(self):
+        environment = Environment()
+        v = Variable("v", IntType(16), init=7)
+        environment.declare(v)
+        assert environment.read(v) == 7
+
+    def test_write_undeclared_fails(self):
+        environment = Environment()
+        v = Variable("v", IntType(16))
+        with pytest.raises(ExprError):
+            environment.write(v, 1)

@@ -1,0 +1,66 @@
+"""Property-based tests on the FLC model's fuzzy semantics and on the
+estimator over the full input grid."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.flc import (
+    MU_MAX,
+    OUTPUT_POINTS,
+    TABLE_POINTS,
+    build_flc,
+    reference_ctrl_output,
+)
+
+inputs = st.integers(min_value=0, max_value=TABLE_POINTS - 1)
+
+
+@given(inputs, inputs)
+@settings(max_examples=60, deadline=None)
+def test_control_output_always_in_actuator_range(temperature, humidity):
+    value = reference_ctrl_output(temperature, humidity)
+    assert 0 <= value <= 2 * (OUTPUT_POINTS - 1)
+
+
+@given(inputs, inputs)
+@settings(max_examples=25, deadline=None)
+def test_model_equals_oracle_for_any_inputs(temperature, humidity):
+    """The behavioral model and the pure-Python oracle agree at every
+    point of the input grid (hypothesis samples it)."""
+    from repro.spec.interp import run_reference
+
+    model = build_flc(temperature, humidity)
+    result = run_reference(model.system, order=model.schedule)
+    assert result.final_values["ctrl_out"] == \
+        reference_ctrl_output(temperature, humidity)
+
+
+@given(inputs, inputs)
+@settings(max_examples=40, deadline=None)
+def test_channel_traffic_independent_of_inputs(temperature, humidity):
+    """Bus-B traffic is structural: 128 x 23-bit messages per channel
+    regardless of the sensed values (access counts are static)."""
+    model = build_flc(temperature, humidity)
+    for channel in model.bus_b:
+        assert channel.accesses == 128
+        assert channel.message_bits == 23
+
+
+def test_membership_tables_bounded():
+    """Every membership value INITIALIZE writes is within [0, MU_MAX]."""
+    from repro.spec.interp import run_reference
+
+    model = build_flc(10, 10)
+    result = run_reference(model.system, order=["INITIALIZE"])
+    table = result.final_values["InitMemberFunct"]
+    assert len(table) == 1920
+    assert all(0 <= value <= MU_MAX for value in table)
+
+
+def test_rule_strengths_monotone_in_membership():
+    """Moving the temperature toward a rule's center cannot decrease
+    that rule's contribution: check via two sampled points per rule."""
+    # Rule 3 (hot & humid): centers near high temperature/humidity.
+    mild = reference_ctrl_output(200, 200)
+    hot = reference_ctrl_output(280, 260)
+    assert hot >= mild

@@ -1,0 +1,458 @@
+"""Tests for the textual front end: lexer, parser, printer."""
+
+import os
+
+import pytest
+
+from repro.frontend.lexer import LexError, int_value, tokenize
+from repro.frontend.parser import ParseError, parse_spec, parse_spec_file
+from repro.frontend.printer import print_spec
+from repro.partition.channels import extract_channels
+from repro.partition.module import ModuleKind
+from repro.spec.interp import run_reference
+from repro.spec.stmt import Assign, For, If, WaitClocks, While
+from repro.spec.types import ArrayType, BitType, IntType
+
+FIG3_SOURCE = """
+system fig3 is
+  variable X   : integer(16) ;
+  variable MEM : array(0 to 63) of integer(16) ;
+
+  behavior P is
+    variable AD : integer(16) := 5 ;
+    variable Xt : integer(16) ;
+  begin
+    X <= 32 ;
+    Xt <= X ;
+    MEM(AD) <= Xt + 7 ;
+  end behavior ;
+
+  behavior Q is
+    variable COUNT : integer(16) := 42 ;
+  begin
+    MEM(60) <= COUNT ;
+  end behavior ;
+
+  partition is
+    module MODULE1 : chip contains P, Q ;
+    module MODULE2 : memory contains X, MEM ;
+  end partition ;
+end system ;
+"""
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize("X <= 0x2A + foo ; -- comment\n")
+        kinds = [(t.kind, t.text) for t in tokens]
+        assert kinds == [
+            ("ident", "X"), ("op", "<="), ("int", "0x2A"), ("op", "+"),
+            ("ident", "foo"), ("op", ";"), ("eof", ""),
+        ]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("System BEGIN End")
+        assert [t.kind for t in tokens[:-1]] == ["keyword"] * 3
+        assert [t.text for t in tokens[:-1]] == ["system", "begin", "end"]
+
+    def test_pragma_token(self):
+        tokens = tokenize("--@ trips 5\n")
+        assert tokens[0].kind == "pragma"
+        assert tokens[0].text == "trips 5"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a -- a comment with <= tokens\nb")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_int_values(self):
+        tokens = tokenize("42 0xFF")
+        assert int_value(tokens[0]) == 42
+        assert int_value(tokens[1]) == 255
+
+    def test_invalid_character(self):
+        with pytest.raises(LexError, match="line 1"):
+            tokenize("a $ b")
+
+
+class TestParser:
+    def test_fig3_structure(self):
+        parsed = parse_spec(FIG3_SOURCE)
+        system = parsed.system
+        assert system.name == "fig3"
+        assert [b.name for b in system.behaviors] == ["P", "Q"]
+        assert isinstance(system.variable("MEM").dtype, ArrayType)
+        assert system.variable("MEM").dtype.length == 64
+
+    def test_fig3_executes_correctly(self):
+        parsed = parse_spec(FIG3_SOURCE)
+        result = run_reference(parsed.system, order=parsed.behavior_order)
+        assert result.final_values["X"] == 32
+        assert result.final_values["MEM"][5] == 39
+        assert result.final_values["MEM"][60] == 42
+
+    def test_partition_block(self):
+        parsed = parse_spec(FIG3_SOURCE)
+        partition = parsed.partition
+        assert partition is not None
+        assert partition.module_of("P").name == "MODULE1"
+        assert partition.module_of("MEM").kind is ModuleKind.MEMORY
+        assert len(extract_channels(partition)) == 4
+
+    def test_initializers(self):
+        parsed = parse_spec("""
+        system s is
+          variable a : integer(8) := -5 ;
+          variable arr : array(0 to 2) of unsigned(8) := (1, 2, 3) ;
+          behavior B is
+          begin
+            a <= arr(0) ;
+          end behavior ;
+        end system ;
+        """)
+        assert parsed.system.variable("a").init == -5
+        assert parsed.system.variable("arr").init == [1, 2, 3]
+
+    def test_types(self):
+        parsed = parse_spec("""
+        system s is
+          variable a : integer(12) ;
+          variable b : unsigned(9) ;
+          variable c : bit_vector(4) ;
+          behavior B is
+          begin
+            a <= 1 ;
+          end behavior ;
+        end system ;
+        """)
+        a = parsed.system.variable("a").dtype
+        b = parsed.system.variable("b").dtype
+        c = parsed.system.variable("c").dtype
+        assert isinstance(a, IntType) and a.signed and a.width == 12
+        assert isinstance(b, IntType) and not b.signed and b.width == 9
+        assert isinstance(c, BitType) and c.width == 4
+
+    def test_statements_and_expressions(self):
+        parsed = parse_spec("""
+        system s is
+          variable out1 : integer(32) ;
+          behavior B is
+            variable t : integer(16) ;
+          begin
+            if t > 0 and t < 10 then
+              out1 <= min(t, 5) * 2 ;
+            elsif t = -3 then
+              out1 <= abs(t) ;
+            else
+              out1 <= max(t, 0) mod 7 ;
+            end if ;
+            for i in 0 to 9 loop
+              t <= t + i ;
+            end loop ;
+            while t > 0 loop
+              t <= t - 1 ;
+            end loop ;
+            --@ trips 12
+            wait for 3 ;
+          end behavior ;
+        end system ;
+        """)
+        body = parsed.system.behavior("B").body
+        assert isinstance(body[0], If)
+        # elsif desugars to a nested If in the else branch.
+        assert isinstance(body[0].else_body[0], If)
+        assert isinstance(body[1], For)
+        assert body[1].trip_count == 10
+        assert isinstance(body[2], While)
+        assert body[2].trip_count == 12
+        assert isinstance(body[3], WaitClocks)
+        assert body[3].clocks == 3
+
+    def test_while_without_pragma_defaults_to_one_trip(self):
+        parsed = parse_spec("""
+        system s is
+          variable x : integer(8) ;
+          behavior B is
+          begin
+            while x > 0 loop
+              x <= x - 1 ;
+            end loop ;
+          end behavior ;
+        end system ;
+        """)
+        loop = parsed.system.behavior("B").body[0]
+        assert isinstance(loop, While)
+        assert loop.trip_count == 1
+
+    def test_operator_precedence(self):
+        parsed = parse_spec("""
+        system s is
+          variable r : integer(32) ;
+          behavior B is
+          begin
+            r <= 2 + 3 * 4 ;
+          end behavior ;
+        end system ;
+        """)
+        result = run_reference(parsed.system)
+        assert result.final_values["r"] == 14
+
+    def test_unary_minus_folds_into_literal(self):
+        parsed = parse_spec("""
+        system s is
+          variable r : integer(32) ;
+          behavior B is
+          begin
+            r <= -7 + 1 ;
+          end behavior ;
+        end system ;
+        """)
+        assert run_reference(parsed.system).final_values["r"] == -6
+
+    def test_loop_variable_scoping(self):
+        """The loop variable exists only inside its loop."""
+        with pytest.raises(ParseError, match="unknown variable"):
+            parse_spec("""
+            system s is
+              variable r : integer(32) ;
+              behavior B is
+              begin
+                for i in 0 to 3 loop
+                  r <= i ;
+                end loop ;
+                r <= i ;
+              end behavior ;
+            end system ;
+            """)
+
+
+class TestParserErrors:
+    def test_unknown_variable(self):
+        with pytest.raises(ParseError, match="unknown variable"):
+            parse_spec("""
+            system s is
+              behavior B is
+              begin
+                nope <= 1 ;
+              end behavior ;
+            end system ;
+            """)
+
+    def test_indexing_a_scalar(self):
+        with pytest.raises(ParseError, match="not an array"):
+            parse_spec("""
+            system s is
+              variable x : integer(8) ;
+              behavior B is
+              begin
+                x(0) <= 1 ;
+              end behavior ;
+            end system ;
+            """)
+
+    def test_duplicate_variable(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_spec("""
+            system s is
+              variable x : integer(8) ;
+              variable x : integer(8) ;
+            end system ;
+            """)
+
+    def test_shadowing_rejected(self):
+        with pytest.raises(ParseError, match="shadows"):
+            parse_spec("""
+            system s is
+              variable x : integer(8) ;
+              behavior B is
+                variable x : integer(8) ;
+              begin
+                x <= 1 ;
+              end behavior ;
+            end system ;
+            """)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError, match=r"line \d+, column \d+"):
+            parse_spec("system s is variable ; end system ;")
+
+    def test_nonzero_array_base_rejected(self):
+        with pytest.raises(ParseError, match="start at 0"):
+            parse_spec("""
+            system s is
+              variable a : array(1 to 4) of integer(8) ;
+            end system ;
+            """)
+
+    def test_bad_pragma(self):
+        with pytest.raises(ParseError, match="pragma"):
+            parse_spec("""
+            system s is
+              variable x : integer(8) ;
+              behavior B is
+              begin
+                while x > 0 loop
+                  x <= x - 1 ;
+                end loop ;
+                --@ bogus
+              end behavior ;
+            end system ;
+            """)
+
+    def test_wrong_array_initializer_length(self):
+        with pytest.raises(ParseError, match="values"):
+            parse_spec("""
+            system s is
+              variable a : array(0 to 3) of integer(8) := (1, 2) ;
+            end system ;
+            """)
+
+    def test_partition_with_unknown_member(self):
+        with pytest.raises(Exception):
+            parse_spec("""
+            system s is
+              variable x : integer(8) ;
+              behavior B is
+              begin
+                x <= 1 ;
+              end behavior ;
+              partition is
+                module M : chip contains B, GHOST ;
+              end partition ;
+            end system ;
+            """)
+
+
+class TestPrinterRoundTrip:
+    def test_fig3_round_trip(self):
+        parsed = parse_spec(FIG3_SOURCE)
+        text = print_spec(parsed.system, parsed.partition)
+        reparsed = parse_spec(text)
+        first = run_reference(parsed.system, order=parsed.behavior_order)
+        second = run_reference(reparsed.system,
+                               order=reparsed.behavior_order)
+        assert first.final_values == second.final_values
+        assert first.clocks == second.clocks
+
+    def test_round_trip_preserves_partition(self):
+        parsed = parse_spec(FIG3_SOURCE)
+        text = print_spec(parsed.system, parsed.partition)
+        reparsed = parse_spec(text)
+        assert reparsed.partition is not None
+        assert len(extract_channels(reparsed.partition)) == 4
+
+    def test_round_trip_preserves_trip_counts(self):
+        source = """
+        system s is
+          variable x : integer(8) := 3 ;
+          behavior B is
+          begin
+            while x > 0 loop
+              x <= x - 1 ;
+            end loop ;
+            --@ trips 9
+          end behavior ;
+        end system ;
+        """
+        parsed = parse_spec(source)
+        reparsed = parse_spec(print_spec(parsed.system))
+        loop = reparsed.system.behavior("B").body[0]
+        assert loop.trip_count == 9
+
+
+class TestSpecFiles:
+    SPEC_DIR = os.path.join(os.path.dirname(__file__), "..", "examples",
+                            "specs")
+
+    def test_fig3_spec_file(self):
+        parsed = parse_spec_file(os.path.join(self.SPEC_DIR, "fig3.spec"))
+        result = run_reference(parsed.system, order=parsed.behavior_order)
+        assert result.final_values["MEM"][5] == 39
+
+    def test_gcd_spec_file_computes_gcd(self):
+        parsed = parse_spec_file(
+            os.path.join(self.SPEC_DIR, "gcd_accelerator.spec"))
+        result = run_reference(parsed.system, order=parsed.behavior_order)
+        assert result.final_values["RESULT"] == 21   # gcd(252, 105)
+        assert result.final_values["STATUS"] == 3
+
+    def test_gcd_spec_refines_and_simulates(self):
+        from repro.busgen.split import split_group
+        from repro.partition.channels import default_bus_groups
+        from repro.protogen.refine import refine_system
+        from repro.sim.runtime import simulate
+
+        parsed = parse_spec_file(
+            os.path.join(self.SPEC_DIR, "gcd_accelerator.spec"))
+        group = default_bus_groups(parsed.partition)[0]
+        result = split_group(group)
+        refined = refine_system(parsed.system, list(result.designs))
+        sim = simulate(refined, schedule=parsed.behavior_order)
+        assert sim.final_values["RESULT"] == 21
+        assert sim.final_values["STATUS"] == 3
+
+
+class TestPrintParsePropertyRoundTrip:
+    """Fuzzed round-trip: printing any generated system and reparsing
+    it preserves semantics (final values and clock counts)."""
+
+    def test_fuzzed_round_trip(self):
+        from hypothesis import given, settings
+
+        from tests.test_properties_sim import systems
+
+        @given(systems())
+        @settings(max_examples=40, deadline=None)
+        def check(system):
+            text = print_spec(system)
+            reparsed = parse_spec(text).system
+            golden = run_reference(system, order=["P", "Q"])
+            again = run_reference(reparsed, order=["P", "Q"])
+            assert golden.final_values == again.final_values
+            assert golden.clocks == again.clocks
+
+        check()
+
+
+class TestAppRoundTrips:
+    """Every built-in application model survives print -> parse with
+    identical semantics (final values and clock counts)."""
+
+    @pytest.mark.parametrize("builder_name", [
+        "flc", "answering_machine", "ethernet", "convolution",
+    ])
+    def test_app_round_trip(self, builder_name):
+        if builder_name == "flc":
+            from repro.apps.flc import build_flc
+            model = build_flc(250, 180)
+        elif builder_name == "answering_machine":
+            from repro.apps.answering_machine import build_answering_machine
+            model = build_answering_machine()
+        elif builder_name == "ethernet":
+            from repro.apps.ethernet import build_ethernet
+            model = build_ethernet()
+        else:
+            from repro.apps.convolution import build_convolution
+            model = build_convolution()
+
+        text = print_spec(model.system, model.partition)
+        reparsed = parse_spec(text)
+        golden = run_reference(model.system, order=model.schedule)
+        again = run_reference(reparsed.system, order=model.schedule)
+        assert golden.final_values == again.final_values
+        assert golden.clocks == again.clocks
+        # The partition block reproduces the same channel inventory.
+        assert reparsed.partition is not None
+        original_channels = {
+            (c.accessor.name, c.variable.name, c.direction, c.accesses)
+            for c in extract_channels(model.partition)
+        }
+        reparsed_channels = {
+            (c.accessor.name, c.variable.name, c.direction, c.accesses)
+            for c in extract_channels(reparsed.partition)
+        }
+        assert original_channels == reparsed_channels

@@ -1,0 +1,169 @@
+"""Tests for protocol controller FSM synthesis."""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.channels.group import ChannelGroup
+from repro.errors import ProtocolError
+from repro.estimate.area import procedure_area
+from repro.protocols import (
+    BURST_HANDSHAKE,
+    FIXED_DELAY,
+    FULL_HANDSHAKE,
+    HALF_HANDSHAKE,
+    PROTOCOLS,
+)
+from repro.protogen.fsm import (
+    FsmState,
+    FsmTransition,
+    ProtocolFsm,
+    Role,
+    synthesize_fsm,
+)
+from repro.protogen.procedures import make_procedures
+from repro.protogen.structure import make_structure
+from repro.spec.access import Direction
+from repro.spec.behavior import Behavior
+from repro.spec.types import ArrayType, IntType
+from repro.spec.variable import Variable
+
+SHAREABLE = [FULL_HANDSHAKE, HALF_HANDSHAKE, FIXED_DELAY, BURST_HANDSHAKE]
+
+
+def make_setup(direction=Direction.WRITE, width=8, length=128, count=2):
+    channels = []
+    for i in range(count):
+        arr = Variable("arr", ArrayType(IntType(16), length))
+        channels.append(Channel(f"ch{i}", Behavior(f"B{i}"), arr,
+                                direction, 1))
+    group = ChannelGroup("g", channels)
+    return group, channels[0]
+
+
+@pytest.fixture(params=SHAREABLE, ids=lambda p: p.name)
+def protocol(request):
+    return request.param
+
+
+class TestSynthesis:
+    def test_both_sides_synthesize_and_validate(self, protocol):
+        group, channel = make_setup()
+        structure = make_structure("B", group, 8, protocol)
+        pair = make_procedures(channel, protocol)
+        for procedure in (pair.accessor, pair.server):
+            fsm = synthesize_fsm(procedure, structure)
+            fsm.validate()
+            assert fsm.state_count >= 2
+
+    def test_state_counts_match_area_closed_form(self, protocol):
+        """The area estimator's formula equals the synthesized FSM."""
+        for width in (1, 4, 8, 16, 23):
+            group, channel = make_setup(width=width)
+            structure = make_structure("B", group, width, protocol)
+            pair = make_procedures(channel, protocol)
+            for procedure in (pair.accessor, pair.server):
+                fsm = synthesize_fsm(procedure, structure)
+                formula = procedure_area(procedure, width).fsm_states
+                assert fsm.state_count == formula, \
+                    (protocol.name, width, procedure.name)
+
+    def test_handshake_two_states_per_word(self):
+        group, channel = make_setup()
+        structure = make_structure("B", group, 8, FULL_HANDSHAKE)
+        pair = make_procedures(channel, FULL_HANDSHAKE)
+        words = pair.layout.word_count(8)
+        fsm = synthesize_fsm(pair.accessor, structure)
+        assert fsm.state_count == 2 * words + 1
+
+    def test_burst_has_grant_and_release(self):
+        group, channel = make_setup()
+        structure = make_structure("B", group, 8, BURST_HANDSHAKE)
+        pair = make_procedures(channel, BURST_HANDSHAKE)
+        fsm = synthesize_fsm(pair.accessor, structure)
+        names = {s.name for s in fsm.states}
+        assert {"GRANT", "RELEASE"} <= names
+
+    def test_guards_reference_id_code(self):
+        group, channel = make_setup()
+        structure = make_structure("B", group, 8, FULL_HANDSHAKE)
+        pair = make_procedures(channel, FULL_HANDSHAKE)
+        fsm = synthesize_fsm(pair.server, structure)
+        id_bits = structure.ids.code_bits(channel.name)
+        guards = " ".join(t.guard or "" for t in fsm.transitions)
+        assert f'ID = "{id_bits}"' in guards
+
+    def test_accessor_actions_drive_and_latch(self):
+        group, channel = make_setup(direction=Direction.READ)
+        structure = make_structure("B", group, 8, FULL_HANDSHAKE)
+        pair = make_procedures(channel, FULL_HANDSHAKE)
+        fsm = synthesize_fsm(pair.accessor, structure)
+        actions = " ".join(a for s in fsm.states for a in s.actions)
+        assert "drive DATA" in actions      # address portion
+        assert "latch data" in actions      # received data
+
+    def test_initial_state_is_final_rest_state(self, protocol):
+        group, channel = make_setup()
+        structure = make_structure("B", group, 8, protocol)
+        pair = make_procedures(channel, protocol)
+        fsm = synthesize_fsm(pair.accessor, structure)
+        initial = fsm.initial_state()
+        assert initial.is_final
+
+
+class TestValidation:
+    def test_dead_end_detected(self):
+        fsm = ProtocolFsm("bad", Role.ACCESSOR)
+        fsm.states = [FsmState("A", is_initial=True), FsmState("B")]
+        fsm.transitions = [FsmTransition("A", "B")]
+        with pytest.raises(ProtocolError, match="dead end"):
+            fsm.validate()
+
+    def test_unreachable_detected(self):
+        fsm = ProtocolFsm("bad", Role.ACCESSOR)
+        fsm.states = [FsmState("A", is_initial=True, is_final=True),
+                      FsmState("B", is_final=True)]
+        with pytest.raises(ProtocolError, match="unreachable"):
+            fsm.validate()
+
+    def test_unknown_endpoint_detected(self):
+        fsm = ProtocolFsm("bad", Role.ACCESSOR)
+        fsm.states = [FsmState("A", is_initial=True, is_final=True)]
+        fsm.transitions = [FsmTransition("A", "GHOST")]
+        with pytest.raises(ProtocolError, match="unknown state"):
+            fsm.validate()
+
+    def test_duplicate_names_detected(self):
+        fsm = ProtocolFsm("bad", Role.ACCESSOR)
+        fsm.states = [FsmState("A", is_initial=True, is_final=True),
+                      FsmState("A", is_final=True)]
+        with pytest.raises(ProtocolError, match="duplicate"):
+            fsm.validate()
+
+
+class TestExport:
+    @pytest.fixture
+    def fsm(self):
+        group, channel = make_setup()
+        structure = make_structure("B", group, 8, FULL_HANDSHAKE)
+        pair = make_procedures(channel, FULL_HANDSHAKE)
+        return synthesize_fsm(pair.accessor, structure)
+
+    def test_dot_export(self, fsm):
+        dot = fsm.to_dot()
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        for state in fsm.states:
+            assert f'"{state.name}"' in dot
+        assert "doublecircle" in dot
+
+    def test_table_export(self, fsm):
+        table = fsm.to_table()
+        assert "FSM SendCH0" in table
+        assert "<initial>" in table
+        assert "DONE = '1'" in table
+        assert "START <= '1'" in table
+
+    def test_lookup(self, fsm):
+        assert fsm.state("IDLE").is_initial
+        with pytest.raises(ProtocolError):
+            fsm.state("NOPE")

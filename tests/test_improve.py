@@ -1,0 +1,141 @@
+"""Tests for the group-migration partition improvement pass."""
+
+import pytest
+
+from repro.partition.closeness import ClosenessModel, cut_traffic
+from repro.partition.improve import improve_partition
+from repro.partition.module import ModuleKind
+from repro.partition.partitioner import Partition, cluster_partition
+from repro.spec.behavior import Behavior
+from repro.spec.expr import Index, Ref
+from repro.spec.stmt import Assign, For
+from repro.spec.system import SystemSpec
+from repro.spec.types import ArrayType, IntType
+from repro.spec.variable import Variable
+
+
+def heavy_pair_system():
+    """Two behavior/array pairs with heavy internal traffic; a bad
+    partition splits the pairs, a good one keeps them together."""
+    arr_a = Variable("arr_a", ArrayType(IntType(16), 64))
+    arr_b = Variable("arr_b", ArrayType(IntType(16), 64))
+    i = Variable("i", IntType(16))
+    j = Variable("j", IntType(16))
+    worker_a = Behavior("WA", [For(i, 0, 63, [
+        Assign((arr_a, Ref(i)), Ref(i)),
+    ])])
+    worker_b = Behavior("WB", [For(j, 0, 63, [
+        Assign((arr_b, Ref(j)), Ref(j)),
+    ])])
+    return SystemSpec("pairs", [worker_a, worker_b], [arr_a, arr_b])
+
+
+def bad_partition(system):
+    """Deliberately split each worker from its array."""
+    partition = Partition(system)
+    m1 = partition.add_module("m1")
+    m2 = partition.add_module("m2")
+    partition.assign("WA", m1)
+    partition.assign("arr_a", m2)   # wrong side
+    partition.assign("WB", m2)
+    partition.assign("arr_b", m1)   # wrong side
+    partition.validate()
+    return partition
+
+
+class TestImprovePartition:
+    def test_fixes_a_deliberately_bad_partition(self):
+        system = heavy_pair_system()
+        partition = bad_partition(system)
+        improved, report = improve_partition(partition)
+        assert report.improvement > 0
+        assert report.final_cut == 0
+        assert improved.module_of("WA") is improved.module_of("arr_a")
+        assert improved.module_of("WB") is improved.module_of("arr_b")
+
+    def test_never_worsens(self):
+        system = heavy_pair_system()
+        partition = bad_partition(system)
+        improved, report = improve_partition(partition)
+        model = ClosenessModel(system)
+        before = cut_traffic(model, {
+            obj: partition.module_of(obj).name
+            for obj in [*system.behaviors, *system.variables]})
+        after = cut_traffic(model, {
+            obj: improved.module_of(obj).name
+            for obj in [*system.behaviors, *system.variables]})
+        assert after <= before
+        assert report.initial_cut == before
+        assert report.final_cut == after
+
+    def test_good_partition_unchanged(self):
+        """An already-optimal partition yields zero improvement."""
+        system = heavy_pair_system()
+        partition = Partition(system)
+        m1 = partition.add_module("m1")
+        m2 = partition.add_module("m2")
+        partition.assign("WA", m1)
+        partition.assign("arr_a", m1)
+        partition.assign("WB", m2)
+        partition.assign("arr_b", m2)
+        improved, report = improve_partition(partition)
+        assert report.improvement == 0
+        assert improved.module_of("WA") is improved.module_of("arr_a")
+
+    def test_memory_modules_never_receive_behaviors(self):
+        system = heavy_pair_system()
+        partition = Partition(system)
+        chip = partition.add_module("chip")
+        memory = partition.add_module("mem", ModuleKind.MEMORY)
+        partition.assign("WA", chip)
+        partition.assign("WB", chip)
+        partition.assign("arr_a", memory)
+        partition.assign("arr_b", memory)
+        improved, _ = improve_partition(partition)
+        memory_module = next(m for m in improved.modules
+                             if m.name == "mem")
+        assert memory_module.behaviors == []
+
+    def test_modules_never_emptied(self, fig3):
+        improved, _ = improve_partition(fig3.partition)
+        for module in improved.modules:
+            assert module.contents()
+
+    def test_original_partition_not_mutated(self):
+        system = heavy_pair_system()
+        partition = bad_partition(system)
+        before = {obj.name: partition.module_of(obj).name
+                  for obj in [*system.behaviors, *system.variables]}
+        improve_partition(partition)
+        after = {obj.name: partition.module_of(obj).name
+                 for obj in [*system.behaviors, *system.variables]}
+        assert before == after
+
+    def test_improves_or_matches_clustering(self, flc):
+        """Migration after clustering never does worse than clustering
+        alone on the FLC."""
+        clustered = cluster_partition(flc.system, 2)
+        model = ClosenessModel(flc.system)
+        objects = [*flc.system.behaviors, *flc.system.variables]
+        cut_before = cut_traffic(model, {
+            obj: clustered.module_of(obj).name for obj in objects})
+        improved, report = improve_partition(clustered, model=model)
+        cut_after = cut_traffic(model, {
+            obj: improved.module_of(obj).name for obj in objects})
+        assert cut_after <= cut_before
+
+    def test_single_module_noop(self):
+        system = heavy_pair_system()
+        partition = Partition(system)
+        only = partition.add_module("solo")
+        for obj in [*system.behaviors, *system.variables]:
+            partition.assign(obj, only)
+        improved, report = improve_partition(partition)
+        assert report.improvement == 0
+
+    def test_report_describe(self):
+        system = heavy_pair_system()
+        _, report = improve_partition(bad_partition(system))
+        text = report.describe()
+        assert "cut" in text
+        assert "moved" in text

@@ -1,0 +1,198 @@
+"""Full-pipeline integration tests: specify -> partition -> bus
+generation -> protocol generation -> simulate / emit VHDL, across all
+three example systems and all shareable protocols."""
+
+import pytest
+
+from repro.apps.answering_machine import (
+    build_answering_machine,
+    reference_state as am_reference,
+)
+from repro.apps.ethernet import build_ethernet, reference_state as eth_reference
+from repro.apps.flc import build_flc, reference_ctrl_output
+from repro.busgen.algorithm import generate_bus
+from repro.estimate.perf import PerformanceEstimator
+from repro.hdl.validate import validate_vhdl
+from repro.hdl.vhdl import emit_refined_spec
+from repro.protocols import FIXED_DELAY, FULL_HANDSHAKE, HALF_HANDSHAKE
+from repro.protogen.refine import refine_system, remote_access_remains
+from repro.sim.runtime import simulate
+from repro.spec.interp import run_reference
+
+
+class TestAnsweringMachinePipeline:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_answering_machine()
+
+    def test_bus_generation_feasible(self, model):
+        design = generate_bus(model.bus)
+        assert design.bus_rate >= design.demand
+        assert design.interconnect_reduction_percent > 0
+
+    @pytest.mark.parametrize("protocol",
+                             [FULL_HANDSHAKE, HALF_HANDSHAKE, FIXED_DELAY],
+                             ids=lambda p: p.name)
+    def test_simulation_matches_oracle(self, model, protocol):
+        design = generate_bus(model.bus, protocol=protocol)
+        refined = refine_system(model.system, [design])
+        assert remote_access_remains(refined) == []
+        result = simulate(refined, schedule=model.schedule)
+        for key, value in am_reference().items():
+            assert result.final_values[key] == value, key
+
+    def test_simulation_matches_estimator(self, model):
+        design = generate_bus(model.bus)
+        refined = refine_system(model.system, [design])
+        result = simulate(refined, schedule=model.schedule)
+        estimator = PerformanceEstimator()
+        for behavior in model.system.behaviors:
+            estimate = estimator.estimate(
+                behavior, model.bus.channels, design.width, FULL_HANDSHAKE)
+            assert result.clocks[behavior.name] == estimate.exec_clocks
+
+    def test_vhdl_emission_validates(self, model):
+        design = generate_bus(model.bus)
+        refined = refine_system(model.system, [design])
+        report = validate_vhdl(emit_refined_spec(refined))
+        assert report.ok, report.errors
+
+
+class TestEthernetPipeline:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_ethernet()
+
+    def test_bus_generation_feasible(self, model):
+        design = generate_bus(model.bus)
+        assert design.bus_rate >= design.demand
+
+    @pytest.mark.parametrize("protocol",
+                             [FULL_HANDSHAKE, HALF_HANDSHAKE, FIXED_DELAY],
+                             ids=lambda p: p.name)
+    def test_simulation_matches_oracle(self, model, protocol):
+        design = generate_bus(model.bus, protocol=protocol)
+        refined = refine_system(model.system, [design])
+        result = simulate(refined, schedule=model.schedule)
+        for key, value in eth_reference().items():
+            assert result.final_values[key] == value, key
+
+    def test_vhdl_emission_validates(self, model):
+        design = generate_bus(model.bus)
+        refined = refine_system(model.system, [design])
+        report = validate_vhdl(emit_refined_spec(refined))
+        assert report.ok, report.errors
+
+
+class TestFlcPipeline:
+    def test_bus_b_refinement_simulates_correctly(self, flc):
+        """The paper's bus B (ch1 + ch2) at several widths: the refined
+        FLC still computes the oracle control output."""
+        for width in (4, 8, 23):
+            refined = refine_system(flc.system, [(flc.bus_b, width)])
+            result = simulate(refined, schedule=flc.schedule)
+            assert result.final_values["ctrl_out"] == \
+                reference_ctrl_output(250, 180), f"width {width}"
+
+    def test_bus_b_measured_clocks_match_estimator(self, flc):
+        estimator = PerformanceEstimator()
+        for width in (4, 8, 23):
+            refined = refine_system(flc.system, [(flc.bus_b, width)])
+            result = simulate(refined, schedule=flc.schedule)
+            for name in ("EVAL_R3", "CONV_R2"):
+                estimate = estimator.estimate(
+                    flc.system.behavior(name), flc.bus_b.channels,
+                    width, FULL_HANDSHAKE)
+                assert result.clocks[name] == estimate.exec_clocks, \
+                    f"{name} at width {width}"
+
+    def test_all_channels_refined_simulates_correctly(self, flc):
+        """Refine EVERY cross-chip channel of the FLC onto buses (one
+        per module pair plus bus B handled inside it) and simulate the
+        whole system over the bus fabric."""
+        from repro.channels.group import ChannelGroup
+
+        remaining = [c for c in flc.channels
+                     if c not in flc.bus_b.channels]
+        big_group = ChannelGroup("REST", remaining)
+        refined = refine_system(
+            flc.system, [(flc.bus_b, 16), (big_group, 16)])
+        assert remote_access_remains(refined) == []
+        result = simulate(refined, schedule=flc.schedule,
+                          max_clocks=50_000_000)
+        assert result.final_values["ctrl_out"] == \
+            reference_ctrl_output(250, 180)
+
+    def test_flc_vhdl_emission_validates(self, flc):
+        refined = refine_system(flc.system, [(flc.bus_b, 16)])
+        report = validate_vhdl(emit_refined_spec(refined))
+        assert report.ok, report.errors
+
+    def test_interpreter_and_simulator_agree(self, flc):
+        golden = run_reference(flc.system, order=flc.schedule)
+        refined = refine_system(flc.system, [(flc.bus_b, 8)])
+        result = simulate(refined, schedule=flc.schedule)
+        assert result.final_values == golden.final_values
+
+
+class TestTraceLevelEquivalence:
+    """Beyond final values: the *sequence* of values each channel
+    carries over the bus equals the golden interpreter's access trace
+    for the same variable and direction."""
+
+    def test_fig3_per_channel_value_sequences(self, fig3=None):
+        from repro.protogen.refine import generate_protocol
+        from tests.conftest import make_fig3
+
+        fig3 = make_fig3()
+        golden = run_reference(fig3.system, order=["P", "Q"])
+        refined = generate_protocol(fig3.system, fig3.group, width=8)
+        result = simulate(refined, schedule=["P", "Q"])
+
+        for channel in fig3.group:
+            expected = [
+                (event.index, event.value)
+                for event in golden.trace
+                if event.variable == channel.variable.name
+                and event.direction is channel.direction
+                and event.behavior == channel.accessor.name
+            ]
+            measured = [
+                (t.address, _decode_txn(channel, t.data))
+                for t in result.transactions[fig3.group.name]
+                if t.channel == channel.name
+            ]
+            assert measured == expected, channel.name
+
+    def test_flc_bus_b_value_sequences(self, flc):
+        from repro.protogen.refine import refine_system
+
+        golden = run_reference(flc.system, order=flc.schedule)
+        refined = refine_system(flc.system, [(flc.bus_b, 16)])
+        result = simulate(refined, schedule=flc.schedule)
+        for channel in flc.bus_b:
+            expected = [
+                (event.index, event.value)
+                for event in golden.trace
+                if event.variable == channel.variable.name
+                and event.direction is channel.direction
+                and event.behavior == channel.accessor.name
+            ]
+            measured = [
+                (t.address, _decode_txn(channel, t.data))
+                for t in result.transactions["B"]
+                if t.channel == channel.name
+            ]
+            assert measured == expected, channel.name
+
+
+def _decode_txn(channel, raw):
+    """Decode a transaction's raw data bits to the typed value."""
+    from repro.spec.types import ArrayType, IntType
+
+    dtype = channel.variable.dtype
+    if isinstance(dtype, ArrayType):
+        dtype = dtype.element
+    if isinstance(dtype, IntType):
+        return dtype.decode(raw)
+    return raw

@@ -1,0 +1,190 @@
+"""Unit tests for the golden reference interpreter."""
+
+import pytest
+
+from repro.errors import InterpError
+from repro.spec.access import Direction
+from repro.spec.behavior import Behavior
+from repro.spec.expr import Index, Ref
+from repro.spec.interp import Interpreter, run_reference
+from repro.spec.stmt import (
+    Assign,
+    Call,
+    For,
+    If,
+    Nop,
+    WaitClocks,
+    While,
+)
+from repro.spec.system import SystemSpec
+from repro.spec.types import ArrayType, IntType
+from repro.spec.variable import Variable
+
+from tests.conftest import assert_fig3_values
+
+
+def single_behavior_system(body, locals=()):
+    shared = Variable("out", IntType(32))
+    behavior = Behavior("B", body(shared), local_variables=list(locals))
+    return SystemSpec("sys", [behavior], [shared]), shared
+
+
+class TestExecution:
+    def test_fig3_final_values(self, fig3):
+        result = run_reference(fig3.system, order=["P", "Q"])
+        assert_fig3_values(result.final_values)
+
+    def test_declaration_order_is_default(self, fig3):
+        result = run_reference(fig3.system)
+        assert_fig3_values(result.final_values)
+
+    def test_for_loop(self):
+        system, shared = single_behavior_system(lambda out: [
+            Assign(out, 0),
+            For(Variable("i", IntType(16)), 1, 10, [
+                Assign(out, Ref(out) + 1),
+            ]),
+        ])
+        result = run_reference(system)
+        assert result.final_values["out"] == 10
+
+    def test_empty_for_range_runs_zero_times(self):
+        system, _ = single_behavior_system(lambda out: [
+            Assign(out, 7),
+            For(Variable("i", IntType(16)), 5, 4, [Assign(out, 0)]),
+        ])
+        assert run_reference(system).final_values["out"] == 7
+
+    def test_while_loop_follows_condition(self):
+        counter = Variable("c", IntType(16), init=3)
+        system, _ = single_behavior_system(lambda out: [
+            Assign(out, 0),
+            While(Ref(counter) > 0, [
+                Assign(out, Ref(out) + 10),
+                Assign(counter, Ref(counter) - 1),
+            ], trip_count=3),
+        ], locals=[counter])
+        assert run_reference(system).final_values["out"] == 30
+
+    def test_if_branches(self):
+        flag = Variable("flag", IntType(16), init=0)
+        system, _ = single_behavior_system(lambda out: [
+            If(Ref(flag) > 0, [Assign(out, 1)], [Assign(out, 2)]),
+        ], locals=[flag])
+        assert run_reference(system).final_values["out"] == 2
+
+    def test_integer_wrapping_matches_hardware(self):
+        small = Variable("small", IntType(8))
+        system, _ = single_behavior_system(lambda out: [
+            Assign(small, 127),
+            Assign(small, Ref(small) + 1),   # wraps to -128
+            Assign(out, Ref(small)),
+        ], locals=[small])
+        assert run_reference(system).final_values["out"] == -128
+
+    def test_loop_variable_value_visible_in_body(self):
+        system, _ = single_behavior_system(lambda out: [
+            Assign(out, 0),
+            For(Variable("i", IntType(16)), 0, 4, [
+                Assign(out, Ref(out) * 10 + 0),  # placeholder
+            ]),
+        ])
+        # A loop accumulating its own index:
+        i = Variable("i2", IntType(16))
+        shared = Variable("acc", IntType(32))
+        behavior = Behavior("B", [
+            Assign(shared, 0),
+            For(i, 0, 4, [Assign(shared, Ref(shared) + Ref(i))]),
+        ])
+        system = SystemSpec("sys", [behavior], [shared])
+        assert run_reference(system).final_values["acc"] == 10
+
+
+class TestClocks:
+    def test_assign_costs_one(self):
+        system, _ = single_behavior_system(lambda out: [
+            Assign(out, 1), Assign(out, 2), Assign(out, 3),
+        ])
+        assert run_reference(system).clocks["B"] == 3
+
+    def test_for_costs_overhead_plus_body(self):
+        system, _ = single_behavior_system(lambda out: [
+            For(Variable("i", IntType(16)), 0, 9, [Assign(out, 1)]),
+        ])
+        # 10 iterations x (1 overhead + 1 assign)
+        assert run_reference(system).clocks["B"] == 20
+
+    def test_wait_clocks(self):
+        system, _ = single_behavior_system(lambda out: [
+            WaitClocks(50),
+        ])
+        assert run_reference(system).clocks["B"] == 50
+
+    def test_if_costs_one_plus_taken_branch(self):
+        flag = Variable("flag", IntType(16), init=1)
+        system, _ = single_behavior_system(lambda out: [
+            If(Ref(flag) > 0, [Assign(out, 1), Assign(out, 2)], []),
+        ], locals=[flag])
+        assert run_reference(system).clocks["B"] == 3
+
+    def test_while_counts_failing_test(self):
+        counter = Variable("c", IntType(16), init=2)
+        system, _ = single_behavior_system(lambda out: [
+            While(Ref(counter) > 0, [
+                Assign(counter, Ref(counter) - 1),
+            ], trip_count=2),
+        ], locals=[counter])
+        # 3 tests + 2 body assigns
+        assert run_reference(system).clocks["B"] == 5
+
+    def test_nop_costs_nothing(self):
+        system, _ = single_behavior_system(lambda out: [Nop(), Nop()])
+        assert run_reference(system).clocks["B"] == 0
+
+
+class TestTrace:
+    def test_trace_records_shared_accesses(self, fig3):
+        result = run_reference(fig3.system, order=["P", "Q"])
+        mem_writes = [e for e in result.trace
+                      if e.variable == "MEM" and e.direction is Direction.WRITE]
+        assert [(e.index, e.value) for e in mem_writes] == [(5, 39), (60, 42)]
+
+    def test_trace_records_reads(self, fig3):
+        result = run_reference(fig3.system, order=["P", "Q"])
+        x_reads = [e for e in result.trace
+                   if e.variable == "X" and e.direction is Direction.READ]
+        assert [e.value for e in x_reads] == [32]
+
+    def test_trace_for_filters(self, fig3):
+        result = run_reference(fig3.system, order=["P", "Q"])
+        assert all(e.variable == "MEM"
+                   for e in result.trace_for("MEM"))
+
+
+class TestErrors:
+    def test_call_statement_rejected(self):
+        system, _ = single_behavior_system(lambda out: [
+            Call("proc"),
+        ])
+        with pytest.raises(InterpError, match="refined"):
+            run_reference(system)
+
+    def test_runaway_loop_detected(self):
+        flag = Variable("flag", IntType(16), init=1)
+        system, _ = single_behavior_system(lambda out: [
+            While(Ref(flag) > 0, [Assign(out, 1)], trip_count=1),
+        ], locals=[flag])
+        interpreter = Interpreter(system, max_steps=1000)
+        with pytest.raises(InterpError, match="steps"):
+            interpreter.run()
+
+    def test_unknown_order_name(self, fig3):
+        with pytest.raises(Exception):
+            run_reference(fig3.system, order=["P", "NOPE"])
+
+    def test_array_index_out_of_range(self):
+        arr = Variable("arr", ArrayType(IntType(16), 4))
+        behavior = Behavior("B", [Assign((arr, 9), 1)])
+        system = SystemSpec("sys", [behavior], [arr])
+        with pytest.raises(Exception):
+            run_reference(system)

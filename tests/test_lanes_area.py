@@ -1,0 +1,142 @@
+"""Unit tests for lane allocation (§6 simultaneous transfers) and the
+first-order area estimator."""
+
+import pytest
+
+from repro.busgen.lanes import allocate_lanes
+from repro.errors import BusGenError
+from repro.estimate.area import (
+    GATES_PER_BIT,
+    GATES_PER_STATE,
+    estimate_bus_area,
+    estimate_spec_area,
+    procedure_area,
+)
+from repro.protocols import BURST_HANDSHAKE, FULL_HANDSHAKE, HALF_HANDSHAKE
+from repro.protogen.refine import generate_protocol, refine_system
+from repro.sim.runtime import simulate
+
+from tests.test_busgen import make_group
+
+
+class TestLaneAllocation:
+    def test_feasible_group_gets_one_lane(self):
+        allocation = allocate_lanes(make_group())
+        assert allocation.lane_count == 1
+
+    def test_saturated_group_gets_multiple_lanes(self):
+        group = make_group(comp_wait=0, names=("a", "b", "c", "d"))
+        allocation = allocate_lanes(group)
+        assert allocation.lane_count >= 2
+
+    def test_pin_accounting_includes_control_and_id_per_lane(self):
+        group = make_group(comp_wait=0, names=("a", "b", "c", "d"))
+        allocation = allocate_lanes(group)
+        expected = 0
+        for lane in allocation.lanes:
+            expected += lane.data_pins + lane.id_pins \
+                + len(FULL_HANDSHAKE.control_lines)
+        assert allocation.total_pins == expected
+        assert allocation.total_pins > allocation.total_data_pins
+
+    def test_lane_of(self):
+        group = make_group(comp_wait=0, names=("a", "b", "c", "d"))
+        allocation = allocate_lanes(group)
+        lane = allocation.lane_of("a")
+        assert any(c.name == "a" for c in lane.design.group)
+        with pytest.raises(BusGenError):
+            allocation.lane_of("nope")
+
+    def test_refinement_plans_simulate_concurrently(self):
+        """Channels on different lanes transfer simultaneously: their
+        bus transactions overlap in time."""
+        from repro.spec.system import SystemSpec
+
+        group = make_group(comp_wait=0, names=("a", "b", "c", "d"))
+        behaviors = [c.accessor for c in group]
+        variables = [c.variable for c in group]
+        system = SystemSpec("lanes", behaviors, variables)
+        allocation = allocate_lanes(group)
+        assert allocation.lane_count >= 2
+        refined = refine_system(system, allocation.refinement_plans())
+        result = simulate(refined)   # everything concurrent
+        # Take one transaction from each of two different lanes and
+        # check temporal overlap.
+        lanes = list(result.transactions)
+        first = result.transactions[lanes[0]]
+        second = result.transactions[lanes[1]]
+        assert first and second
+        overlap = any(
+            t1.start_time < t2.end_time and t2.start_time < t1.end_time
+            for t1 in first for t2 in second
+        )
+        assert overlap, "lanes never transferred simultaneously"
+
+    def test_describe(self):
+        allocation = allocate_lanes(make_group())
+        assert "lane allocation" in allocation.describe()
+
+
+class TestAreaEstimation:
+    @pytest.fixture
+    def refined(self, fig3):
+        return generate_protocol(fig3.system, fig3.group, width=8)
+
+    def test_wires_equal_total_pins(self, refined):
+        estimate = estimate_bus_area(refined.buses[0])
+        assert estimate.wires == refined.buses[0].structure.total_pins
+
+    def test_every_procedure_costed(self, refined):
+        estimate = estimate_bus_area(refined.buses[0])
+        # 4 channels x (accessor + server) = 8 controllers.
+        assert len(estimate.procedures) == 8
+        assert estimate.total_gates > 0
+        assert estimate.decoder_gates > 0
+
+    def test_wider_bus_fewer_fsm_states(self, fig3):
+        narrow = generate_protocol(fig3.system, fig3.group, width=4)
+        wide = generate_protocol(fig3.system, fig3.group, width=16)
+        narrow_states = sum(
+            p.fsm_states
+            for p in estimate_bus_area(narrow.buses[0]).procedures)
+        wide_states = sum(
+            p.fsm_states
+            for p in estimate_bus_area(wide.buses[0]).procedures)
+        assert wide_states < narrow_states
+
+    def test_wider_bus_more_wires(self, fig3):
+        narrow = generate_protocol(fig3.system, fig3.group, width=4)
+        wide = generate_protocol(fig3.system, fig3.group, width=16)
+        assert estimate_bus_area(wide.buses[0]).wires > \
+            estimate_bus_area(narrow.buses[0]).wires
+
+    def test_gate_arithmetic(self, refined):
+        estimate = estimate_bus_area(refined.buses[0])
+        for proc in estimate.procedures:
+            assert proc.gates == proc.fsm_states * GATES_PER_STATE \
+                + proc.driver_bits * GATES_PER_BIT
+
+    def test_strobed_protocols_need_fewer_states(self, fig3):
+        handshake = generate_protocol(fig3.system, fig3.group, width=8,
+                                      protocol=FULL_HANDSHAKE)
+        strobed = generate_protocol(fig3.system, fig3.group, width=8,
+                                    protocol=HALF_HANDSHAKE)
+        hs_states = sum(
+            p.fsm_states
+            for p in estimate_bus_area(handshake.buses[0]).procedures)
+        st_states = sum(
+            p.fsm_states
+            for p in estimate_bus_area(strobed.buses[0]).procedures)
+        assert st_states < hs_states
+
+    def test_spec_level_estimates(self, fig3):
+        refined = generate_protocol(fig3.system, fig3.group, width=8)
+        estimates = estimate_spec_area(refined)
+        assert set(estimates) == {fig3.group.name}
+
+    def test_burst_states_include_setup(self, fig3):
+        burst = generate_protocol(fig3.system, fig3.group, width=8,
+                                  protocol=BURST_HANDSHAKE)
+        estimate = estimate_bus_area(burst.buses[0])
+        for proc in estimate.procedures:
+            assert proc.fsm_states >= BURST_HANDSHAKE.setup_clocks + 1

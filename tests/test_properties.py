@@ -1,0 +1,233 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.busgen.constraints import (
+    ConstraintSet,
+    max_buswidth,
+    min_buswidth,
+)
+from repro.channels.channel import Channel
+from repro.channels.group import ChannelGroup
+from repro.estimate.perf import transfer_clocks
+from repro.protocols import FULL_HANDSHAKE, HALF_HANDSHAKE
+from repro.protogen.idassign import assign_ids
+from repro.protogen.procedures import MessageLayout, Role
+from repro.spec.access import Direction
+from repro.spec.behavior import Behavior
+from repro.spec.types import ArrayType, IntType, clog2
+from repro.spec.variable import Variable
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+widths = st.integers(min_value=1, max_value=64)
+array_lengths = st.integers(min_value=2, max_value=4096)
+element_widths = st.integers(min_value=1, max_value=64)
+directions = st.sampled_from([Direction.READ, Direction.WRITE])
+
+
+@st.composite
+def channels(draw, name="ch"):
+    length = draw(array_lengths)
+    bits = draw(element_widths)
+    direction = draw(directions)
+    variable = Variable("arr", ArrayType(IntType(bits), length))
+    return Channel(name, Behavior(f"B_{name}"), variable, direction,
+                   draw(st.integers(min_value=1, max_value=10_000)))
+
+
+# ---------------------------------------------------------------------------
+# clog2 / types
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=1, max_value=1 << 40))
+def test_clog2_is_minimal_code_width(n):
+    width = clog2(n)
+    assert (1 << width) >= n
+    if width:
+        assert (1 << (width - 1)) < n
+
+
+@given(st.integers(min_value=1, max_value=63), st.data())
+def test_inttype_encode_decode_roundtrip(width, data):
+    dtype = IntType(width)
+    value = data.draw(st.integers(dtype.min_value, dtype.max_value))
+    raw = dtype.encode(value)
+    assert 0 <= raw < (1 << width)
+    assert dtype.decode(raw) == value
+
+
+@given(st.integers(min_value=1, max_value=63), st.integers())
+def test_inttype_wrap_is_idempotent_and_in_range(width, value):
+    dtype = IntType(width)
+    wrapped = dtype.wrap(value)
+    assert dtype.min_value <= wrapped <= dtype.max_value
+    assert dtype.wrap(wrapped) == wrapped
+
+
+@given(st.integers(min_value=1, max_value=63), st.integers())
+def test_inttype_wrap_is_congruent_mod_2w(width, value):
+    dtype = IntType(width)
+    assert (dtype.wrap(value) - value) % (1 << width) == 0
+
+
+# ---------------------------------------------------------------------------
+# transfer clocks
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=1, max_value=512), widths)
+def test_transfer_clocks_positive_and_plateaus(bits, width):
+    clocks = transfer_clocks(bits, width, FULL_HANDSHAKE)
+    assert clocks >= FULL_HANDSHAKE.delay_clocks
+    # Plateau: any width >= bits gives the single-word minimum.
+    assert transfer_clocks(bits, bits, FULL_HANDSHAKE) == \
+        FULL_HANDSHAKE.delay_clocks
+    assert transfer_clocks(bits, bits + width, FULL_HANDSHAKE) == \
+        FULL_HANDSHAKE.delay_clocks
+
+
+@given(st.integers(min_value=1, max_value=512), widths, widths)
+def test_transfer_clocks_monotone_in_width(bits, w1, w2):
+    lo, hi = sorted((w1, w2))
+    assert transfer_clocks(bits, lo, FULL_HANDSHAKE) >= \
+        transfer_clocks(bits, hi, FULL_HANDSHAKE)
+
+
+@given(st.integers(min_value=1, max_value=512), widths)
+def test_half_handshake_is_twice_as_fast(bits, width):
+    assert transfer_clocks(bits, width, FULL_HANDSHAKE) == \
+        2 * transfer_clocks(bits, width, HALF_HANDSHAKE)
+
+
+# ---------------------------------------------------------------------------
+# Message layout
+# ---------------------------------------------------------------------------
+
+@given(channels(), widths)
+@settings(max_examples=200)
+def test_words_partition_message_bits_exactly(channel, width):
+    """Every message bit is carried by exactly one word slice."""
+    layout = MessageLayout(channel)
+    seen = set()
+    for word in layout.words(width):
+        assert word.bits <= width
+        for word_slice in word.slices:
+            field = word_slice.field
+            for bit in range(word_slice.field_lo, word_slice.field_hi + 1):
+                message_bit = field.offset + bit
+                assert message_bit not in seen
+                seen.add(message_bit)
+    assert seen == set(range(layout.total_bits))
+
+
+@given(channels(), widths)
+@settings(max_examples=200)
+def test_word_slices_never_overlap_within_word(channel, width):
+    layout = MessageLayout(channel)
+    for word in layout.words(width):
+        used = 0
+        for word_slice in word.slices:
+            mask = ((1 << word_slice.bits) - 1) << word_slice.word_offset
+            assert used & mask == 0
+            used |= mask
+
+
+@given(channels(), st.data())
+@settings(max_examples=200)
+def test_pack_unpack_roundtrip(channel, data):
+    layout = MessageLayout(channel)
+    dtype = channel.variable.dtype
+    address = data.draw(st.integers(0, dtype.length - 1))
+    raw_data = data.draw(st.integers(0, (1 << dtype.element_bits) - 1))
+    message = layout.pack(address, raw_data)
+    assert 0 <= message < (1 << layout.total_bits)
+    assert layout.unpack(message) == (address, raw_data)
+
+
+@given(channels(), widths)
+@settings(max_examples=200)
+def test_address_transfers_before_data(channel, width):
+    """In word order, no data bit precedes an address bit."""
+    layout = MessageLayout(channel)
+    if not layout.has_address:
+        return
+    last_addr_position = -1
+    first_data_position = None
+    position = 0
+    for word in layout.words(width):
+        for word_slice in sorted(word.slices,
+                                 key=lambda s: s.word_offset):
+            if word_slice.field.kind.value == "addr":
+                last_addr_position = position
+            elif first_data_position is None:
+                first_data_position = position
+            position += 1
+    if first_data_position is not None:
+        # Address may share the straddle word but never a later one.
+        assert last_addr_position <= first_data_position + 1
+
+
+@given(channels(), widths)
+@settings(max_examples=200)
+def test_read_data_is_server_driven_write_accessor_driven(channel, width):
+    layout = MessageLayout(channel)
+    for word in layout.words(width):
+        for word_slice in word.slices:
+            if word_slice.field.kind.value == "data":
+                expected = Role.ACCESSOR if channel.is_write else Role.SERVER
+                assert word_slice.field.driver is expected
+
+
+# ---------------------------------------------------------------------------
+# ID assignment
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=1, max_value=64))
+def test_id_codes_unique_and_fit(count):
+    group = ChannelGroup("g", [
+        Channel(f"c{i}", Behavior(f"B{i}"),
+                Variable("v", IntType(8)), Direction.WRITE, 1)
+        for i in range(count)
+    ])
+    ids = assign_ids(group)
+    assert ids.width == clog2(count)
+    codes = [ids.code(f"c{i}") for i in range(count)]
+    assert len(set(codes)) == count
+    assert all(0 <= code < (1 << max(ids.width, 1)) or count == 1
+               for code in codes)
+    for i in range(count):
+        bits = ids.code_bits(f"c{i}")
+        assert len(bits) == ids.width
+
+
+# ---------------------------------------------------------------------------
+# Constraints
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=1, max_value=64),
+       st.integers(min_value=0, max_value=64),
+       st.integers(min_value=0, max_value=64),
+       st.floats(min_value=0, max_value=100, allow_nan=False))
+def test_constraint_cost_nonnegative_and_zero_when_met(width, lo, hi,
+                                                       weight):
+    assume(lo <= hi)
+    constraints = ConstraintSet([
+        min_buswidth(lo, weight=weight),
+        max_buswidth(hi, weight=weight),
+    ])
+    cost = constraints.cost(width, {})
+    assert cost >= 0
+    if lo <= width <= hi:
+        assert cost == 0
+
+
+@given(st.integers(min_value=1, max_value=64),
+       st.integers(min_value=0, max_value=64))
+def test_min_width_violation_decreases_with_width(width, bound):
+    constraint = min_buswidth(bound)
+    assert constraint.violation(width + 1, {}) <= \
+        constraint.violation(width, {})

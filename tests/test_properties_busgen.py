@@ -1,0 +1,154 @@
+"""Property-based tests on bus generation, splitting and FSM synthesis."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.busgen.algorithm import generate_bus
+from repro.busgen.constraints import (
+    ConstraintSet,
+    max_buswidth,
+    min_buswidth,
+    min_peak_rate,
+)
+from repro.busgen.split import split_group
+from repro.channels.channel import Channel
+from repro.channels.group import ChannelGroup
+from repro.errors import InfeasibleBusError
+from repro.protocols import (
+    BURST_HANDSHAKE,
+    FIXED_DELAY,
+    FULL_HANDSHAKE,
+    HALF_HANDSHAKE,
+)
+from repro.protogen.fsm import synthesize_fsm
+from repro.protogen.procedures import make_procedures
+from repro.protogen.structure import make_structure
+from repro.spec.access import Direction
+from repro.spec.behavior import Behavior
+from repro.spec.expr import Ref
+from repro.spec.stmt import Assign, For, WaitClocks
+from repro.spec.types import ArrayType, IntType
+from repro.spec.variable import Variable
+
+SHAREABLE = [FULL_HANDSHAKE, HALF_HANDSHAKE, FIXED_DELAY, BURST_HANDSHAKE]
+
+
+@st.composite
+def groups(draw):
+    """Random channel groups with varied traffic and computation."""
+    count = draw(st.integers(1, 5))
+    channels = []
+    for index in range(count):
+        length = draw(st.sampled_from([16, 64, 128, 256]))
+        accesses = draw(st.integers(1, 64))
+        comp = draw(st.integers(0, 32))
+        direction = draw(st.sampled_from([Direction.READ,
+                                          Direction.WRITE]))
+        arr = Variable(f"arr{index}", ArrayType(IntType(16), length))
+        i = Variable("i", IntType(16))
+        if direction is Direction.WRITE:
+            access_stmt = Assign((arr, Ref(i)), Ref(i))
+        else:
+            tmp = Variable("t", IntType(16))
+            access_stmt = Assign(tmp, __import__(
+                "repro.spec.expr", fromlist=["Index"]).Index(arr, Ref(i)))
+        body = [access_stmt]
+        if comp:
+            body.insert(0, WaitClocks(comp))
+        behavior = Behavior(f"B{index}",
+                            [For(i, 0, accesses - 1, body)])
+        channels.append(Channel(f"c{index}", behavior, arr, direction,
+                                accesses))
+    return ChannelGroup("g", channels)
+
+
+@st.composite
+def constraint_sets(draw, channel_names):
+    constraints = []
+    if draw(st.booleans()):
+        constraints.append(min_buswidth(draw(st.integers(0, 30)),
+                                        weight=draw(st.integers(0, 10))))
+    if draw(st.booleans()):
+        constraints.append(max_buswidth(draw(st.integers(1, 30)),
+                                        weight=draw(st.integers(0, 10))))
+    if draw(st.booleans()) and channel_names:
+        constraints.append(min_peak_rate(
+            draw(st.sampled_from(channel_names)),
+            draw(st.integers(0, 12)),
+            weight=draw(st.integers(0, 10))))
+    return ConstraintSet(constraints)
+
+
+@given(groups(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_selection_is_optimal_over_feasible_widths(group, data):
+    """The algorithm's pick minimizes (cost, width) among feasible
+    widths -- verified by brute force against its own evaluations."""
+    constraints = data.draw(constraint_sets(
+        [c.name for c in group.channels]))
+    try:
+        design = generate_bus(group, constraints=constraints)
+    except InfeasibleBusError:
+        return
+    feasible = [e for e in design.evaluations if e.feasible]
+    best = min(feasible, key=lambda e: (e.cost, e.width))
+    assert (design.cost, design.width) == (best.cost, best.width)
+
+
+@given(groups())
+@settings(max_examples=60, deadline=None)
+def test_selected_width_always_satisfies_equation_one(group):
+    try:
+        design = generate_bus(group)
+    except InfeasibleBusError:
+        return
+    assert design.bus_rate >= design.demand
+    assert 1 <= design.width <= group.max_message_bits
+
+
+@given(groups())
+@settings(max_examples=40, deadline=None)
+def test_split_partitions_channels_exactly(group):
+    """Splitting preserves the channel set (no loss, no duplication)
+    and every sub-bus is feasible."""
+    try:
+        result = split_group(group)
+    except InfeasibleBusError:
+        return
+    names = sorted(c.name for d in result.designs
+                   for c in d.group.channels)
+    assert names == sorted(c.name for c in group.channels)
+    for design in result.designs:
+        assert design.bus_rate >= design.demand
+
+
+@given(groups(), st.sampled_from(SHAREABLE),
+       st.integers(min_value=1, max_value=32))
+@settings(max_examples=80, deadline=None)
+def test_fsm_synthesis_always_validates(group, protocol, width):
+    """Every (channel, protocol, width) combination yields well-formed
+    controller FSMs on both sides."""
+    structure = make_structure("B", group, width, protocol)
+    for channel in group.channels:
+        pair = make_procedures(channel, protocol)
+        for procedure in (pair.accessor, pair.server):
+            fsm = synthesize_fsm(procedure, structure)
+            fsm.validate()   # raises on malformation
+            assert fsm.state_count >= 2
+
+
+@given(groups(), st.sampled_from(SHAREABLE),
+       st.integers(min_value=1, max_value=32))
+@settings(max_examples=80, deadline=None)
+def test_message_clocks_consistency(group, protocol, width):
+    """Procedure transfer time == protocol.message_clocks(word count)
+    == the estimator's transfer_clocks."""
+    from repro.estimate.perf import transfer_clocks
+
+    for channel in group.channels:
+        pair = make_procedures(channel, protocol)
+        words = pair.layout.word_count(width)
+        assert pair.accessor.transfer_clocks(width) == \
+            protocol.message_clocks(words)
+        assert transfer_clocks(channel.message_bits, width, protocol) == \
+            protocol.message_clocks(words)

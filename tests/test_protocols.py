@@ -1,0 +1,104 @@
+"""Unit tests for the protocol descriptors."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocols import (
+    BURST_HANDSHAKE,
+    FIXED_DELAY,
+    FULL_HANDSHAKE,
+    HALF_HANDSHAKE,
+    HARDWIRED,
+    PROTOCOLS,
+    Protocol,
+    get_protocol,
+)
+
+
+class TestDescriptors:
+    def test_full_handshake_matches_paper(self):
+        """Two control lines (START, DONE), two clocks per word --
+        Section 4 / Equation 2."""
+        assert FULL_HANDSHAKE.control_lines == ("START", "DONE")
+        assert FULL_HANDSHAKE.delay_clocks == 2
+        assert FULL_HANDSHAKE.shareable
+
+    def test_half_handshake(self):
+        assert HALF_HANDSHAKE.control_lines == ("REQ",)
+        assert HALF_HANDSHAKE.delay_clocks == 1
+
+    def test_fixed_delay_has_no_control_lines(self):
+        assert FIXED_DELAY.control_lines == ()
+        assert FIXED_DELAY.delay_clocks == 1
+
+    def test_hardwired_not_shareable(self):
+        assert not HARDWIRED.shareable
+        assert HARDWIRED.control_lines == ()
+
+    def test_burst_handshake(self):
+        """Burst: one handshake per message (2 clocks), then one word
+        per clock -- same two control wires as the full handshake."""
+        assert BURST_HANDSHAKE.control_lines == ("START", "DONE")
+        assert BURST_HANDSHAKE.delay_clocks == 1
+        assert BURST_HANDSHAKE.setup_clocks == 2
+
+    def test_message_clocks(self):
+        assert FULL_HANDSHAKE.message_clocks(3) == 6
+        assert BURST_HANDSHAKE.message_clocks(3) == 5
+        assert BURST_HANDSHAKE.message_clocks(1) == 3
+        assert FULL_HANDSHAKE.message_clocks(0) == 0
+
+    def test_burst_beats_full_handshake_from_three_words(self):
+        """Crossover: setup 2 + n < 2n  <=>  n > 2."""
+        assert BURST_HANDSHAKE.message_clocks(2) == \
+            FULL_HANDSHAKE.message_clocks(2)
+        assert BURST_HANDSHAKE.message_clocks(3) < \
+            FULL_HANDSHAKE.message_clocks(3)
+        assert BURST_HANDSHAKE.message_clocks(1) > \
+            FULL_HANDSHAKE.message_clocks(1)
+
+    def test_negative_setup_rejected(self):
+        import pytest as _pytest
+        from repro.errors import ProtocolError as _PE
+        with _pytest.raises(_PE):
+            Protocol("bad", (), 1, setup_clocks=-1)
+
+    def test_registry(self):
+        assert set(PROTOCOLS) == {
+            "full_handshake", "half_handshake", "fixed_delay", "hardwired",
+            "burst_handshake",
+        }
+        assert get_protocol("full_handshake") is FULL_HANDSHAKE
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ProtocolError, match="known protocols"):
+            get_protocol("quantum")
+
+
+class TestBusRate:
+    def test_equation_two(self):
+        """BusRate = width / (delay x ClockPeriod)."""
+        assert FULL_HANDSHAKE.bus_rate(8) == 4.0
+        assert FULL_HANDSHAKE.bus_rate(20) == 10.0
+        assert HALF_HANDSHAKE.bus_rate(8) == 8.0
+
+    def test_clock_period_scaling(self):
+        assert FULL_HANDSHAKE.bus_rate(8, clock_period=2.0) == 2.0
+
+    def test_invalid_width(self):
+        with pytest.raises(ProtocolError):
+            FULL_HANDSHAKE.bus_rate(0)
+
+    def test_invalid_clock_period(self):
+        with pytest.raises(ProtocolError):
+            FULL_HANDSHAKE.bus_rate(8, clock_period=0)
+
+
+class TestValidation:
+    def test_zero_delay_rejected(self):
+        with pytest.raises(ProtocolError, match="delay"):
+            Protocol("bad", (), 0)
+
+    def test_duplicate_control_lines_rejected(self):
+        with pytest.raises(ProtocolError, match="duplicate"):
+            Protocol("bad", ("A", "A"), 1)

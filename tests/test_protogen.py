@@ -1,0 +1,276 @@
+"""Unit tests for protocol generation: ID assignment, message layout,
+procedures, bus structure and variable processes (Section 4, steps 1-3
+and 5)."""
+
+import pytest
+
+from repro.channels.channel import Channel
+from repro.channels.group import ChannelGroup
+from repro.errors import IdAssignmentError, ProtocolError
+from repro.protocols import (
+    FIXED_DELAY,
+    FULL_HANDSHAKE,
+    HALF_HANDSHAKE,
+    HARDWIRED,
+)
+from repro.protogen.idassign import IdAssignment, assign_ids
+from repro.protogen.procedures import (
+    FieldKind,
+    MessageLayout,
+    Role,
+    make_procedures,
+)
+from repro.protogen.structure import make_structure
+from repro.protogen.varproc import make_variable_processes
+from repro.spec.access import Direction
+from repro.spec.behavior import Behavior
+from repro.spec.types import ArrayType, IntType
+from repro.spec.variable import Variable
+
+
+def make_channel(direction=Direction.WRITE, length=128, scalar=False,
+                 name="ch"):
+    if scalar:
+        variable = Variable("X", IntType(16))
+    else:
+        variable = Variable("arr", ArrayType(IntType(16), length))
+    return Channel(name, Behavior(f"B_{name}"), variable, direction, 10)
+
+
+class TestIdAssignment:
+    def test_figure3_codes(self):
+        """Four channels -> 2 ID lines, codes 00/01/10/11."""
+        channels = [make_channel(name=f"CH{i}") for i in range(4)]
+        ids = assign_ids(ChannelGroup("B", channels))
+        assert ids.width == 2
+        assert ids.code_bits("CH0") == "00"
+        assert ids.code_bits("CH1") == "01"
+        assert ids.code_bits("CH2") == "10"
+        assert ids.code_bits("CH3") == "11"
+
+    def test_single_channel_needs_no_id_lines(self):
+        ids = assign_ids(ChannelGroup("B", [make_channel()]))
+        assert ids.width == 0
+        assert ids.code_bits("ch") == ""
+
+    def test_non_power_of_two(self):
+        channels = [make_channel(name=f"c{i}") for i in range(5)]
+        ids = assign_ids(ChannelGroup("B", channels))
+        assert ids.width == 3
+
+    def test_inverse_lookup(self):
+        channels = [make_channel(name=f"c{i}") for i in range(3)]
+        ids = assign_ids(ChannelGroup("B", channels))
+        assert ids.channel_for(1) == "c1"
+        with pytest.raises(IdAssignmentError):
+            ids.channel_for(7)
+
+    def test_unknown_channel(self):
+        ids = assign_ids(ChannelGroup("B", [make_channel()]))
+        with pytest.raises(IdAssignmentError):
+            ids.code("nope")
+
+    def test_validation_catches_duplicates(self):
+        bad = IdAssignment(width=1, codes={"a": 0, "b": 0})
+        with pytest.raises(IdAssignmentError):
+            bad.validate()
+
+    def test_validation_catches_overflow(self):
+        bad = IdAssignment(width=1, codes={"a": 0, "b": 2})
+        with pytest.raises(IdAssignmentError):
+            bad.validate()
+
+
+class TestMessageLayout:
+    def test_write_channel_all_accessor_driven(self):
+        layout = MessageLayout(make_channel(Direction.WRITE))
+        assert layout.total_bits == 23
+        for field in layout.fields:
+            assert field.driver is Role.ACCESSOR
+
+    def test_read_channel_splits_drivers(self):
+        layout = MessageLayout(make_channel(Direction.READ))
+        addr = layout.field(FieldKind.ADDRESS)
+        data = layout.field(FieldKind.DATA)
+        assert addr.driver is Role.ACCESSOR
+        assert data.driver is Role.SERVER
+
+    def test_scalar_read_has_no_address(self):
+        layout = MessageLayout(make_channel(Direction.READ, scalar=True))
+        assert not layout.has_address
+        assert layout.field(FieldKind.DATA).driver is Role.SERVER
+
+    def test_address_occupies_low_bits(self):
+        """The address crosses the bus first (low words)."""
+        layout = MessageLayout(make_channel())
+        addr = layout.field(FieldKind.ADDRESS)
+        data = layout.field(FieldKind.DATA)
+        assert addr.offset == 0
+        assert data.offset == addr.bits
+
+    def test_word_count_matches_ceil(self):
+        layout = MessageLayout(make_channel())  # 23 bits
+        assert layout.word_count(8) == 3
+        assert layout.word_count(23) == 1
+        assert layout.word_count(1) == 23
+
+    def test_words_cover_message_exactly(self):
+        layout = MessageLayout(make_channel())
+        words = layout.words(8)
+        covered = []
+        for word in words:
+            for word_slice in word.slices:
+                field = word_slice.field
+                for bit in range(word_slice.field_lo,
+                                 word_slice.field_hi + 1):
+                    covered.append(field.offset + bit)
+        assert sorted(covered) == list(range(23))
+
+    def test_straddle_word_has_both_drivers_for_read(self):
+        """Width 16 on a 23-bit read: word 0 carries the 7 address bits
+        (accessor) and the first 9 data bits (server)."""
+        layout = MessageLayout(make_channel(Direction.READ))
+        words = layout.words(16)
+        assert len(words) == 2
+        first = words[0]
+        drivers = {s.field.driver for s in first.slices}
+        assert drivers == {Role.ACCESSOR, Role.SERVER}
+
+    def test_pack_unpack_roundtrip(self):
+        layout = MessageLayout(make_channel())
+        message = layout.pack(address=100, data=0xBEEF)
+        address, data = layout.unpack(message)
+        assert address == 100
+        assert data == 0xBEEF
+
+    def test_pack_requires_address_for_arrays(self):
+        layout = MessageLayout(make_channel())
+        with pytest.raises(ProtocolError):
+            layout.pack(address=None, data=1)
+
+    def test_pack_scalar(self):
+        layout = MessageLayout(make_channel(scalar=True))
+        assert layout.unpack(layout.pack(None, 42)) == (None, 42)
+
+    def test_invalid_width(self):
+        layout = MessageLayout(make_channel())
+        with pytest.raises(ProtocolError):
+            layout.word_count(0)
+
+
+class TestProcedures:
+    def test_write_channel_naming(self):
+        """Accessor sends, server receives (Figure 4's SendCH0)."""
+        procs = make_procedures(make_channel(Direction.WRITE, name="ch0"),
+                                FULL_HANDSHAKE)
+        assert procs.accessor.name == "SendCH0"
+        assert procs.server.name == "ReceiveCH0"
+
+    def test_read_channel_naming(self):
+        """Figure 1: the accessor of a read calls receive_ch1."""
+        procs = make_procedures(make_channel(Direction.READ, name="ch1"),
+                                FULL_HANDSHAKE)
+        assert procs.accessor.name == "ReceiveCH1"
+        assert procs.server.name == "SendCH1"
+
+    def test_parameter_names(self):
+        write = make_procedures(make_channel(Direction.WRITE), FULL_HANDSHAKE)
+        assert write.accessor.parameter_names() == ["addr", "txdata"]
+        read = make_procedures(make_channel(Direction.READ), FULL_HANDSHAKE)
+        assert read.accessor.parameter_names() == ["addr", "rxdata"]
+        scalar = make_procedures(make_channel(Direction.READ, scalar=True),
+                                 FULL_HANDSHAKE)
+        assert scalar.accessor.parameter_names() == ["rxdata"]
+        assert scalar.server.parameter_names() == ["storage"]
+
+    def test_transfer_clocks(self):
+        procs = make_procedures(make_channel(), FULL_HANDSHAKE)
+        assert procs.accessor.transfer_clocks(8) == 6   # 3 words x 2
+        assert procs.accessor.transfer_clocks(23) == 2
+
+    def test_sends_data_flags(self):
+        write = make_procedures(make_channel(Direction.WRITE), FULL_HANDSHAKE)
+        assert write.accessor.sends_data
+        assert not write.server.sends_data
+        read = make_procedures(make_channel(Direction.READ), FULL_HANDSHAKE)
+        assert not read.accessor.sends_data
+        assert read.server.sends_data
+
+
+class TestBusStructure:
+    def make_group(self, count=4):
+        return ChannelGroup("B", [make_channel(name=f"CH{i}")
+                                  for i in range(count)])
+
+    def test_figure4_structure(self):
+        """8 data + 2 ID + START/DONE = 12 pins, record HandShakeBus."""
+        structure = make_structure("B", self.make_group(), 8,
+                                   FULL_HANDSHAKE)
+        assert structure.data_lines == 8
+        assert structure.id_lines == 2
+        assert structure.control_lines == ["START", "DONE"]
+        assert structure.total_pins == 12
+        assert structure.record_type_name == "FullHandshakeBus"
+
+    def test_fixed_delay_has_no_controls(self):
+        structure = make_structure("B", self.make_group(), 8, FIXED_DELAY)
+        assert structure.total_pins == 8 + 2
+
+    def test_half_handshake_one_control(self):
+        structure = make_structure("B", self.make_group(), 8,
+                                   HALF_HANDSHAKE)
+        assert structure.total_pins == 8 + 2 + 1
+
+    def test_hardwired_single_channel_full_width(self):
+        group = ChannelGroup("B", [make_channel()])
+        structure = make_structure("B", group, 23, HARDWIRED)
+        assert structure.total_pins == 23
+
+    def test_hardwired_rejects_sharing(self):
+        with pytest.raises(ProtocolError):
+            make_structure("B", self.make_group(), 23, HARDWIRED)
+
+    def test_hardwired_rejects_narrow_width(self):
+        group = ChannelGroup("B", [make_channel()])
+        with pytest.raises(ProtocolError, match="full message width"):
+            make_structure("B", group, 8, HARDWIRED)
+
+    def test_invalid_width(self):
+        with pytest.raises(ProtocolError):
+            make_structure("B", self.make_group(), 0, FULL_HANDSHAKE)
+
+
+class TestVariableProcesses:
+    def test_one_process_per_variable(self):
+        """Figure 5: Xproc and MEMproc, one per served variable."""
+        x = Variable("X", IntType(16))
+        mem = Variable("MEM", ArrayType(IntType(16), 64))
+        behavior = Behavior("P")
+        channels = [
+            Channel("ch0", behavior, x, Direction.WRITE, 1),
+            Channel("ch1", behavior, x, Direction.READ, 1),
+            Channel("ch2", behavior, mem, Direction.WRITE, 1),
+        ]
+        procedures = {c.name: make_procedures(c, FULL_HANDSHAKE)
+                      for c in channels}
+        processes = make_variable_processes(procedures)
+        assert [p.name for p in processes] == ["Xproc", "MEMproc"]
+        xproc = processes[0]
+        assert [s.channel.name for s in xproc.services] == ["ch0", "ch1"]
+
+    def test_service_lookup(self):
+        x = Variable("X", IntType(16))
+        channel = Channel("ch0", Behavior("P"), x, Direction.WRITE, 1)
+        procedures = {"ch0": make_procedures(channel, FULL_HANDSHAKE)}
+        process = make_variable_processes(procedures)[0]
+        assert process.service_for("ch0").channel is channel
+        with pytest.raises(Exception):
+            process.service_for("nope")
+
+    def test_describe(self):
+        x = Variable("X", IntType(16))
+        channel = Channel("ch0", Behavior("P"), x, Direction.WRITE, 1)
+        procedures = {"ch0": make_procedures(channel, FULL_HANDSHAKE)}
+        process = make_variable_processes(procedures)[0]
+        assert "Xproc" in process.describe()
+        assert "ReceiveCH0" in process.describe()

@@ -1,0 +1,250 @@
+"""Unit tests for specification refinement (Section 4, steps 4-5)."""
+
+import pytest
+
+from repro.errors import RefinementError
+from repro.channels.channel import Channel
+from repro.channels.group import ChannelGroup
+from repro.protogen.refine import (
+    generate_protocol,
+    refine_system,
+    remote_access_remains,
+)
+from repro.spec.access import Direction
+from repro.spec.behavior import Behavior
+from repro.spec.expr import Index, Ref
+from repro.spec.stmt import Assign, Call, For, If, While
+from repro.spec.system import SystemSpec
+from repro.spec.types import ArrayType, IntType
+from repro.spec.variable import Variable
+
+
+def refined_calls(behavior):
+    """All Call statements anywhere in a behavior body."""
+    from repro.spec.stmt import walk
+    return [s for s in walk(behavior.body) if isinstance(s, Call)]
+
+
+def build_one_behavior(body, shared, locals=()):
+    behavior = Behavior("P", body, local_variables=list(locals))
+    system = SystemSpec("sys", [behavior], list(shared))
+    channels = []
+    index = 0
+    from repro.spec.access import analyze_behavior
+    for summary in analyze_behavior(behavior):
+        channels.append(Channel(f"ch{index}", behavior, summary.variable,
+                                summary.direction, summary.count))
+        index += 1
+    group = ChannelGroup("B", channels)
+    return system, group
+
+
+class TestStep4Rewriting:
+    def test_scalar_write_becomes_send(self):
+        """``X <= 32`` becomes ``SendCH0(32)`` (paper step 4)."""
+        x = Variable("X", IntType(16))
+        system, group = build_one_behavior([Assign(x, 32)], [x])
+        refined = generate_protocol(system, group, width=8)
+        behavior = refined.behavior("P")
+        calls = refined_calls(behavior)
+        assert len(behavior.body) == 1
+        assert len(calls) == 1
+        assert calls[0].procedure.name == "SendCH0"
+        assert len(calls[0].args) == 1
+
+    def test_array_write_includes_address(self):
+        """``MEM(60) := COUNT`` becomes ``SendCH(60, COUNT)``."""
+        mem = Variable("MEM", ArrayType(IntType(16), 64))
+        count = Variable("COUNT", IntType(16))
+        system, group = build_one_behavior(
+            [Assign((mem, 60), Ref(count))], [mem], locals=[count])
+        refined = generate_protocol(system, group, width=8)
+        call = refined_calls(refined.behavior("P"))[0]
+        assert len(call.args) == 2  # address, data
+
+    def test_scalar_read_introduces_temp(self):
+        """``Y <= X`` becomes ``ReceiveCH(Xtemp); Y <= Xtemp``
+        (Figure 5's Xtemp)."""
+        x = Variable("X", IntType(16))
+        y = Variable("Y", IntType(16))
+        system, group = build_one_behavior(
+            [Assign(y, Ref(x))], [x], locals=[y])
+        refined = generate_protocol(system, group, width=8)
+        behavior = refined.behavior("P")
+        assert len(behavior.body) == 2
+        call, assign = behavior.body
+        assert isinstance(call, Call)
+        assert call.procedure.name.startswith("Receive")
+        assert call.results[0].variable.name == "Xtemp"
+        assert isinstance(assign, Assign)
+        reads = {r.variable.name for r in assign.expr.reads()}
+        assert reads == {"Xtemp"}
+
+    def test_array_read_passes_address(self):
+        """``IR <= MEM(PC)`` becomes ``ReceiveCH(PC, temp); IR <= temp``."""
+        mem = Variable("MEM", ArrayType(IntType(16), 64))
+        pc = Variable("PC", IntType(16))
+        ir = Variable("IR", IntType(16))
+        system, group = build_one_behavior(
+            [Assign(ir, Index(mem, Ref(pc)))], [mem], locals=[pc, ir])
+        refined = generate_protocol(system, group, width=8)
+        call = refined_calls(refined.behavior("P"))[0]
+        assert len(call.args) == 1    # the address expression
+        assert len(call.results) == 1
+
+    def test_multiple_reads_get_distinct_temps(self):
+        x = Variable("X", IntType(16))
+        y = Variable("Y", IntType(16))
+        system, group = build_one_behavior(
+            [Assign(y, Ref(x) + Ref(x))], [x], locals=[y])
+        refined = generate_protocol(system, group, width=8)
+        behavior = refined.behavior("P")
+        calls = refined_calls(behavior)
+        assert len(calls) == 2
+        temps = {c.results[0].variable.name for c in calls}
+        assert temps == {"Xtemp", "Xtemp2"}
+
+    def test_read_modify_write(self):
+        """``X <= X + 1`` on a remote X: one receive, one send."""
+        x = Variable("X", IntType(16))
+        system, group = build_one_behavior(
+            [Assign(x, Ref(x) + 1)], [x])
+        refined = generate_protocol(system, group, width=8)
+        calls = refined_calls(refined.behavior("P"))
+        names = [c.procedure.name for c in calls]
+        assert len(calls) == 2
+        assert names[0].startswith("Receive")
+        assert names[1].startswith("Send")
+
+    def test_reads_inside_for_body_stay_per_iteration(self):
+        mem = Variable("MEM", ArrayType(IntType(16), 64))
+        acc = Variable("acc", IntType(32))
+        i = Variable("i", IntType(16))
+        system, group = build_one_behavior([
+            For(i, 0, 63, [Assign(acc, Ref(acc) + Index(mem, Ref(i)))]),
+        ], [mem], locals=[acc])
+        refined = generate_protocol(system, group, width=8)
+        behavior = refined.behavior("P")
+        loop = behavior.body[0]
+        assert isinstance(loop, For)
+        assert any(isinstance(s, Call) for s in loop.body)
+
+    def test_if_condition_read_extracted_before_if(self):
+        x = Variable("X", IntType(16))
+        y = Variable("Y", IntType(16))
+        system, group = build_one_behavior([
+            If(Ref(x) > 0, [Assign(y, 1)], [Assign(y, 2)]),
+        ], [x], locals=[y])
+        refined = generate_protocol(system, group, width=8)
+        body = refined.behavior("P").body
+        assert isinstance(body[0], Call)
+        assert isinstance(body[1], If)
+
+    def test_while_condition_refetched_each_iteration(self):
+        x = Variable("X", IntType(16))
+        y = Variable("Y", IntType(16))
+        system, group = build_one_behavior([
+            While(Ref(x) > 0, [Assign(y, 1)], trip_count=3),
+        ], [x], locals=[y])
+        refined = generate_protocol(system, group, width=8)
+        body = refined.behavior("P").body
+        assert isinstance(body[0], Call)          # initial fetch
+        loop = body[1]
+        assert isinstance(loop, While)
+        assert isinstance(loop.body[-1], Call)    # re-fetch per iteration
+
+    def test_index_expression_with_remote_read(self):
+        """``MEM(X) <= 1`` with both MEM and X remote."""
+        mem = Variable("MEM", ArrayType(IntType(16), 64))
+        x = Variable("X", IntType(16))
+        system, group = build_one_behavior(
+            [Assign((mem, Ref(x)), 1)], [mem, x])
+        refined = generate_protocol(system, group, width=8)
+        calls = refined_calls(refined.behavior("P"))
+        assert len(calls) == 2  # receive X, then send MEM
+        assert calls[0].procedure.name.startswith("Receive")
+        assert calls[1].procedure.name.startswith("Send")
+
+    def test_unaffected_behaviors_shared_by_reference(self, fig3):
+        bystander = Behavior("bystander", [])
+        fig3.system.add_behavior(bystander)
+        refined = generate_protocol(fig3.system, fig3.group, width=8)
+        assert refined.behavior("bystander") is bystander
+
+    def test_original_behaviors_not_mutated(self, fig3):
+        original_statements = list(fig3.P.body)
+        generate_protocol(fig3.system, fig3.group, width=8)
+        assert fig3.P.body == original_statements
+
+    def test_no_remote_access_remains(self, fig3):
+        refined = generate_protocol(fig3.system, fig3.group, width=8)
+        assert remote_access_remains(refined) == []
+
+
+class TestStep5VariableProcesses:
+    def test_fig3_processes(self, fig3):
+        refined = generate_protocol(fig3.system, fig3.group, width=8)
+        names = {vp.name for vp in refined.buses[0].variable_processes}
+        assert names == {"Xproc", "MEMproc"}
+
+    def test_served_variables(self, fig3):
+        refined = generate_protocol(fig3.system, fig3.group, width=8)
+        assert {v.name for v in refined.served_variables()} == {"X", "MEM"}
+
+
+class TestMultiBus:
+    def test_two_buses_chain(self):
+        """A behavior accessing two variables over two separate buses."""
+        x = Variable("X", IntType(16))
+        y = Variable("Y", IntType(16))
+        z = Variable("Z", IntType(16))
+        behavior = Behavior("P", [
+            Assign(x, 1),
+            Assign(y, 2),
+            Assign(z, Ref(x) + Ref(y)),
+        ])
+        system = SystemSpec("sys", [behavior], [x, y, z])
+        ch_x_w = Channel("cxw", behavior, x, Direction.WRITE, 1)
+        ch_x_r = Channel("cxr", behavior, x, Direction.READ, 1)
+        ch_y_w = Channel("cyw", behavior, y, Direction.WRITE, 1)
+        ch_y_r = Channel("cyr", behavior, y, Direction.READ, 1)
+        bus1 = ChannelGroup("bus1", [ch_x_w, ch_x_r])
+        bus2 = ChannelGroup("bus2", [ch_y_w, ch_y_r])
+        refined = refine_system(system, [(bus1, 8), (bus2, 16)])
+        assert len(refined.buses) == 2
+        calls = refined_calls(refined.behavior("P"))
+        assert len(calls) == 4  # write X, write Y, read X, read Y
+        # Z stays a direct (local-bus-free) assignment.
+        assert remote_access_remains(refined) == []
+
+    def test_empty_plan_rejected(self, fig3):
+        with pytest.raises(RefinementError):
+            refine_system(fig3.system, [])
+
+    def test_duplicate_bus_names_rejected(self, fig3):
+        with pytest.raises(RefinementError, match="duplicate"):
+            refine_system(fig3.system,
+                          [(fig3.group, 8), (fig3.group, 16)])
+
+
+class TestErrors:
+    def test_missing_channel_for_access(self):
+        """A behavior accessing a variable with no channel on the bus."""
+        x = Variable("X", IntType(16))
+        y = Variable("Y", IntType(16))
+        behavior = Behavior("P", [Assign(x, 1), Assign(y, Ref(x))],
+                            local_variables=[y])
+        system = SystemSpec("sys", [behavior], [x])
+        # Only the write channel exists; the read has no channel.
+        group = ChannelGroup("B", [
+            Channel("c", behavior, x, Direction.WRITE, 1),
+        ])
+        with pytest.raises(RefinementError, match="no\\s+channel"):
+            generate_protocol(system, group, width=8)
+
+    def test_lookup_errors(self, fig3):
+        refined = generate_protocol(fig3.system, fig3.group, width=8)
+        with pytest.raises(RefinementError):
+            refined.behavior("nope")
+        with pytest.raises(RefinementError):
+            refined.bus("nope")

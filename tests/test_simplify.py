@@ -1,0 +1,167 @@
+"""Tests for the constant-folding / simplification pass."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spec.behavior import Behavior
+from repro.spec.expr import (
+    BinOp,
+    Const,
+    Environment,
+    Index,
+    Ref,
+    UnOp,
+)
+from repro.spec.interp import run_reference
+from repro.spec.simplify import (
+    expression_size,
+    simplify_behavior,
+    simplify_body,
+    simplify_expr,
+)
+from repro.spec.stmt import Assign, For, If, While
+from repro.spec.system import SystemSpec
+from repro.spec.types import ArrayType, IntType
+from repro.spec.variable import Variable
+
+
+@pytest.fixture
+def x():
+    return Variable("x", IntType(16), init=7)
+
+
+class TestConstantFolding:
+    def test_folds_arithmetic(self):
+        expr = simplify_expr(BinOp("+", Const(2), BinOp("*", 3, 4)))
+        assert isinstance(expr, Const)
+        assert expr.value == 14
+
+    def test_folds_comparisons_and_unops(self):
+        assert simplify_expr(BinOp("<", 2, 3)).value == 1
+        assert simplify_expr(UnOp("abs", Const(-5))).value == 5
+        assert simplify_expr(UnOp("-", Const(5))).value == -5
+
+    def test_division_by_zero_not_folded(self):
+        """A constant x/0 must still fault at run time."""
+        expr = simplify_expr(BinOp("/", 4, 0))
+        assert isinstance(expr, BinOp)
+        with pytest.raises(Exception):
+            expr.evaluate(Environment())
+
+
+class TestIdentities:
+    def test_additive_identity(self, x):
+        assert simplify_expr(Ref(x) + 0) is not None
+        assert isinstance(simplify_expr(Ref(x) + 0), Ref)
+        assert isinstance(simplify_expr(0 + Ref(x)), Ref)
+        assert isinstance(simplify_expr(Ref(x) - 0), Ref)
+
+    def test_multiplicative_identity(self, x):
+        assert isinstance(simplify_expr(Ref(x) * 1), Ref)
+        assert isinstance(simplify_expr(1 * Ref(x)), Ref)
+        assert isinstance(simplify_expr(Ref(x) // 1), Ref)
+
+    def test_multiplication_by_zero_folds_for_pure_operands(self, x):
+        assert simplify_expr(Ref(x) * 0).value == 0
+
+    def test_multiplication_by_zero_keeps_faulting_operand(self, x):
+        """x/0 * 0 must not fold away the fault."""
+        faulting = BinOp("/", Ref(x), 0)
+        expr = simplify_expr(BinOp("*", faulting, Const(0)))
+        assert not isinstance(expr, Const)
+
+    def test_double_negation(self, x):
+        assert isinstance(simplify_expr(UnOp("-", UnOp("-", Ref(x)))), Ref)
+
+    def test_nested_abs(self, x):
+        inner = UnOp("abs", Ref(x))
+        assert simplify_expr(UnOp("abs", inner)) is inner
+
+    def test_not_not_comparison(self, x):
+        comparison = Ref(x) > 0
+        expr = simplify_expr(UnOp("not", UnOp("not", comparison)))
+        assert expr is comparison
+
+    def test_index_expression_simplified(self, x):
+        arr = Variable("arr", ArrayType(IntType(16), 8))
+        expr = simplify_expr(Index(arr, Ref(x) + 0))
+        assert isinstance(expr.index, Ref)
+
+
+class TestStatements:
+    def test_constant_true_if_collapses(self, x):
+        body = simplify_body([
+            If(Const(1), [Assign(x, 1)], [Assign(x, 2)]),
+        ])
+        assert len(body) == 1
+        assert isinstance(body[0], Assign)
+        assert body[0].expr.value == 1
+
+    def test_constant_false_if_collapses_to_else(self, x):
+        body = simplify_body([
+            If(BinOp(">", 1, 2), [Assign(x, 1)], [Assign(x, 2)]),
+        ])
+        assert body[0].expr.value == 2
+
+    def test_empty_range_for_dropped(self, x):
+        body = simplify_body([For(Variable("i", IntType(8)), 5, 4,
+                                  [Assign(x, 1)])])
+        assert body == []
+
+    def test_constant_false_while_emptied(self, x):
+        body = simplify_body([
+            While(Const(0), [Assign(x, 1)], trip_count=5),
+        ])
+        assert len(body) == 1
+        assert isinstance(body[0], While)
+        assert body[0].body == []
+        assert body[0].trip_count == 0
+
+    def test_behavior_wrapper(self, x):
+        behavior = Behavior("B", [Assign(x, Ref(x) + 0)],
+                            local_variables=[x])
+        simplified = simplify_behavior(behavior)
+        assert simplified.name == "B"
+        assert isinstance(simplified.body[0].expr, Ref)
+        # Original untouched.
+        assert isinstance(behavior.body[0].expr, BinOp)
+
+    def test_simplified_system_computes_same_result(self):
+        out = Variable("out", IntType(32))
+        i = Variable("i", IntType(16))
+        behavior = Behavior("B", [
+            Assign(out, Const(0) + 0),
+            For(i, 0, 9, [
+                Assign(out, (Ref(out) + Ref(i) * 1) + 0),
+            ]),
+            If(BinOp(">", 10, 5), [Assign(out, Ref(out) * 2)], []),
+        ])
+        system = SystemSpec("s", [behavior], [out])
+        golden = run_reference(system).final_values["out"]
+        simplified_system = SystemSpec(
+            "s2", [simplify_behavior(behavior)], [out])
+        assert run_reference(simplified_system).final_values["out"] == \
+            golden
+
+
+class TestProperties:
+    def test_fuzzed_equivalence_and_size(self):
+        from tests.test_properties_sim import expressions, _as_expr
+
+        x = Variable("X", IntType(16), init=3)
+        arr = Variable("ARR", ArrayType(IntType(16), 8),
+                       init=[1, 2, 3, 4, 5, 6, 7, 8])
+
+        @given(expressions([x], arr))
+        @settings(max_examples=300, deadline=None)
+        def check(raw):
+            expr = _as_expr(raw)
+            simplified = simplify_expr(expr)
+            env = Environment()
+            env.declare(x)
+            env.declare(arr)
+            assert simplified.evaluate(env) == expr.evaluate(env)
+            assert expression_size(simplified) <= expression_size(expr)
+
+        check()

@@ -1,0 +1,202 @@
+"""Unit tests for the statement IR."""
+
+import pytest
+
+from repro.errors import StmtError
+from repro.spec.expr import Environment, Ref
+from repro.spec.stmt import (
+    Assign,
+    Call,
+    ElementTarget,
+    For,
+    If,
+    Nop,
+    ScalarTarget,
+    WaitClocks,
+    While,
+    as_target,
+    assigned_variables,
+    map_body,
+    walk,
+)
+from repro.spec.types import ArrayType, IntType
+from repro.spec.variable import Variable
+
+
+@pytest.fixture
+def variables():
+    x = Variable("x", IntType(16))
+    y = Variable("y", IntType(16))
+    arr = Variable("arr", ArrayType(IntType(16), 8))
+    return x, y, arr
+
+
+class TestTargets:
+    def test_scalar_target(self, variables):
+        x, _, _ = variables
+        target = ScalarTarget(x)
+        assert target.variable is x
+        assert target.index_expr() is None
+
+    def test_scalar_target_rejects_array(self, variables):
+        _, _, arr = variables
+        with pytest.raises(StmtError):
+            ScalarTarget(arr)
+
+    def test_element_target(self, variables):
+        x, _, arr = variables
+        target = ElementTarget(arr, Ref(x))
+        assert target.variable is arr
+        assert target.index_expr() is not None
+
+    def test_element_target_rejects_scalar(self, variables):
+        x, y, _ = variables
+        with pytest.raises(StmtError):
+            ElementTarget(x, Ref(y))
+
+    def test_element_target_reads_index(self, variables):
+        x, _, arr = variables
+        target = ElementTarget(arr, Ref(x))
+        assert {r.variable for r in target.reads()} == {x}
+
+    def test_as_target_coercions(self, variables):
+        x, _, arr = variables
+        assert isinstance(as_target(x), ScalarTarget)
+        assert isinstance(as_target((arr, 0)), ElementTarget)
+        target = ScalarTarget(x)
+        assert as_target(target) is target
+
+    def test_as_target_rejects_garbage(self):
+        with pytest.raises(StmtError):
+            as_target(42)
+
+
+class TestAssign:
+    def test_reads_cover_expr_and_index(self, variables):
+        x, y, arr = variables
+        stmt = Assign((arr, Ref(x)), Ref(y) + 1)
+        assert {r.variable for r in stmt.reads()} == {x, y}
+
+    def test_int_expr_coerced(self, variables):
+        x, _, _ = variables
+        stmt = Assign(x, 5)
+        assert stmt.expr.evaluate(Environment()) == 5
+
+
+class TestFor:
+    def test_trip_count(self, variables):
+        x, _, _ = variables
+        assert For(x, 0, 9, []).trip_count == 10
+        assert For(x, 5, 5, []).trip_count == 1
+        assert For(x, 5, 4, []).trip_count == 0
+
+    def test_rejects_array_loop_variable(self, variables):
+        _, _, arr = variables
+        with pytest.raises(StmtError):
+            For(arr, 0, 3, [])
+
+    def test_rejects_non_constant_bounds(self, variables):
+        x, y, _ = variables
+        with pytest.raises(StmtError):
+            For(x, 0, Ref(y), [])  # type: ignore[arg-type]
+
+
+class TestWhile:
+    def test_trip_count_annotation(self, variables):
+        x, _, _ = variables
+        stmt = While(Ref(x) < 10, [], trip_count=10)
+        assert stmt.trip_count == 10
+
+    def test_rejects_negative_trip_count(self, variables):
+        x, _, _ = variables
+        with pytest.raises(StmtError):
+            While(Ref(x) < 10, [], trip_count=-1)
+
+
+class TestWaitClocks:
+    def test_accepts_zero(self):
+        assert WaitClocks(0).clocks == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(StmtError):
+            WaitClocks(-1)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(StmtError):
+            WaitClocks(1.5)
+
+
+class TestWalk:
+    def test_walk_visits_nested(self, variables):
+        x, y, _ = variables
+        inner = Assign(y, 1)
+        body = [
+            If(Ref(x) > 0, [inner], [Nop()]),
+            For(x, 0, 3, [Assign(y, 2)]),
+        ]
+        visited = list(walk(body))
+        assert inner in visited
+        assert len(visited) == 5  # if, assign, nop, for, assign
+
+    def test_assigned_variables(self, variables):
+        x, y, arr = variables
+        body = [
+            Assign(y, 1),
+            For(x, 0, 3, [Assign((arr, Ref(x)), 0)]),
+        ]
+        assigned = list(assigned_variables(body))
+        names = sorted(v.name for v, _ in assigned)
+        assert names == ["arr", "x", "y"]
+
+
+class TestMapBody:
+    def test_replace_statement(self, variables):
+        x, y, _ = variables
+        body = [Assign(x, 1), Assign(y, 2)]
+
+        def drop_x(stmt):
+            if isinstance(stmt, Assign) and stmt.target.variable is x:
+                return []
+            return None
+
+        result = map_body(body, drop_x)
+        assert len(result) == 1
+        assert result[0].target.variable is y
+
+    def test_splice_statements(self, variables):
+        x, _, _ = variables
+        body = [Assign(x, 1)]
+
+        def duplicate(stmt):
+            if isinstance(stmt, Assign):
+                return [stmt, Assign(x, 2)]
+            return None
+
+        result = map_body(body, duplicate)
+        assert len(result) == 2
+
+    def test_map_recurses_into_if(self, variables):
+        x, y, _ = variables
+        body = [If(Ref(x) > 0, [Assign(y, 1)], [])]
+
+        seen = []
+
+        def record(stmt):
+            seen.append(type(stmt).__name__)
+            return None
+
+        map_body(body, record)
+        assert "Assign" in seen
+        assert "If" in seen
+
+
+class TestCall:
+    def test_call_reads(self, variables):
+        x, y, _ = variables
+        stmt = Call("proc", args=[Ref(x) + 1], results=[y])
+        assert {r.variable for r in stmt.reads()} == {x}
+
+    def test_call_result_targets(self, variables):
+        x, _, arr = variables
+        stmt = Call("proc", results=[(arr, Ref(x))])
+        assert stmt.results[0].variable is arr

@@ -1,0 +1,116 @@
+"""Unit tests for waveform/transaction trace export."""
+
+import pytest
+
+from repro.protogen.refine import generate_protocol
+from repro.sim.bus import Transaction
+from repro.sim.runtime import RefinedSimulation
+from repro.sim.signals import DataLines, Signal
+from repro.sim.trace import (
+    _vcd_id,
+    bus_signals,
+    format_transactions,
+    write_bus_vcd,
+    write_vcd,
+)
+from repro.spec.access import Direction
+
+from tests.conftest import make_fig3
+
+
+class TestVcdIds:
+    def test_ids_unique_and_printable(self):
+        codes = [_vcd_id(i) for i in range(500)]
+        assert len(set(codes)) == 500
+        for code in codes:
+            assert code
+            assert all(33 <= ord(ch) <= 126 for ch in code)
+
+    def test_first_codes_single_char(self):
+        assert len(_vcd_id(0)) == 1
+        assert len(_vcd_id(93)) == 1
+
+
+class TestWriteVcd:
+    def test_scalar_and_vector_signals(self, tmp_path):
+        time = [0]
+        scalar = Signal("clk_like", clock=lambda: time[0], trace=True)
+        vector = DataLines("data", 8, clock=lambda: time[0], trace=True)
+        time[0] = 3
+        scalar.set(1)
+        vector.drive("accessor", 0xAB, 0xFF)
+        time[0] = 7
+        scalar.set(0)
+        path = tmp_path / "t.vcd"
+        write_vcd([scalar, vector], str(path))
+        text = path.read_text()
+        assert "$timescale" in text
+        assert "$var wire 1" in text        # scalar width
+        assert "$var wire 8" in text        # vector width
+        assert "#3" in text
+        assert "#7" in text
+        assert "b10101011" in text          # 0xAB
+
+    def test_untraced_signals_emit_initial_value_only(self, tmp_path):
+        signal = Signal("quiet", trace=False)
+        signal.set(5)
+        path = tmp_path / "q.vcd"
+        write_vcd([signal], str(path))
+        text = path.read_text()
+        assert "quiet" in text
+
+
+class TestBusVcd:
+    def test_full_bus_waveform(self, tmp_path, fig3):
+        refined = generate_protocol(fig3.system, fig3.group, width=8,
+                                    bus_name="B")
+        simulation = RefinedSimulation(refined, schedule=["P", "Q"],
+                                       trace=True)
+        simulation.run()
+        bus = simulation.buses["B"]
+        signals = bus_signals(bus)
+        names = {s.name for s in signals}
+        assert {"B.START", "B.DONE", "B.ID", "B.DATA"} <= names
+        path = tmp_path / "bus.vcd"
+        write_bus_vcd(bus, str(path))
+        text = path.read_text()
+        # START toggles many times over the run.
+        start_code = None
+        for line in text.splitlines():
+            if "B.START" in line:
+                start_code = line.split()[3]
+                break
+        assert start_code is not None
+        toggles = sum(1 for line in text.splitlines()
+                      if line in (f"0{start_code}", f"1{start_code}"))
+        assert toggles > 4
+
+    def test_start_pulse_count_matches_words(self, fig3):
+        """START rises once per bus word under the full handshake."""
+        refined = generate_protocol(fig3.system, fig3.group, width=8,
+                                    bus_name="B")
+        simulation = RefinedSimulation(refined, schedule=["P", "Q"],
+                                       trace=True)
+        result = simulation.run()
+        bus = simulation.buses["B"]
+        start = bus.controls["START"]
+        rises = sum(1 for _, value in start.changes if value == 1)
+        expected_words = sum(
+            -(-fig3.group.channel(t.channel).message_bits // 8)
+            for t in result.transactions["B"]
+        )
+        assert rises == expected_words
+
+
+class TestFormatTransactions:
+    def test_columns(self):
+        log = [Transaction(0, 4, "ch0", Direction.WRITE, 5, 99, "P")]
+        text = format_transactions(log)
+        assert "ch0" in text
+        assert "write" in text
+        assert "99" in text
+        assert "P" in text
+
+    def test_scalar_address_shown_as_dash(self):
+        log = [Transaction(0, 4, "ch0", Direction.READ, None, 1, "P")]
+        assert "-" in format_transactions(log)

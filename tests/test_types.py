@@ -1,0 +1,183 @@
+"""Unit tests for the specification data types."""
+
+import pytest
+
+from repro.errors import TypeSpecError
+from repro.spec.types import (
+    ArrayType,
+    BitType,
+    IntType,
+    address_bits,
+    clog2,
+    data_bits,
+    message_bits,
+)
+
+
+class TestClog2:
+    def test_single_code_needs_no_bits(self):
+        assert clog2(1) == 0
+
+    def test_powers_of_two(self):
+        assert clog2(2) == 1
+        assert clog2(4) == 2
+        assert clog2(128) == 7
+        assert clog2(1024) == 10
+
+    def test_non_powers_round_up(self):
+        assert clog2(3) == 2
+        assert clog2(5) == 3
+        assert clog2(1920) == 11
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(TypeSpecError):
+            clog2(0)
+        with pytest.raises(TypeSpecError):
+            clog2(-4)
+
+
+class TestBitType:
+    def test_bits_equals_width(self):
+        assert BitType(8).bits == 8
+        assert BitType(1).bits == 1
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(TypeSpecError):
+            BitType(0)
+
+    def test_validate_range(self):
+        dtype = BitType(4)
+        dtype.validate(0)
+        dtype.validate(15)
+        with pytest.raises(TypeSpecError):
+            dtype.validate(16)
+        with pytest.raises(TypeSpecError):
+            dtype.validate(-1)
+
+    def test_validate_rejects_non_int(self):
+        with pytest.raises(TypeSpecError):
+            BitType(4).validate("0101")
+
+    def test_encode_decode_roundtrip(self):
+        dtype = BitType(8)
+        for value in (0, 1, 127, 255):
+            assert dtype.decode(dtype.encode(value)) == value
+
+    def test_decode_masks_extra_bits(self):
+        assert BitType(4).decode(0x1F) == 0xF
+
+    def test_default_is_zero(self):
+        assert BitType(8).default() == 0
+
+    def test_str(self):
+        assert str(BitType(8)) == "bit_vector(7 downto 0)"
+
+
+class TestIntType:
+    def test_signed_range(self):
+        dtype = IntType(16)
+        assert dtype.min_value == -32768
+        assert dtype.max_value == 32767
+
+    def test_unsigned_range(self):
+        dtype = IntType(8, signed=False)
+        assert dtype.min_value == 0
+        assert dtype.max_value == 255
+
+    def test_validate_bounds(self):
+        dtype = IntType(8)
+        dtype.validate(-128)
+        dtype.validate(127)
+        with pytest.raises(TypeSpecError):
+            dtype.validate(128)
+        with pytest.raises(TypeSpecError):
+            dtype.validate(-129)
+
+    def test_wrap_two_complement(self):
+        dtype = IntType(8)
+        assert dtype.wrap(128) == -128
+        assert dtype.wrap(255) == -1
+        assert dtype.wrap(256) == 0
+        assert dtype.wrap(-129) == 127
+
+    def test_wrap_unsigned(self):
+        dtype = IntType(8, signed=False)
+        assert dtype.wrap(256) == 0
+        assert dtype.wrap(-1) == 255
+
+    def test_encode_decode_roundtrip_signed(self):
+        dtype = IntType(16)
+        for value in (-32768, -1, 0, 1, 32767):
+            raw = dtype.encode(value)
+            assert 0 <= raw < (1 << 16)
+            assert dtype.decode(raw) == value
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(TypeSpecError):
+            IntType(0)
+
+
+class TestArrayType:
+    def test_flc_trru_shape(self):
+        """The FLC arrays: 128 x int16 -> 7 address + 16 data bits."""
+        dtype = ArrayType(IntType(16), 128)
+        assert dtype.address_bits == 7
+        assert dtype.element_bits == 16
+        assert dtype.bits == 128 * 16
+
+    def test_message_bits_is_23_for_flc(self):
+        """The paper's 16 data + 7 address = 23-bit messages."""
+        assert message_bits(ArrayType(IntType(16), 128)) == 23
+
+    def test_scalar_message_bits(self):
+        assert message_bits(IntType(16)) == 16
+        assert address_bits(IntType(16)) == 0
+        assert data_bits(IntType(16)) == 16
+
+    def test_array_data_and_address_bits(self):
+        dtype = ArrayType(IntType(16), 1920)
+        assert address_bits(dtype) == 11
+        assert data_bits(dtype) == 16
+        assert message_bits(dtype) == 27
+
+    def test_rejects_nested_arrays(self):
+        with pytest.raises(TypeSpecError):
+            ArrayType(ArrayType(IntType(8), 4), 4)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(TypeSpecError):
+            ArrayType(IntType(8), 0)
+
+    def test_validate_length_and_elements(self):
+        dtype = ArrayType(IntType(8), 3)
+        dtype.validate([1, 2, 3])
+        with pytest.raises(TypeSpecError):
+            dtype.validate([1, 2])
+        with pytest.raises(TypeSpecError):
+            dtype.validate([1, 2, 1000])
+        with pytest.raises(TypeSpecError):
+            dtype.validate(7)
+
+    def test_validate_index(self):
+        dtype = ArrayType(IntType(8), 3)
+        dtype.validate_index(0)
+        dtype.validate_index(2)
+        with pytest.raises(TypeSpecError):
+            dtype.validate_index(3)
+        with pytest.raises(TypeSpecError):
+            dtype.validate_index(-1)
+
+    def test_encode_decode_roundtrip(self):
+        dtype = ArrayType(IntType(8), 4)
+        value = [-128, -1, 0, 127]
+        assert dtype.decode(dtype.encode(value)) == value
+
+    def test_default(self):
+        assert ArrayType(IntType(8), 3).default() == [0, 0, 0]
+
+    def test_default_values_do_not_alias(self):
+        dtype = ArrayType(IntType(8), 3)
+        first = dtype.default()
+        second = dtype.default()
+        first[0] = 5
+        assert second[0] == 0

@@ -1,0 +1,116 @@
+"""Edge-case tests for the VHDL structural validator and writer."""
+
+import pytest
+
+from repro.hdl.validate import validate_vhdl
+from repro.sim.kernel import Simulator, Wait
+
+
+class TestValidatorEdges:
+    def test_unmatched_end_process(self):
+        report = validate_vhdl("end process ;\n")
+        assert any("unmatched" in e for e in report.errors)
+
+    def test_unmatched_end_loop(self):
+        report = validate_vhdl("end loop ;\n")
+        assert any("unmatched" in e for e in report.errors)
+
+    def test_unterminated_record(self):
+        report = validate_vhdl("type T is record\n  A : bit ;\n")
+        assert any("unterminated" in e for e in report.errors)
+
+    def test_duplicate_procedure_names(self):
+        text = (
+            "procedure SendCH0( x : in bit ) is\nbegin\nend SendCH0 ;\n"
+            "procedure SendCH0( x : in bit ) is\nbegin\nend SendCH0 ;\n"
+        )
+        report = validate_vhdl(text)
+        assert any("duplicate procedure" in e for e in report.errors)
+
+    def test_duplicate_process_labels(self):
+        text = (
+            "P : process\nbegin\nend process ;\n"
+            "P : process\nbegin\nend process ;\n"
+        )
+        report = validate_vhdl(text)
+        assert any("duplicate process" in e for e in report.errors)
+
+    def test_comments_do_not_confuse_balance(self):
+        text = (
+            "P : process\nbegin\n"
+            "-- end process ; (commented out, must not count)\n"
+            "end process ;\n"
+        )
+        assert validate_vhdl(text).ok
+
+    def test_record_fields_parsed_from_comma_list(self):
+        text = (
+            "type B_t is record\n"
+            "  START, DONE : bit ;\n"
+            "  DATA : bit_vector(7 downto 0) ;\n"
+            "end record ;\n"
+            "signal B : B_t ;\n"
+            "P : process\nbegin\n"
+            "  B.START <= '1' ;\n"
+            "  B.DONE <= '0' ;\n"
+            "end process ;\n"
+        )
+        assert validate_vhdl(text).ok
+
+    def test_signal_of_unknown_record_tolerated(self):
+        """A signal whose type isn't a parsed record: field refs can't
+        be checked, but nothing false-positives."""
+        text = "signal S : sometype ;\nP : process\nbegin\nend process ;\n"
+        report = validate_vhdl(text)
+        assert report.ok
+
+    def test_empty_text_is_ok(self):
+        assert validate_vhdl("").ok
+
+
+class TestKernelOrdering:
+    def test_processes_run_in_registration_order_each_pass(self):
+        order = []
+
+        def proc(name, rounds):
+            for r in range(rounds):
+                order.append((name, r))
+                yield Wait(1)
+
+        sim = Simulator()
+        sim.add_process("a", proc("a", 3))
+        sim.add_process("b", proc("b", 3))
+        sim.run()
+        # Within every clock, a precedes b.
+        for r in range(3):
+            assert order.index(("a", r)) < order.index(("b", r))
+
+    def test_finish_times_recorded(self):
+        def quick():
+            yield Wait(2)
+
+        def slow():
+            yield Wait(5)
+
+        sim = Simulator()
+        sim.add_process("quick", quick())
+        sim.add_process("slow", slow())
+        stats = sim.run()
+        assert stats.clocks("quick") == 2
+        assert stats.clocks("slow") == 5
+        assert stats.end_time == 5
+
+    def test_clocks_raises_for_unfinished_daemon(self):
+        def forever():
+            while True:
+                yield Wait(1)
+
+        def worker():
+            yield Wait(1)
+
+        sim = Simulator()
+        sim.add_process("d", forever(), daemon=True)
+        sim.add_process("w", worker())
+        stats = sim.run()
+        with pytest.raises(Exception):
+            stats.clocks("d")

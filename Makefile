@@ -2,13 +2,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-only reports examples verify-all clean
+.PHONY: install test lint bench bench-only reports examples verify-all clean
 
 install:
 	pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:             ## static protocol analysis on the built-in systems
+	PYTHONPATH=src $(PYTHON) -m repro.cli lint flc
+	PYTHONPATH=src $(PYTHON) -m repro.cli lint answering-machine
+	PYTHONPATH=src $(PYTHON) -m repro.cli lint ethernet
 
 bench:            ## full benchmark suite (asserts + tables)
 	$(PYTHON) -m pytest benchmarks/

@@ -1,0 +1,139 @@
+"""Bus contention / multi-driver detection (P2xx).
+
+Static checks on the :class:`~repro.protogen.refine.RefinedSpec` bus
+structure:
+
+* **P201** -- several behaviors drive one bus without an arbitration
+  mechanism: a non-shareable protocol carrying more than one channel is
+  an error; a control-line-free protocol (fixed delay) shared by
+  several accessors is a warning (it is only safe under a static
+  schedule).
+* **P202** -- a behavior still reads or writes a served variable
+  directly, bypassing the generated variable-process server; the
+  server's copy and the direct access race on two storage sites.
+* **P203** -- two variable processes serve the same variable: both
+  "own" the storage, so writes through one are invisible to the other.
+* **P204** -- duplicate channel ID codes on one bus: every transaction
+  with that code wakes several servers, all of which drive DATA/DONE.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.diagnostics import (
+    DiagnosticSet,
+    Severity,
+    SourceLocation,
+)
+from repro.protogen.refine import RefinedSpec
+from repro.spec.variable import Variable
+
+
+def check_contention(spec: RefinedSpec,
+                     diagnostics: DiagnosticSet) -> None:
+    _check_arbitration(spec, diagnostics)
+    _check_bypass(spec, diagnostics)
+    _check_double_servers(spec, diagnostics)
+    _check_duplicate_ids(spec, diagnostics)
+
+
+def _check_arbitration(spec: RefinedSpec,
+                       diagnostics: DiagnosticSet) -> None:
+    for bus in spec.buses:
+        protocol = bus.structure.protocol
+        location = SourceLocation("bus", bus.name,
+                                  detail=f"protocol {protocol.name}")
+        if not protocol.shareable and len(bus.group) > 1:
+            diagnostics.add(
+                "P201", Severity.ERROR,
+                f"{len(bus.group)} channels share non-shareable "
+                f"protocol {protocol.name}: every accessor drives the "
+                "DATA lines with no way to arbitrate",
+                location,
+                hint="split the group or select a handshake protocol",
+            )
+            continue
+        accessors = bus.group.behaviors()
+        if len(accessors) > 1 and not protocol.control_lines:
+            names = ", ".join(b.name for b in accessors)
+            diagnostics.add(
+                "P201", Severity.WARNING,
+                f"accessors {names} share the bus with no control "
+                "lines: collision-free operation relies entirely on "
+                "the static schedule",
+                location,
+                hint="acceptable only when the schedule provably "
+                     "serializes all transfers",
+            )
+
+
+def _check_bypass(spec: RefinedSpec, diagnostics: DiagnosticSet) -> None:
+    # Behaviors co-located with a variable keep accessing its storage
+    # directly; only the *remote* accessor named by each channel must be
+    # rewritten into procedure calls.
+    refined = {behavior.name: behavior for behavior in spec.behaviors}
+    for bus in spec.buses:
+        for channel in bus.group:
+            behavior = refined.get(channel.accessor.name)
+            if behavior is None:
+                continue
+            if channel.variable not in behavior.global_variables():
+                continue
+            diagnostics.add(
+                "P202", Severity.ERROR,
+                f"behavior {behavior.name} accesses remote variable "
+                f"{channel.variable.name} directly, bypassing the bus "
+                f"procedures of channel {channel.name}",
+                SourceLocation("behavior", behavior.name,
+                               detail=f"variable {channel.variable.name}"),
+                hint="re-run refinement so the access becomes a "
+                     "Send/Receive procedure call",
+            )
+
+
+def _check_double_servers(spec: RefinedSpec,
+                          diagnostics: DiagnosticSet) -> None:
+    # One variable process per (variable, bus) is the generated norm --
+    # a variable reached over several buses gets a server on each, all
+    # addressing the same storage.  Two servers answering on the *same*
+    # bus is the defect: both decode the same transactions.
+    for bus in spec.buses:
+        owners: Dict[Variable, List[str]] = {}
+        for process in bus.variable_processes:
+            owners.setdefault(process.variable, []).append(process.name)
+        for variable, names in owners.items():
+            if len(names) <= 1:
+                continue
+            diagnostics.add(
+                "P203", Severity.ERROR,
+                f"variable {variable.name} is served by {len(names)} "
+                f"processes on bus {bus.name}: {', '.join(names)}; "
+                "every transaction wakes them all",
+                SourceLocation("variable", variable.name,
+                               detail=f"bus {bus.name}"),
+                hint="a shared variable needs exactly one variable "
+                     "process per bus",
+            )
+
+
+def _check_duplicate_ids(spec: RefinedSpec,
+                         diagnostics: DiagnosticSet) -> None:
+    for bus in spec.buses:
+        by_code: Dict[int, List[str]] = {}
+        for channel in bus.group:
+            code = bus.structure.ids.codes.get(channel.name)
+            if code is None:
+                continue
+            by_code.setdefault(code, []).append(channel.name)
+        for code, names in sorted(by_code.items()):
+            if len(names) <= 1:
+                continue
+            diagnostics.add(
+                "P204", Severity.ERROR,
+                f"channels {', '.join(names)} share ID code {code}: "
+                "their servers all answer the same transaction",
+                SourceLocation("bus", bus.name, detail=f"ID code {code}"),
+                hint="re-run ID assignment; codes must be unique per "
+                     "bus",
+            )

@@ -1,0 +1,121 @@
+"""Dead-channel / unused-variable / constant-line detection (P4xx).
+
+Warnings about design elements that cost wires or gates without moving
+data:
+
+* **P401** -- a channel whose access count is zero: it earned ID space
+  and procedures but never transfers.
+* **P402** -- a shared variable no behavior references and no variable
+  process serves: storage with no readers or writers.
+* **P403** -- DATA lines no word of any channel ever drives: they are
+  constant wires that should be trimmed from the bus.
+* **P404** -- a generated accessor procedure the refined behaviors
+  never call although the channel claims traffic: the rewrite step and
+  the channel extraction disagree.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.analysis.diagnostics import (
+    DiagnosticSet,
+    Severity,
+    SourceLocation,
+)
+from repro.protogen.refine import RefinedSpec
+from repro.spec.stmt import Call, walk
+
+
+def check_dead_code(spec: RefinedSpec,
+                    diagnostics: DiagnosticSet) -> None:
+    _check_dead_channels(spec, diagnostics)
+    _check_unused_variables(spec, diagnostics)
+    _check_constant_lines(spec, diagnostics)
+    _check_uncalled_procedures(spec, diagnostics)
+
+
+def _check_dead_channels(spec: RefinedSpec,
+                         diagnostics: DiagnosticSet) -> None:
+    for bus in spec.buses:
+        for channel in bus.group:
+            if channel.accesses > 0:
+                continue
+            diagnostics.add(
+                "P401", Severity.WARNING,
+                f"channel {channel.describe()} never transfers; it "
+                "still occupies an ID code and two procedures",
+                SourceLocation("channel", channel.name,
+                               detail=f"bus {bus.name}"),
+                hint="drop the channel or fix the access analysis",
+            )
+
+
+def _check_unused_variables(spec: RefinedSpec,
+                            diagnostics: DiagnosticSet) -> None:
+    referenced = set()
+    for behavior in spec.original.behaviors:
+        referenced |= behavior.global_variables()
+    served = set(spec.served_variables())
+    for variable in spec.original.variables:
+        if variable in referenced or variable in served:
+            continue
+        diagnostics.add(
+            "P402", Severity.WARNING,
+            f"shared variable {variable.name} is referenced by no "
+            "behavior and served by no variable process",
+            SourceLocation("variable", variable.name),
+        )
+
+
+def _check_constant_lines(spec: RefinedSpec,
+                          diagnostics: DiagnosticSet) -> None:
+    from repro.analysis.width import _span
+
+    for bus in spec.buses:
+        width = bus.structure.width
+        driven: Set[int] = set()
+        for channel in bus.group:
+            layout = bus.procedures[channel.name].layout
+            for word in layout.words(width):
+                for word_slice in word.slices:
+                    driven.update(range(
+                        word_slice.word_offset,
+                        word_slice.word_offset + word_slice.bits))
+        constant = sorted(set(range(width)) - driven)
+        if not constant:
+            continue
+        diagnostics.add(
+            "P403", Severity.WARNING,
+            f"DATA line(s) {_span(constant)} are driven by no word of "
+            f"any channel: {len(constant)} constant wire(s)",
+            SourceLocation("bus", bus.name, detail=f"width {width}"),
+            hint="narrow the bus or re-run bus generation",
+        )
+
+
+def _check_uncalled_procedures(spec: RefinedSpec,
+                               diagnostics: DiagnosticSet) -> None:
+    called: Set[str] = set()
+    for behavior in spec.behaviors:
+        for stmt in walk(behavior.body):
+            if isinstance(stmt, Call):
+                called.add(getattr(stmt.procedure, "name",
+                                   str(stmt.procedure)))
+    for bus in spec.buses:
+        for channel in bus.group:
+            if channel.accesses == 0:
+                continue  # already reported as P401
+            accessor = bus.procedures[channel.name].accessor
+            if accessor.name in called:
+                continue
+            diagnostics.add(
+                "P404", Severity.WARNING,
+                f"procedure {accessor.name} is generated for "
+                f"{channel.accesses} access(es) but no refined "
+                "behavior calls it",
+                SourceLocation("channel", channel.name,
+                               detail=f"bus {bus.name}"),
+                hint="the accessor behavior was not rewritten against "
+                     "this bus",
+            )

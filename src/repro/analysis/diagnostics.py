@@ -1,0 +1,196 @@
+"""Diagnostics framework for the static protocol analyzer.
+
+The analyzer never raises on a finding: each pass reports
+:class:`Diagnostic` objects -- a stable error code (registered in
+:data:`repro.errors.DIAGNOSTIC_CODES`), a severity, a human message and
+a :class:`SourceLocation` pointing into the design (bus / channel /
+FSM state / behavior / variable).  A :class:`DiagnosticSet` collects
+them and renders either a compiler-style text listing or JSON for CI
+tooling.
+
+Raising is reserved for *misuse of the analyzer itself*
+(:class:`repro.errors.AnalysisError`): emitting an unregistered code is
+a bug in a pass, not a property of the design.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import AnalysisError, diagnostic_summary
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severities, ordered so comparisons read naturally."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            known = ", ".join(s.name.lower() for s in cls)
+            raise AnalysisError(
+                f"unknown severity {text!r}; choose from {known}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """Where in the design a diagnostic points.
+
+    ``kind`` names the IR node class (``bus``, ``channel``, ``fsm``,
+    ``behavior``, ``variable``, ``system``); ``name`` identifies the
+    node and ``detail`` narrows further (a state name, a word index, a
+    data-line range).
+    """
+
+    kind: str
+    name: str
+    detail: Optional[str] = None
+
+    def __str__(self) -> str:
+        base = f"{self.kind} {self.name}"
+        if self.detail:
+            base += f" [{self.detail}]"
+        return base
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"kind": self.kind, "name": self.name}
+        if self.detail is not None:
+            data["detail"] = self.detail
+        return data
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static-analysis pass."""
+
+    code: str
+    severity: Severity
+    message: str
+    location: Optional[SourceLocation] = None
+    #: Optional remediation hint shown after the message.
+    hint: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # Unknown codes are a pass bug; fail loudly at emission time.
+        diagnostic_summary(self.code)
+
+    @property
+    def summary(self) -> str:
+        """The registered one-line description of the code."""
+        return diagnostic_summary(self.code)
+
+    def render(self) -> str:
+        where = f"{self.location}: " if self.location else ""
+        text = f"{self.code} {self.severity}: {where}{self.message}"
+        if self.hint:
+            text += f"\n       hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        if self.location is not None:
+            data["location"] = self.location.to_dict()
+        if self.hint is not None:
+            data["hint"] = self.hint
+        return data
+
+
+@dataclass
+class DiagnosticSet:
+    """An ordered collection of diagnostics for one analyzed design."""
+
+    system: str = ""
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, code: str, severity: Severity, message: str,
+            location: Optional[SourceLocation] = None,
+            hint: Optional[str] = None) -> Diagnostic:
+        diagnostic = Diagnostic(code, severity, message, location, hint)
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, other: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(other)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def codes(self) -> List[str]:
+        return [d.code for d in self.diagnostics]
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def at_least(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.WARNING]
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def counts(self) -> Dict[str, int]:
+        out = {str(s): 0 for s in Severity}
+        for diagnostic in self.diagnostics:
+            out[str(diagnostic.severity)] += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render_text(self) -> str:
+        """Compiler-style listing plus a one-line summary."""
+        lines = [d.render() for d in self.diagnostics]
+        counts = self.counts()
+        name = self.system or "design"
+        lines.append(
+            f"{name}: {len(self.diagnostics)} diagnostic(s) "
+            f"({counts['error']} error(s), {counts['warning']} "
+            f"warning(s), {counts['info']} info)")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "system": self.system,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "counts": self.counts(),
+            "clean": self.clean,
+        }
+
+    def render_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

@@ -1,0 +1,360 @@
+"""Seeded-defect corpus validating the static analyzer.
+
+Each :class:`SeededDefect` builds a *fresh* FLC refinement, injects
+exactly one defect, and names the diagnostic code the analyzer must
+report for it.  Two injection styles:
+
+* structural mutations edit the refined spec in place (frozen
+  dataclasses are copied and patched via ``object.__setattr__`` --
+  deliberately bypassing constructor validation, since the point is to
+  produce the inconsistent designs the validators would reject);
+* controller mutations ride the ``fsm_transform`` hook of the handshake
+  pass, rewriting the synthesized FSMs before product exploration.
+
+``tests/test_mutations.py`` asserts every defect is caught and that the
+unmutated builds stay diagnostic-free.
+"""
+
+from __future__ import annotations
+
+import copy
+import re
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional
+
+from repro.analysis.deadlock import FsmTransform
+from repro.busgen.algorithm import generate_bus
+from repro.protocols import FULL_HANDSHAKE, HARDWIRED, Protocol, get_protocol
+from repro.protogen.fsm import FsmState, FsmTransition, ProtocolFsm
+from repro.protogen.idassign import IdAssignment
+from repro.protogen.procedures import FieldKind, Role
+from repro.protogen.refine import RefinedSpec, refine_system
+from repro.protogen.varproc import VariableProcess
+from repro.spec.behavior import Behavior
+from repro.spec.stmt import Nop
+from repro.spec.types import BitType
+from repro.spec.variable import Variable
+
+
+@dataclass
+class MutatedDesign:
+    """A refined spec with one seeded defect (plus an optional FSM hook)."""
+
+    spec: RefinedSpec
+    fsm_transform: Optional[FsmTransform] = None
+
+
+@dataclass(frozen=True)
+class SeededDefect:
+    name: str
+    #: Diagnostic code the analyzer must report for this defect.
+    code: str
+    description: str
+    build: Callable[[], MutatedDesign]
+
+
+def build_target(protocol: Protocol = FULL_HANDSHAKE) -> RefinedSpec:
+    """A fresh, defect-free FLC refinement to mutate."""
+    from repro.apps.flc import build_flc
+
+    model = build_flc()
+    design = generate_bus(model.bus_b, protocol=protocol)
+    return refine_system(model.system, [design], protocol=protocol)
+
+
+# ----------------------------------------------------------------------
+# Structure patching helpers
+# ----------------------------------------------------------------------
+
+def _patch(frozen, **fields):
+    """Copy a frozen dataclass and overwrite fields, skipping validation."""
+    patched = copy.copy(frozen)
+    for key, value in fields.items():
+        object.__setattr__(patched, key, value)
+    return patched
+
+
+def _first_bus(spec: RefinedSpec):
+    return spec.buses[0]
+
+
+def _swap_behavior(spec: RefinedSpec, replacement: Behavior) -> None:
+    spec.behaviors = [replacement if b.name == replacement.name else b
+                      for b in spec.behaviors]
+
+
+# ----------------------------------------------------------------------
+# Controller (FSM) mutations, via the fsm_transform hook
+# ----------------------------------------------------------------------
+
+def _server_never_done(fsm: ProtocolFsm) -> ProtocolFsm:
+    if fsm.role is not Role.SERVER:
+        return fsm
+    states = [replace(s, actions=tuple(a for a in s.actions
+                                       if a != "DONE <= '1'"))
+              for s in fsm.states]
+    return replace(fsm, states=states)
+
+
+def _accessor_ack_stuck(fsm: ProtocolFsm) -> ProtocolFsm:
+    if fsm.role is not Role.ACCESSOR:
+        return fsm
+    transitions = [replace(t, guard="DONE = '1'")
+                   if t.source.endswith("_ACK") and t.guard == "DONE = '0'"
+                   else t
+                   for t in fsm.transitions]
+    return replace(fsm, transitions=transitions)
+
+
+def _server_wrong_id(fsm: ProtocolFsm) -> ProtocolFsm:
+    if fsm.role is not Role.SERVER:
+        return fsm
+
+    def flip(guard: Optional[str]) -> Optional[str]:
+        if not guard:
+            return guard
+        match = re.search(r'ID = "([01]+)"', guard)
+        if not match:
+            return guard
+        bits = match.group(1)
+        flipped = "".join("1" if b == "0" else "0" for b in bits)
+        return guard.replace(f'ID = "{bits}"', f'ID = "{flipped}"')
+
+    transitions = [replace(t, guard=flip(t.guard)) for t in fsm.transitions]
+    return replace(fsm, transitions=transitions)
+
+
+def _accessor_skips_idle(fsm: ProtocolFsm) -> ProtocolFsm:
+    if fsm.role is not Role.ACCESSOR:
+        return fsm
+    transitions = [replace(t, target="W0_REQ")
+                   if t.target == "IDLE" and t.source != "IDLE"
+                   else t
+                   for t in fsm.transitions]
+    return replace(fsm, transitions=transitions)
+
+
+def _orphan_state(fsm: ProtocolFsm) -> ProtocolFsm:
+    if fsm.role is not Role.ACCESSOR:
+        return fsm
+    states = list(fsm.states) + [FsmState("LIMBO")]
+    transitions = list(fsm.transitions) + [FsmTransition("LIMBO", "LIMBO")]
+    return replace(fsm, states=states, transitions=transitions)
+
+
+def _fsm_defect(transform: FsmTransform) -> Callable[[], MutatedDesign]:
+    def build() -> MutatedDesign:
+        return MutatedDesign(build_target(), fsm_transform=transform)
+    return build
+
+
+# ----------------------------------------------------------------------
+# Structural mutations
+# ----------------------------------------------------------------------
+
+def _unarbitrated_bus() -> MutatedDesign:
+    # Legitimate fixed-delay design: the analyzer still warns that two
+    # accessors share control-line-free wires.
+    return MutatedDesign(build_target(get_protocol("fixed_delay")))
+
+
+def _hardwired_shared() -> MutatedDesign:
+    spec = build_target()
+    bus = _first_bus(spec)
+    bus.structure = _patch(bus.structure, protocol=HARDWIRED)
+    return MutatedDesign(spec)
+
+
+def _bypass_access() -> MutatedDesign:
+    spec = build_target()
+    original = {b.name: b for b in spec.original.behaviors}
+    accessor = _first_bus(spec).group.channels[0].accessor.name
+    _swap_behavior(spec, original[accessor])
+    return MutatedDesign(spec)
+
+
+def _double_server() -> MutatedDesign:
+    spec = build_target()
+    bus = _first_bus(spec)
+    first = bus.variable_processes[0]
+    duplicate = VariableProcess(name=f"{first.name}_shadow",
+                                variable=first.variable,
+                                services=first.services)
+    bus.variable_processes = list(bus.variable_processes) + [duplicate]
+    return MutatedDesign(spec)
+
+
+def _duplicate_ids() -> MutatedDesign:
+    spec = build_target()
+    bus = _first_bus(spec)
+    ids = bus.structure.ids
+    clones = IdAssignment(width=ids.width,
+                          codes={name: 0 for name in ids.codes})
+    bus.structure = _patch(bus.structure, ids=clones)
+    return MutatedDesign(spec)
+
+
+def _truncated_field() -> MutatedDesign:
+    spec = build_target()
+    bus = _first_bus(spec)
+    layout = bus.procedures[bus.group.channels[0].name].layout
+    layout.fields = tuple(
+        replace(f, bits=f.bits - 4) if f.kind is FieldKind.DATA else f
+        for f in layout.fields)
+    return MutatedDesign(spec)
+
+
+def _overlapping_fields() -> MutatedDesign:
+    spec = build_target()
+    bus = _first_bus(spec)
+    layout = bus.procedures[bus.group.channels[0].name].layout
+    layout.fields = tuple(
+        replace(f, offset=max(0, f.offset - 4)) if f.kind is FieldKind.DATA
+        else f
+        for f in layout.fields)
+    return MutatedDesign(spec)
+
+
+def _id_overflow() -> MutatedDesign:
+    spec = build_target()
+    bus = _first_bus(spec)
+    ids = bus.structure.ids
+    codes = dict(ids.codes)
+    victim = sorted(codes)[-1]
+    codes[victim] = 1 << (ids.width + 2)
+    bus.structure = _patch(bus.structure,
+                           ids=IdAssignment(width=ids.width, codes=codes))
+    return MutatedDesign(spec)
+
+
+def _id_capacity() -> MutatedDesign:
+    spec = build_target()
+    bus = _first_bus(spec)
+    # Declare fewer ID lines than clog2(N) channels require.
+    bus.structure = _patch(bus.structure,
+                           ids=IdAssignment(width=0, codes={
+                               name: 0 for name in bus.structure.ids.codes}))
+    return MutatedDesign(spec)
+
+
+def _narrow_hardwired() -> MutatedDesign:
+    spec = build_target()
+    bus = _first_bus(spec)
+    narrow = min(bus.group.max_message_bits - 1, bus.structure.width)
+    bus.structure = _patch(bus.structure, protocol=HARDWIRED, width=narrow)
+    return MutatedDesign(spec)
+
+
+def _dead_channel() -> MutatedDesign:
+    spec = build_target()
+    _first_bus(spec).group.channels[0].accesses = 0
+    return MutatedDesign(spec)
+
+
+def _unused_variable() -> MutatedDesign:
+    spec = build_target()
+    spec.original.variables.append(
+        Variable("forgotten_scratch", BitType(8)))
+    return MutatedDesign(spec)
+
+
+def _constant_lines() -> MutatedDesign:
+    spec = build_target()
+    bus = _first_bus(spec)
+    # Wider than the largest message, so its single word cannot reach
+    # the top lines.
+    bus.structure = _patch(bus.structure,
+                           width=bus.group.max_message_bits + 4)
+    return MutatedDesign(spec)
+
+
+def _uncalled_procedure() -> MutatedDesign:
+    spec = build_target()
+    accessor = _first_bus(spec).group.channels[0].accessor.name
+    _swap_behavior(spec, Behavior(accessor, [Nop()]))
+    return MutatedDesign(spec)
+
+
+CORPUS: List[SeededDefect] = [
+    SeededDefect(
+        "server_never_done", "P101",
+        "server FSM never raises DONE, so the accessor waits forever",
+        _fsm_defect(_server_never_done)),
+    SeededDefect(
+        "server_wrong_id", "P101",
+        "server decodes the complement of its assigned ID code",
+        _fsm_defect(_server_wrong_id)),
+    SeededDefect(
+        "accessor_skips_idle", "P102",
+        "accessor's final transition re-enters the word cycle instead "
+        "of IDLE, so the pair never returns to rest",
+        _fsm_defect(_accessor_skips_idle)),
+    SeededDefect(
+        "orphan_state", "P103",
+        "accessor FSM carries a state no transition ever reaches",
+        _fsm_defect(_orphan_state)),
+    SeededDefect(
+        "accessor_ack_stuck", "P104",
+        "accessor waits for DONE = '1' in the acknowledge state, a "
+        "level the server has already dropped",
+        _fsm_defect(_accessor_ack_stuck)),
+    SeededDefect(
+        "unarbitrated_bus", "P201",
+        "two accessors share a fixed-delay bus with no control lines",
+        _unarbitrated_bus),
+    SeededDefect(
+        "hardwired_shared", "P201",
+        "two channels mapped onto a non-shareable hardwired port",
+        _hardwired_shared),
+    SeededDefect(
+        "bypass_access", "P202",
+        "an accessor behavior was restored to its unrewritten form and "
+        "touches the remote variable directly",
+        _bypass_access),
+    SeededDefect(
+        "double_server", "P203",
+        "a second variable process claims an already-served variable",
+        _double_server),
+    SeededDefect(
+        "duplicate_ids", "P204",
+        "both channels of the bus share ID code 0",
+        _duplicate_ids),
+    SeededDefect(
+        "truncated_field", "P301",
+        "the DATA field is four bits narrower than the variable",
+        _truncated_field),
+    SeededDefect(
+        "id_capacity", "P302",
+        "the bus declares zero ID lines for two channels",
+        _id_capacity),
+    SeededDefect(
+        "id_overflow", "P302",
+        "one channel's ID code exceeds what the ID lines can encode",
+        _id_overflow),
+    SeededDefect(
+        "overlapping_fields", "P303",
+        "the DATA field is shifted onto the ADDRESS field, double-"
+        "driving some message bits and losing others",
+        _overlapping_fields),
+    SeededDefect(
+        "narrow_hardwired", "P304",
+        "a hardwired port narrower than the largest message",
+        _narrow_hardwired),
+    SeededDefect(
+        "dead_channel", "P401",
+        "a channel's access count is forced to zero",
+        _dead_channel),
+    SeededDefect(
+        "unused_variable", "P402",
+        "a shared variable no behavior references",
+        _unused_variable),
+    SeededDefect(
+        "constant_lines", "P403",
+        "the bus is four lines wider than any word uses",
+        _constant_lines),
+    SeededDefect(
+        "uncalled_procedure", "P404",
+        "the accessor behavior is emptied so the generated procedure "
+        "is never called",
+        _uncalled_procedure),
+]

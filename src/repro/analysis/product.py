@@ -1,0 +1,356 @@
+"""Sender x receiver product automaton over synthesized protocol FSMs.
+
+The deadlock pass needs an execution model of one channel's two
+controllers (:class:`~repro.protogen.fsm.ProtocolFsm` accessor/server
+pair) *without* running the discrete-event simulator.  This module
+builds that model: a finite product automaton whose states are
+
+    (accessor state, server state, START level, DONE level, driven ID)
+
+and whose moves follow the Moore-style reading of the synthesized
+FSMs -- a state's actions set the control-line levels while the machine
+sits in it, and a transition's guard is a conjunction of line-level
+tests (``DONE = '1'``, ``ID = "01"``), the environment event
+``invoke``, or a strobe event (``strobe`` / ``REQ toggle`` /
+``schedule tick``).
+
+Strobes synchronize: a strobe-guarded server transition can only fire
+together with an accessor transition leaving a state that emits the
+strobe (and is *forced* to, modelling the lockstep of the
+one-clock-per-word protocols).  Everything else interleaves freely.
+
+Exploration is a plain BFS; the product of two message-transfer
+controllers is tiny (tens of states), and a hard cap guards against
+pathological hand-built inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import AnalysisError
+from repro.protogen.fsm import FsmTransition, ProtocolFsm
+
+#: Events that synchronize the two sides instead of testing a level.
+STROBE_TOKENS = ("strobe", "REQ toggle", "schedule tick")
+
+#: Safety cap on explored product states.
+MAX_PRODUCT_STATES = 20_000
+
+
+# ---------------------------------------------------------------------------
+# Guard / action micro-parsers
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Guard:
+    """A parsed transition guard: a conjunction of atomic tests."""
+
+    #: Required control-line levels, e.g. {"START": 1, "DONE": 0}.
+    levels: Tuple[Tuple[str, int], ...] = ()
+    #: Required ID code (bit string) or None.
+    id_code: Optional[str] = None
+    #: Strobe events the guard waits on.
+    strobes: Tuple[str, ...] = ()
+    #: True for the environment's ``invoke`` event.
+    invoke: bool = False
+
+    @property
+    def is_tick(self) -> bool:
+        return not (self.levels or self.id_code or self.strobes
+                    or self.invoke)
+
+
+def parse_guard(guard: Optional[str]) -> Guard:
+    """Parse a transition guard string into a :class:`Guard`."""
+    if guard is None:
+        return Guard()
+    levels: List[Tuple[str, int]] = []
+    id_code: Optional[str] = None
+    strobes: List[str] = []
+    invoke = False
+    for raw in guard.split(" and "):
+        atom = raw.strip()
+        if not atom:
+            continue
+        if atom == "invoke":
+            invoke = True
+        elif atom in STROBE_TOKENS:
+            strobes.append(atom)
+        elif atom.startswith("ID = "):
+            id_code = atom[len("ID = "):].strip('"')
+        elif " = " in atom:
+            line, value = atom.split(" = ", 1)
+            levels.append((line.strip(), int(value.strip().strip("'"))))
+        else:
+            raise AnalysisError(f"cannot parse guard atom {atom!r}")
+    return Guard(levels=tuple(levels), id_code=id_code,
+                 strobes=tuple(strobes), invoke=invoke)
+
+
+@dataclass(frozen=True)
+class StateEffects:
+    """Control-line effects of sitting in one FSM state."""
+
+    #: Line assignments, e.g. {"START": 1}.
+    drives: Tuple[Tuple[str, int], ...] = ()
+    #: ID code driven onto the bus, if any.
+    id_code: Optional[str] = None
+    #: Strobe events emitted by this state.
+    strobes: Tuple[str, ...] = ()
+
+
+def parse_actions(actions: Tuple[str, ...]) -> StateEffects:
+    """Extract the control-line effects from a state's action strings.
+
+    Data moves (``drive DATA(...)``, ``latch ...``, ``commit/...``) are
+    irrelevant to the control structure and ignored.
+    """
+    drives: List[Tuple[str, int]] = []
+    id_code: Optional[str] = None
+    strobes: List[str] = []
+    for action in actions:
+        if action in STROBE_TOKENS:
+            strobes.append(action)
+        elif action.startswith("drive ID = "):
+            id_code = action[len("drive ID = "):].strip('"')
+        elif " <= '" in action and not action.startswith(("drive ",
+                                                          "latch ")):
+            line, value = action.split(" <= ", 1)
+            drives.append((line.strip(), int(value.strip("'"))))
+    return StateEffects(drives=tuple(drives), id_code=id_code,
+                        strobes=tuple(strobes))
+
+
+# ---------------------------------------------------------------------------
+# Product automaton
+# ---------------------------------------------------------------------------
+
+#: (accessor state, server state, frozen {line: level}, driven ID)
+ProductState = Tuple[str, str, FrozenSet[Tuple[str, int]], Optional[str]]
+
+#: A fired move: (accessor transition or None, server transition or None)
+Move = Tuple[Optional[FsmTransition], Optional[FsmTransition]]
+
+
+@dataclass
+class ProductResult:
+    """Outcome of exploring one channel's product automaton."""
+
+    accessor: ProtocolFsm
+    server: ProtocolFsm
+    #: Every reachable product state.
+    reachable: Set[ProductState] = field(default_factory=set)
+    #: Reachable states with no enabled move (excluding the rest state).
+    deadlocks: List[ProductState] = field(default_factory=list)
+    #: Reachable states from which no rest state is reachable again.
+    livelocked: List[ProductState] = field(default_factory=list)
+    #: FSM states never visited, per side.
+    unreachable_accessor: List[str] = field(default_factory=list)
+    unreachable_server: List[str] = field(default_factory=list)
+    #: Transitions that never fired although their source was visited.
+    never_fired: List[Tuple[str, FsmTransition]] = field(
+        default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.deadlocks or self.livelocked
+                    or self.unreachable_accessor or self.unreachable_server
+                    or self.never_fired)
+
+    def describe_state(self, state: ProductState) -> str:
+        a_state, s_state, lines, id_code = state
+        levels = ", ".join(f"{line}={value}"
+                           for line, value in sorted(lines))
+        text = (f"accessor@{a_state}, server@{s_state}"
+                + (f", {levels}" if levels else ""))
+        if id_code is not None:
+            text += f', ID="{id_code}"'
+        return text
+
+
+class _Explorer:
+    """BFS over the product automaton of one FSM pair."""
+
+    def __init__(self, accessor: ProtocolFsm, server: ProtocolFsm):
+        self.accessor = accessor
+        self.server = server
+        self.a_effects = {s.name: parse_actions(s.actions)
+                          for s in accessor.states}
+        self.s_effects = {s.name: parse_actions(s.actions)
+                          for s in server.states}
+        self.a_guards = {id(t): parse_guard(t.guard)
+                         for t in accessor.transitions}
+        self.s_guards = {id(t): parse_guard(t.guard)
+                         for t in server.transitions}
+        self.fired: Set[int] = set()
+        self.edges: Dict[ProductState, List[ProductState]] = {}
+
+    # -- state helpers ------------------------------------------------------
+
+    def _apply(self, lines: Dict[str, int], id_code: Optional[str],
+               effects: StateEffects) -> Tuple[Dict[str, int],
+                                               Optional[str]]:
+        updated = dict(lines)
+        for line, value in effects.drives:
+            updated[line] = value
+        if effects.id_code is not None:
+            id_code = effects.id_code
+        return updated, id_code
+
+    def _initial(self) -> ProductState:
+        a0 = self.accessor.initial_state().name
+        s0 = self.server.initial_state().name
+        lines: Dict[str, int] = {}
+        id_code: Optional[str] = None
+        lines, id_code = self._apply(lines, id_code, self.a_effects[a0])
+        lines, id_code = self._apply(lines, id_code, self.s_effects[s0])
+        return (a0, s0, frozenset(lines.items()), id_code)
+
+    def _satisfied(self, guard: Guard, lines: Dict[str, int],
+                   id_code: Optional[str]) -> bool:
+        """Level/ID atoms only; strobes are handled by synchronization
+        and ``invoke`` by :meth:`_moves` (transaction gating)."""
+        for line, value in guard.levels:
+            if lines.get(line, 0) != value:
+                return False
+        if guard.id_code is not None and id_code != guard.id_code:
+            return False
+        return True
+
+    # -- moves --------------------------------------------------------------
+
+    def _moves(self, state: ProductState) -> List[Move]:
+        a_state, s_state, frozen, id_code = state
+        lines = dict(frozen)
+        moves: List[Move] = []
+
+        emitted = self.a_effects[a_state].strobes
+        server_resting = s_state == self.server.initial_state().name
+        for t_a in self.accessor.successors(a_state):
+            guard_a = self.a_guards[id(t_a)]
+            if guard_a.strobes or not self._satisfied(guard_a, lines,
+                                                      id_code):
+                continue
+            if guard_a.invoke and not server_resting:
+                # The bus arbiter serializes messages: a new invocation
+                # only starts once the peer has returned to rest.
+                continue
+            # Forced synchronization with strobe-waiting server moves.
+            syncs = []
+            if emitted:
+                for t_s in self.server.successors(s_state):
+                    guard_s = self.s_guards[id(t_s)]
+                    if not guard_s.strobes:
+                        continue
+                    if not set(guard_s.strobes) <= set(emitted):
+                        continue
+                    if self._satisfied(guard_s, lines, id_code):
+                        syncs.append(t_s)
+            if syncs:
+                moves.extend((t_a, t_s) for t_s in syncs)
+            else:
+                moves.append((t_a, None))
+
+        for t_s in self.server.successors(s_state):
+            guard_s = self.s_guards[id(t_s)]
+            if guard_s.strobes:
+                continue  # only fires through synchronization
+            if self._satisfied(guard_s, lines, id_code):
+                moves.append((None, t_s))
+        return moves
+
+    def _fire(self, state: ProductState, move: Move) -> ProductState:
+        a_state, s_state, frozen, id_code = state
+        lines = dict(frozen)
+        t_a, t_s = move
+        if t_a is not None:
+            self.fired.add(id(t_a))
+            a_state = t_a.target
+            lines, id_code = self._apply(lines, id_code,
+                                         self.a_effects[a_state])
+        if t_s is not None:
+            self.fired.add(id(t_s))
+            s_state = t_s.target
+            lines, id_code = self._apply(lines, id_code,
+                                         self.s_effects[s_state])
+        return (a_state, s_state, frozenset(lines.items()), id_code)
+
+    # -- exploration --------------------------------------------------------
+
+    def explore(self) -> ProductResult:
+        result = ProductResult(self.accessor, self.server)
+        initial = self._initial()
+        frontier = [initial]
+        result.reachable.add(initial)
+        a0 = self.accessor.initial_state().name
+        s0 = self.server.initial_state().name
+
+        while frontier:
+            state = frontier.pop()
+            successors: List[ProductState] = []
+            for move in self._moves(state):
+                target = self._fire(state, move)
+                successors.append(target)
+                if target not in result.reachable:
+                    if len(result.reachable) >= MAX_PRODUCT_STATES:
+                        raise AnalysisError(
+                            f"product automaton of {self.accessor.name} x "
+                            f"{self.server.name} exceeds "
+                            f"{MAX_PRODUCT_STATES} states")
+                    result.reachable.add(target)
+                    frontier.append(target)
+            self.edges[state] = successors
+            if not successors and not (state[0] == a0 and state[1] == s0):
+                result.deadlocks.append(state)
+
+        self._find_livelocks(result, a0, s0)
+        self._find_unvisited(result)
+        return result
+
+    def _find_livelocks(self, result: ProductResult, a0: str,
+                        s0: str) -> None:
+        """States that can never again reach a rest (both-idle) state."""
+        rests = {state for state in result.reachable
+                 if state[0] == a0 and state[1] == s0}
+        reverse: Dict[ProductState, List[ProductState]] = {
+            state: [] for state in result.reachable}
+        for source, targets in self.edges.items():
+            for target in targets:
+                reverse[target].append(source)
+        # Seed with deadlock states too: a path doomed to deadlock is
+        # already reported as P101, not a second time as livelock.
+        seeds = rests | set(result.deadlocks)
+        co_reachable: Set[ProductState] = set(seeds)
+        stack = list(seeds)
+        while stack:
+            for predecessor in reverse[stack.pop()]:
+                if predecessor not in co_reachable:
+                    co_reachable.add(predecessor)
+                    stack.append(predecessor)
+        result.livelocked = sorted(
+            (state for state in result.reachable
+             if state not in co_reachable),
+            key=lambda s: (s[0], s[1]))
+
+    def _find_unvisited(self, result: ProductResult) -> None:
+        seen_a = {state[0] for state in result.reachable}
+        seen_s = {state[1] for state in result.reachable}
+        result.unreachable_accessor = sorted(
+            s.name for s in self.accessor.states if s.name not in seen_a)
+        result.unreachable_server = sorted(
+            s.name for s in self.server.states if s.name not in seen_s)
+        for side, fsm, seen in (("accessor", self.accessor, seen_a),
+                                ("server", self.server, seen_s)):
+            for transition in fsm.transitions:
+                if id(transition) in self.fired:
+                    continue
+                if transition.source in seen:
+                    result.never_fired.append((side, transition))
+
+
+def explore_product(accessor: ProtocolFsm,
+                    server: ProtocolFsm) -> ProductResult:
+    """Build and explore the product automaton of one channel pair."""
+    return _Explorer(accessor, server).explore()

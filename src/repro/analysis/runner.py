@@ -1,0 +1,48 @@
+"""Entry point tying the static passes together.
+
+:func:`analyze_refined` runs every registered pass over a
+:class:`~repro.protogen.refine.RefinedSpec` and returns the combined
+:class:`~repro.analysis.diagnostics.DiagnosticSet`.  Passes are pure
+readers: none of them simulates, and none of them mutates the spec.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.analysis.contention import check_contention
+from repro.analysis.deadcode import check_dead_code
+from repro.analysis.deadlock import FsmTransform, check_handshakes
+from repro.analysis.diagnostics import DiagnosticSet
+from repro.analysis.width import check_widths
+from repro.protogen.refine import RefinedSpec
+
+Pass = Callable[[RefinedSpec, DiagnosticSet], None]
+
+#: (name, pass) pairs in execution order.  Cheap arithmetic passes run
+#: before the product-automaton exploration so a broken structure is
+#: reported even when FSM synthesis itself would choke on it.
+PASSES: List[Tuple[str, Pass]] = [
+    ("width", check_widths),
+    ("contention", check_contention),
+    ("deadcode", check_dead_code),
+    ("handshake", check_handshakes),
+]
+
+
+def analyze_refined(spec: RefinedSpec,
+                    fsm_transform: Optional[FsmTransform] = None,
+                    ) -> DiagnosticSet:
+    """Run all static passes over ``spec``.
+
+    ``fsm_transform`` is forwarded to the handshake pass; the mutation
+    corpus uses it to seed controller-level defects.
+    """
+    diagnostics = DiagnosticSet(system=spec.name)
+    for name, check in PASSES:
+        if check is check_handshakes:
+            check_handshakes(spec, diagnostics,
+                             fsm_transform=fsm_transform)
+        else:
+            check(spec, diagnostics)
+    return diagnostics

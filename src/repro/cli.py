@@ -168,7 +168,17 @@ def cmd_synth(args: argparse.Namespace) -> int:
                 return 1
 
     if args.verify:
+        from repro.analysis import analyze_refined
         from repro.verify import verify_refinement
+
+        diagnostics = analyze_refined(refined)
+        if not diagnostics.clean:
+            print()
+            print(diagnostics.render_text())
+        if diagnostics.errors:
+            print("static analysis failed; skipping simulation-based "
+                  "verification")
+            return 1
         report = verify_refinement(system, refined, schedule=schedule)
         print()
         print(report.describe())
@@ -182,12 +192,37 @@ def cmd_synth(args: argparse.Namespace) -> int:
 
     if args.vhdl:
         text = emit_refined_spec(refined)
-        validate_vhdl(text).raise_if_failed()
+        structures = [bus.structure for bus in refined.buses]
+        validate_vhdl(text, structures=structures).raise_if_failed()
         with open(args.vhdl, "w", encoding="utf-8") as handle:
             handle.write(text)
         print(f"VHDL written to {args.vhdl} "
               f"({len(text.splitlines())} lines)")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import Severity, analyze_refined
+
+    system, groups, schedule, oracle = _load_system(args.system)
+    if not isinstance(groups, list):
+        groups = [groups]
+    protocol = get_protocol(args.protocol)
+    widths = [args.width] if args.width is not None else None
+
+    plans = []
+    for group in groups:
+        plans.append(generate_bus(group, protocol=protocol, widths=widths))
+    refined = refine_system(system, plans)
+
+    diagnostics = analyze_refined(refined)
+    if args.json:
+        print(diagnostics.render_json())
+    else:
+        print(diagnostics.render_text())
+
+    threshold = Severity.parse(args.fail_on)
+    return 1 if diagnostics.at_least(threshold) else 0
 
 
 def cmd_fig7(_args: argparse.Namespace) -> int:
@@ -275,6 +310,27 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--vhdl", metavar="FILE",
                        help="emit validated VHDL to FILE")
     synth.set_defaults(func=cmd_synth)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static protocol analysis: deadlock, contention, width "
+             "and dead-code checks without simulating")
+    lint.add_argument("system",
+                      help="flc, answering-machine, ethernet, or a "
+                           "path to a .spec file")
+    lint.add_argument("--protocol", default="full_handshake",
+                      choices=sorted(PROTOCOLS))
+    lint.add_argument("--width", type=int,
+                      help="designer-specified buswidth "
+                           "(default: run bus generation)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable diagnostics on stdout")
+    lint.add_argument("--fail-on", default="error",
+                      choices=["warning", "error"],
+                      help="exit non-zero when a diagnostic at or "
+                           "above this severity is reported "
+                           "(default: error)")
+    lint.set_defaults(func=cmd_lint)
 
     sub.add_parser("fig7", help="print the Figure 7 sweep") \
         .set_defaults(func=cmd_fig7)

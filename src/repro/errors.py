@@ -3,11 +3,19 @@
 Every error raised by :mod:`repro` derives from :class:`ReproError`, so
 callers can catch a single base class.  Sub-hierarchies mirror the package
 layout: specification problems, partitioning problems, bus-generation
-problems, protocol-generation problems, HDL emission problems and
-simulation problems.
+problems, protocol-generation problems, HDL emission problems, static
+analysis problems and simulation problems.
+
+This module is also the single registry of static-analysis diagnostic
+codes (``P101`` ...): every code the :mod:`repro.analysis` passes may
+emit is declared in :data:`DIAGNOSTIC_CODES`, which keeps codes unique
+and documented in one place (``docs/linting.md`` is generated-by-hand
+from the same table).
 """
 
 from __future__ import annotations
+
+from typing import Dict
 
 
 class ReproError(Exception):
@@ -100,3 +108,56 @@ class DeadlockError(SimulationError):
 class ArbitrationError(SimulationError):
     """A bus-access conflict could not be resolved by the configured
     arbiter."""
+
+
+class AnalysisError(ReproError):
+    """A static-analysis pass was misused (unknown diagnostic code,
+    malformed pass input).  Findings about the *design under analysis*
+    are never raised -- they are reported as
+    :class:`repro.analysis.diagnostics.Diagnostic` objects."""
+
+
+#: Registry of every diagnostic code the static analyzer may emit.
+#: Families: P1xx handshake deadlock/livelock, P2xx bus contention,
+#: P3xx width/capacity, P4xx dead code.  Codes are stable: once
+#: published they are never renumbered or reused.
+DIAGNOSTIC_CODES: Dict[str, str] = {
+    "P101": "handshake deadlock: sender/receiver product automaton "
+            "reaches a state with no enabled transition",
+    "P102": "livelock: a reachable product state can never return to "
+            "the idle (rest) state, so the transfer never completes",
+    "P103": "FSM state unreachable in any sender/receiver interleaving",
+    "P104": "transition guard never satisfiable by any peer behavior",
+    "P201": "bus contention: multiple accessors share a bus whose "
+            "protocol has no arbitration (no handshake/request line)",
+    "P202": "shared-variable access bypasses the generated "
+            "variable-process server",
+    "P203": "multiple variable processes drive the same variable "
+            "storage",
+    "P204": "duplicate channel ID code: two channels answer the same "
+            "bus transaction",
+    "P301": "width truncation: message field narrower or wider than "
+            "the variable it carries",
+    "P302": "ID field capacity: ID lines cannot encode every channel "
+            "of the bus",
+    "P303": "slice coverage: message bits not covered exactly once by "
+            "the bus words",
+    "P304": "bus narrower than a non-shareable protocol's full "
+            "message width",
+    "P401": "dead channel: zero accesses over the accessor's lifetime",
+    "P402": "unused shared variable: referenced by no behavior and "
+            "served by no variable process",
+    "P403": "constant bus data line: driven by no word of any channel",
+    "P404": "generated procedure never called by the refined behaviors",
+}
+
+
+def diagnostic_summary(code: str) -> str:
+    """The registered one-line summary of a diagnostic code."""
+    try:
+        return DIAGNOSTIC_CODES[code]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown diagnostic code {code!r}; register it in "
+            "repro.errors.DIAGNOSTIC_CODES"
+        ) from None

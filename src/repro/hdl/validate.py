@@ -7,7 +7,10 @@ is checked lexically/structurally instead:
   ``loop``/``end loop``, ``if``/``end if``, ``record``/``end record``),
 * every referenced bus field exists in a declared record,
 * every called ``SendCHx``/``ReceiveCHx`` procedure is declared,
-* identifier sanity (no empty names, no unterminated statements).
+* identifier sanity (no empty names, no unterminated statements),
+* when the generating :class:`~repro.protogen.structure.BusStructure`
+  objects are passed in, each bus signal's declared ``ID`` and ``DATA``
+  record-field widths must match the structure's ID lines and buswidth.
 
 The validator is intentionally conservative: it accepts only the shapes
 the emitter produces, and the test suite asserts both that emitted code
@@ -18,9 +21,12 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import HdlError
+
+if TYPE_CHECKING:
+    from repro.protogen.structure import BusStructure
 
 
 @dataclass
@@ -64,15 +70,79 @@ def _strip(line: str) -> str:
     return _COMMENT.sub("", line).rstrip()
 
 
-def validate_vhdl(text: str) -> ValidationReport:
-    """Validate emitted VHDL; returns a report (see module docstring)."""
+def validate_vhdl(text: str,
+                  structures: Optional[Sequence["BusStructure"]] = None,
+                  ) -> ValidationReport:
+    """Validate emitted VHDL; returns a report (see module docstring).
+
+    ``structures`` enables the width cross-check: each structure's bus
+    signal must declare ``ID``/``DATA`` record fields whose bit widths
+    match the structure's ID lines and buswidth.
+    """
     report = ValidationReport()
     lines = [_strip(line) for line in text.splitlines()]
 
     _check_balance(lines, report)
     _collect_declarations(lines, report)
     _check_references(lines, report)
+    if structures:
+        _check_widths(lines, report, structures)
     return report
+
+
+_FIELD_WIDTH = re.compile(
+    r"^\s*([\w,\s]+?)\s*:\s*"
+    r"(?:bit_vector\s*\(\s*(\d+)\s+downto\s+(\d+)\s*\)|bit\b)",
+    re.IGNORECASE)
+
+
+def _record_field_widths(lines: List[str]) -> Dict[str, Dict[str, int]]:
+    """Record type -> field name -> declared bit width (``bit`` = 1)."""
+    widths: Dict[str, Dict[str, int]] = {}
+    current = None
+    for line in lines:
+        match = _RECORD_DECL.match(line)
+        if match:
+            current = match.group(1)
+            widths[current] = {}
+            continue
+        if current is None:
+            continue
+        if re.match(r"^\s*end\s+record\b", line, re.IGNORECASE):
+            current = None
+            continue
+        match = _FIELD_WIDTH.match(line)
+        if match:
+            names, hi, lo = match.groups()
+            bits = int(hi) - int(lo) + 1 if hi is not None else 1
+            for name in names.split(","):
+                widths[current][name.strip()] = bits
+    return widths
+
+
+def _check_widths(lines: List[str], report: ValidationReport,
+                  structures: Sequence["BusStructure"]) -> None:
+    record_widths = _record_field_widths(lines)
+    for structure in structures:
+        record = report.signals.get(structure.name)
+        if record is None:
+            report.errors.append(
+                f"no signal declared for bus {structure.name}")
+            continue
+        fields = record_widths.get(record, {})
+        expected = {"DATA": structure.width}
+        if structure.id_lines:
+            expected["ID"] = structure.id_lines
+        for name, want in expected.items():
+            have = fields.get(name)
+            if have is None:
+                report.errors.append(
+                    f"bus {structure.name}: record {record} declares no "
+                    f"{name} field")
+            elif have != want:
+                report.errors.append(
+                    f"bus {structure.name}: {name} declared as {have} "
+                    f"bit(s) but the bus structure has {want}")
 
 
 def _check_balance(lines: List[str], report: ValidationReport) -> None:

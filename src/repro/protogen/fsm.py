@@ -56,12 +56,25 @@ class FsmTransition:
 
 @dataclass
 class ProtocolFsm:
-    """A synthesized protocol controller."""
+    """A synthesized protocol controller.
+
+    ``channel_name``, ``bus_name`` and ``protocol_name`` record where
+    the controller came from; the static analyzer
+    (:mod:`repro.analysis`) uses them to attach source locations to
+    diagnostics.  They are presentation metadata only -- synthesis and
+    simulation never read them.
+    """
 
     name: str
     role: Role
     states: List[FsmState] = field(default_factory=list)
     transitions: List[FsmTransition] = field(default_factory=list)
+    #: Channel this controller serves (None for hand-built FSMs).
+    channel_name: Optional[str] = None
+    #: Bus the controller drives (None for hand-built FSMs).
+    bus_name: Optional[str] = None
+    #: Protocol discipline the controller implements.
+    protocol_name: Optional[str] = None
 
     @property
     def state_count(self) -> int:
@@ -81,6 +94,19 @@ class ProtocolFsm:
 
     def successors(self, name: str) -> List[FsmTransition]:
         return [t for t in self.transitions if t.source == name]
+
+    def final_states(self) -> List[FsmState]:
+        return [s for s in self.states if s.is_final]
+
+    def describe_origin(self) -> str:
+        """Provenance string for diagnostics (``bus B / channel ch1``)."""
+        parts = []
+        if self.bus_name:
+            parts.append(f"bus {self.bus_name}")
+        if self.channel_name:
+            parts.append(f"channel {self.channel_name}")
+        parts.append(f"fsm {self.name}")
+        return " / ".join(parts)
 
     def validate(self) -> None:
         """Well-formedness: unique names, endpoints exist, every
@@ -185,7 +211,10 @@ def synthesize_fsm(procedure: CommProcedure,
     """Build the controller FSM of one generated procedure."""
     protocol = structure.protocol
     words = procedure.layout.words(structure.width)
-    fsm = ProtocolFsm(name=procedure.name, role=procedure.role)
+    fsm = ProtocolFsm(name=procedure.name, role=procedure.role,
+                      channel_name=procedure.channel.name,
+                      bus_name=structure.name,
+                      protocol_name=protocol.name)
     id_bits = structure.ids.code_bits(procedure.channel.name)
     id_guard = f'ID = "{id_bits}"' if id_bits else None
 

@@ -28,7 +28,7 @@ procedure calls.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.busgen.algorithm import BusDesign
@@ -97,6 +97,9 @@ class RefinedSpec:
     #: All system behaviors; those touching a bus are rewritten copies.
     behaviors: List[Behavior]
     buses: List[RefinedBus]
+    #: Names of behaviors that were rewritten (touch at least one bus).
+    #: Metadata for the static analyzer; simulation never reads it.
+    rewritten: List[str] = field(default_factory=list)
 
     def behavior(self, name: str) -> Behavior:
         for behavior in self.behaviors:
@@ -349,10 +352,12 @@ def generate_protocol(system: SystemSpec, group: ChannelGroup, width: int,
 
     # Step 4: rewrite every accessor behavior.
     rewritten: List[Behavior] = []
+    rewritten_names: List[str] = []
     for behavior in base_behaviors:
         remote = _remote_map(behavior, group, procedures)
         if remote:
             rewritten.append(_BehaviorRewriter(behavior, remote).rewrite())
+            rewritten_names.append(behavior.name)
         else:
             rewritten.append(behavior)
 
@@ -366,6 +371,7 @@ def generate_protocol(system: SystemSpec, group: ChannelGroup, width: int,
         original=system,
         behaviors=rewritten,
         buses=[bus],
+        rewritten=rewritten_names,
     )
 
 
@@ -383,6 +389,7 @@ def refine_system(system: SystemSpec, plans: Sequence[BusPlan],
         raise RefinementError("refine_system needs at least one bus plan")
     behaviors: List[Behavior] = list(system.behaviors)
     buses: List[RefinedBus] = []
+    rewritten_names: List[str] = []
     for plan in plans:
         if isinstance(plan, BusDesign):
             group, width, proto, design = (plan.group, plan.width,
@@ -397,6 +404,9 @@ def refine_system(system: SystemSpec, plans: Sequence[BusPlan],
         )
         behaviors = partial.behaviors
         buses.extend(partial.buses)
+        for name in partial.rewritten:
+            if name not in rewritten_names:
+                rewritten_names.append(name)
 
     _check_unique_bus_names(buses)
     return RefinedSpec(
@@ -404,6 +414,7 @@ def refine_system(system: SystemSpec, plans: Sequence[BusPlan],
         original=system,
         behaviors=behaviors,
         buses=buses,
+        rewritten=rewritten_names,
     )
 
 

@@ -112,3 +112,66 @@ class TestMultiBusSpecFlow:
         assert "bus_BUFFERS_DSP" in out
         assert "bus_BUFFERS_FRONTEND" in out
         assert "verification PASSED" in out
+
+
+class TestLintCommand:
+    def test_lint_clean_system_exits_zero(self, capsys):
+        assert main(["lint", "flc"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_lint_json_round_trips(self, capsys):
+        import json
+
+        assert main(["lint", "answering-machine", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["clean"] is True
+        assert data["counts"] == {"info": 0, "warning": 0, "error": 0}
+
+    def test_lint_fail_on_warning(self, capsys):
+        # fixed_delay sharing is a P201 warning: reported, but only
+        # --fail-on warning turns it into a non-zero exit.
+        assert main(["lint", "flc", "--protocol", "fixed_delay"]) == 0
+        assert main(["lint", "flc", "--protocol", "fixed_delay",
+                     "--fail-on", "warning"]) == 1
+        out = capsys.readouterr().out
+        assert "P201" in out
+
+    def test_lint_designer_width(self, capsys):
+        assert main(["lint", "flc", "--width", "20"]) == 0
+
+
+class TestVerifyExitCodes:
+    def test_verify_pass_exits_zero(self, capsys):
+        assert main(["synth", "flc", "--verify"]) == 0
+        assert "verification PASSED" in capsys.readouterr().out
+
+    def test_verify_failure_exits_nonzero(self, monkeypatch, capsys):
+        import repro.verify as verify_mod
+
+        class FailedReport:
+            passed = False
+
+            def describe(self):
+                return "verification FAILED (injected)"
+
+        monkeypatch.setattr(verify_mod, "verify_refinement",
+                            lambda *args, **kwargs: FailedReport())
+        assert main(["synth", "flc", "--verify"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_lint_errors_block_verification(self, monkeypatch, capsys):
+        import repro.analysis as analysis_mod
+        from repro.analysis import DiagnosticSet, Severity
+
+        def fake_analyze(spec, fsm_transform=None):
+            ds = DiagnosticSet(system=spec.name)
+            ds.add("P101", Severity.ERROR, "injected deadlock")
+            return ds
+
+        monkeypatch.setattr(analysis_mod, "analyze_refined",
+                            fake_analyze)
+        assert main(["synth", "flc", "--verify"]) == 1
+        out = capsys.readouterr().out
+        assert "P101" in out
+        assert "static analysis failed" in out

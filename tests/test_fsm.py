@@ -167,3 +167,90 @@ class TestExport:
         assert fsm.state("IDLE").is_initial
         with pytest.raises(ProtocolError):
             fsm.state("NOPE")
+
+
+class TestCornerCases:
+    """Satellite coverage: single-word messages, width == message bits,
+    and the highest-ID channel of a full group."""
+
+    def _scalar_group(self, count=4, bits=8):
+        channels = [Channel(f"ch{i}", Behavior(f"B{i}"),
+                            Variable("x", IntType(bits)),
+                            Direction.WRITE, 1)
+                    for i in range(count)]
+        return ChannelGroup("g", channels)
+
+    def test_single_word_full_handshake_shapes(self):
+        group = self._scalar_group()
+        structure = make_structure("B", group, 8, FULL_HANDSHAKE)
+        pair = make_procedures(group.channels[0], FULL_HANDSHAKE)
+        accessor = synthesize_fsm(pair.accessor, structure)
+        server = synthesize_fsm(pair.server, structure)
+        assert [s.name for s in accessor.states] == \
+            ["IDLE", "W0_REQ", "W0_ACK"]
+        assert [s.name for s in server.states] == \
+            ["WAIT", "W0_SRV", "W0_DROP"]
+        accessor.validate()
+        server.validate()
+
+    def test_single_word_strobed_has_two_states(self):
+        group = self._scalar_group()
+        structure = make_structure("B", group, 8, HALF_HANDSHAKE)
+        pair = make_procedures(group.channels[0], HALF_HANDSHAKE)
+        accessor = synthesize_fsm(pair.accessor, structure)
+        assert [s.name for s in accessor.states] == ["IDLE", "W0"]
+        assert any("REQ toggle" in a
+                   for a in accessor.states[1].actions)
+
+    def test_single_word_burst_keeps_grant_release(self):
+        group = self._scalar_group()
+        structure = make_structure("B", group, 8, BURST_HANDSHAKE)
+        pair = make_procedures(group.channels[0], BURST_HANDSHAKE)
+        accessor = synthesize_fsm(pair.accessor, structure)
+        server = synthesize_fsm(pair.server, structure)
+        assert [s.name for s in accessor.states] == \
+            ["IDLE", "GRANT", "W0", "RELEASE"]
+        assert [s.name for s in server.states] == \
+            ["WAIT", "GRANT", "W0", "RELEASE"]
+
+    def test_width_equals_message_bits_is_one_word(self):
+        group, channel = make_setup()
+        bits = channel.message_bits
+        for protocol in SHAREABLE:
+            structure = make_structure("B", group, bits, protocol)
+            pair = make_procedures(channel, protocol)
+            accessor = synthesize_fsm(pair.accessor, structure)
+            words = [s for s in accessor.states
+                     if s.name.startswith("W")]
+            # Exactly the states of a one-word transfer survive.
+            assert all("W0" in s.name for s in words), protocol.name
+            accessor.validate()
+
+    def test_max_id_channel_drives_full_code(self):
+        group = self._scalar_group(count=4)
+        for protocol in (FULL_HANDSHAKE, HALF_HANDSHAKE,
+                         BURST_HANDSHAKE):
+            structure = make_structure("B", group, 8, protocol)
+            assert structure.ids.codes["ch3"] == 3
+            pair = make_procedures(group.channels[3], protocol)
+            accessor = synthesize_fsm(pair.accessor, structure)
+            server = synthesize_fsm(pair.server, structure)
+            drives = [a for s in accessor.states for a in s.actions
+                      if a.startswith("drive ID")]
+            assert drives == ['drive ID = "11"'], protocol.name
+            guards = [t.guard for t in server.transitions
+                      if t.guard and "ID" in t.guard]
+            assert guards and all('ID = "11"' in g for g in guards), \
+                protocol.name
+
+    def test_max_id_pair_explores_cleanly(self):
+        from repro.analysis import explore_product
+
+        group = self._scalar_group(count=4)
+        for protocol in (HALF_HANDSHAKE, BURST_HANDSHAKE):
+            structure = make_structure("B", group, 8, protocol)
+            pair = make_procedures(group.channels[3], protocol)
+            accessor = synthesize_fsm(pair.accessor, structure)
+            server = synthesize_fsm(pair.server, structure)
+            result = explore_product(accessor, server)
+            assert result.ok, protocol.name

@@ -249,3 +249,57 @@ class TestValidator:
         with pytest.raises(HdlError):
             report.raise_if_failed()
         validate_vhdl(text).raise_if_failed()  # no exception
+
+
+class TestWidthCheck:
+    """validate_vhdl cross-checks declared record widths against the
+    generating bus structures."""
+
+    def _emit(self, fig3_refined):
+        text = emit_refined_spec(fig3_refined)
+        structures = [bus.structure for bus in fig3_refined.buses]
+        return text, structures
+
+    def test_matching_widths_pass(self, fig3_refined):
+        text, structures = self._emit(fig3_refined)
+        report = validate_vhdl(text, structures=structures)
+        assert report.ok, report.errors
+
+    def test_mutated_data_width_fails(self, fig3_refined):
+        text, structures = self._emit(fig3_refined)
+        width = structures[0].width
+        broken = text.replace(
+            f"DATA : bit_vector({width - 1} downto 0)",
+            f"DATA : bit_vector({width + 1} downto 0)")
+        assert broken != text
+        report = validate_vhdl(broken, structures=structures)
+        assert any("DATA" in e and "bit(s)" in e for e in report.errors)
+
+    def test_mutated_id_width_fails(self, fig3_refined):
+        text, structures = self._emit(fig3_refined)
+        id_lines = structures[0].id_lines
+        broken = text.replace(
+            f"ID : bit_vector({id_lines - 1} downto 0)",
+            f"ID : bit_vector({id_lines} downto 0)")
+        assert broken != text
+        report = validate_vhdl(broken, structures=structures)
+        assert any("ID" in e for e in report.errors)
+
+    def test_mutated_structure_fails_against_good_text(self, fig3_refined):
+        import copy
+
+        text, structures = self._emit(fig3_refined)
+        patched = copy.copy(structures[0])
+        object.__setattr__(patched, "width", structures[0].width + 3)
+        report = validate_vhdl(text, structures=[patched])
+        assert any("DATA" in e for e in report.errors)
+
+    def test_missing_signal_reported(self, fig3_refined):
+        text, structures = self._emit(fig3_refined)
+        broken = text.replace("signal B :", "signal Bx :")
+        report = validate_vhdl(broken, structures=structures)
+        assert any("no signal" in e for e in report.errors)
+
+    def test_without_structures_stays_lenient(self, fig3_refined):
+        text, _ = self._emit(fig3_refined)
+        assert validate_vhdl(text).ok

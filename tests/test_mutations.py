@@ -1,0 +1,33 @@
+"""Seeded-defect corpus: every injected defect must be diagnosed."""
+
+import pytest
+
+from repro.analysis import analyze_refined
+from repro.analysis.mutations import CORPUS, build_target
+from repro.errors import DIAGNOSTIC_CODES
+
+
+@pytest.mark.parametrize("defect", CORPUS, ids=lambda d: d.name)
+def test_seeded_defect_is_caught(defect):
+    design = defect.build()
+    ds = analyze_refined(design.spec,
+                         fsm_transform=design.fsm_transform)
+    assert defect.code in ds.codes(), (
+        f"{defect.name}: expected {defect.code} "
+        f"({defect.description}), got {sorted(set(ds.codes()))}\n"
+        + ds.render_text())
+
+
+def test_unmutated_target_is_clean():
+    ds = analyze_refined(build_target())
+    assert ds.clean, ds.render_text()
+
+
+def test_corpus_covers_every_registered_code():
+    expected = set(DIAGNOSTIC_CODES)
+    seeded = {defect.code for defect in CORPUS}
+    assert seeded == expected
+
+
+def test_corpus_has_at_least_ten_distinct_defects():
+    assert len({defect.name for defect in CORPUS}) >= 10

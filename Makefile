@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-only reports examples verify-all clean
+.PHONY: install test lint profile bench bench-only reports examples verify-all clean
 
 install:
 	pip install -e .
@@ -14,6 +14,9 @@ lint:             ## static protocol analysis on the built-in systems
 	PYTHONPATH=src $(PYTHON) -m repro.cli lint flc
 	PYTHONPATH=src $(PYTHON) -m repro.cli lint answering-machine
 	PYTHONPATH=src $(PYTHON) -m repro.cli lint ethernet
+
+profile:          ## instrumented synth+sim sweep with stage breakdown
+	PYTHONPATH=src $(PYTHON) -m repro.cli profile
 
 bench:            ## full benchmark suite (asserts + tables)
 	$(PYTHON) -m pytest benchmarks/

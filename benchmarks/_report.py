@@ -8,6 +8,7 @@ can reference stable artifacts.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable, List, Sequence
 
@@ -23,6 +24,21 @@ def write_report(name: str, lines: Iterable[str]) -> str:
     path = os.path.join(REPORT_DIR, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)
+    return path
+
+
+def write_json_report(name: str, payload: dict) -> str:
+    """Persist a machine-readable companion to :func:`write_report`.
+
+    Writes ``benchmarks/reports/BENCH_<name>.json`` so successive runs
+    can be diffed or charted without re-parsing the text tables;
+    returns the file path.
+    """
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    path = os.path.join(REPORT_DIR, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return path
 
 

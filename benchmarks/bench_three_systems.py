@@ -11,9 +11,12 @@ each refined system still computes its oracle outputs over the
 generated bus.
 """
 
+import time
+
 import pytest
 
-from benchmarks._report import format_table, write_report
+from benchmarks._report import format_table, write_json_report, write_report
+from repro.sim.analysis import analyze_bus
 from repro.apps.answering_machine import (
     build_answering_machine,
     reference_state as am_reference,
@@ -89,10 +92,25 @@ def test_report_and_benchmark(benchmark):
     results = benchmark(run_all)
 
     rows = []
+    systems_json = {}
     for name, system, group, schedule, oracle, design in results:
+        started = time.perf_counter()
         refined = refine_system(system, [design])
         sim = simulate(refined, schedule=schedule)
+        wall_seconds = time.perf_counter() - started
         ok = all(sim.final_values[k] == v for k, v in oracle.items())
+        stats = analyze_bus(sim.transactions[group.name])
+        systems_json[name] = {
+            "wall_seconds_refine_and_simulate": round(wall_seconds, 4),
+            "sim_clocks": sim.end_time,
+            "transactions": stats.transactions,
+            "bus_utilization": round(stats.utilization, 4),
+            "bus_width": design.width,
+            "separate_pins": group.total_message_pins,
+            "interconnect_reduction_percent":
+                round(design.interconnect_reduction_percent, 1),
+            "oracle_ok": ok,
+        }
         rows.append([
             name,
             len(group),
@@ -112,3 +130,15 @@ def test_report_and_benchmark(benchmark):
          "bus rate", "demand", "reduction", "sim check"],
         rows)
     write_report("three_systems", lines)
+
+    payload = {
+        "benchmark": "three_systems",
+        "systems": systems_json,
+    }
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:
+        # Mean wall time of the synthesis sweep (bus generation for all
+        # three systems) as measured by pytest-benchmark.
+        payload["synthesis_wall_seconds_mean"] = round(
+            stats.stats.mean, 4)
+    write_json_report("three_systems", payload)

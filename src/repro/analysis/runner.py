@@ -15,6 +15,7 @@ from repro.analysis.deadcode import check_dead_code
 from repro.analysis.deadlock import FsmTransform, check_handshakes
 from repro.analysis.diagnostics import DiagnosticSet
 from repro.analysis.width import check_widths
+from repro.obs.tracer import span as obs_span
 from repro.protogen.refine import RefinedSpec
 
 Pass = Callable[[RefinedSpec, DiagnosticSet], None]
@@ -39,10 +40,13 @@ def analyze_refined(spec: RefinedSpec,
     corpus uses it to seed controller-level defects.
     """
     diagnostics = DiagnosticSet(system=spec.name)
-    for name, check in PASSES:
-        if check is check_handshakes:
-            check_handshakes(spec, diagnostics,
-                             fsm_transform=fsm_transform)
-        else:
-            check(spec, diagnostics)
+    with obs_span("analysis.analyze_refined", system=spec.name) as sp:
+        for name, check in PASSES:
+            with obs_span(f"analysis.pass.{name}", system=spec.name):
+                if check is check_handshakes:
+                    check_handshakes(spec, diagnostics,
+                                     fsm_transform=fsm_transform)
+                else:
+                    check(spec, diagnostics)
+        sp.set(diagnostics=len(diagnostics))
     return diagnostics

@@ -30,6 +30,8 @@ from repro.channels.group import ChannelGroup
 from repro.channels.rates import ChannelRates, GroupRateModel
 from repro.errors import BusGenError, InfeasibleBusError
 from repro.estimate.perf import PerformanceEstimator
+from repro.obs.tracer import count as obs_count
+from repro.obs.tracer import span as obs_span
 from repro.protocols import FULL_HANDSHAKE, Protocol
 
 
@@ -138,35 +140,41 @@ def generate_bus(group: ChannelGroup,
             f"candidate buswidths must be >= 1, got {candidate_widths}"
         )
 
-    model = GroupRateModel(group, protocol, estimator)
-    evaluations: List[WidthEvaluation] = []
-    for width in candidate_widths:
-        rates = model.rates_at(width)                      # step 3
-        bus_rate = model.bus_rate_at(width)                # step 2
-        demand = sum(r.average_rate for r in rates.values())
-        feasible = bus_rate >= demand                      # Equation 1
-        cost = constraints.cost(width, rates)              # step 4
-        evaluations.append(WidthEvaluation(
-            width=width, bus_rate=bus_rate, demand=demand,
-            feasible=feasible, cost=cost, rates=rates,
-        ))
+    with obs_span("busgen.generate_bus", group=group.name,
+                  protocol=protocol.name,
+                  candidates=len(candidate_widths)) as sp:
+        obs_count("busgen.widths_examined", len(candidate_widths))
+        model = GroupRateModel(group, protocol, estimator)
+        evaluations: List[WidthEvaluation] = []
+        for width in candidate_widths:
+            rates = model.rates_at(width)                      # step 3
+            bus_rate = model.bus_rate_at(width)                # step 2
+            demand = sum(r.average_rate for r in rates.values())
+            feasible = bus_rate >= demand                      # Equation 1
+            cost = constraints.cost(width, rates)              # step 4
+            evaluations.append(WidthEvaluation(
+                width=width, bus_rate=bus_rate, demand=demand,
+                feasible=feasible, cost=cost, rates=rates,
+            ))
 
-    feasible_evals = [e for e in evaluations if e.feasible]
-    if not feasible_evals:
-        widest = max(evaluations, key=lambda e: e.width)
-        raise InfeasibleBusError(
-            f"group {group.name}: no feasible buswidth in "
-            f"[{min(candidate_widths)}, {max(candidate_widths)}]; at width "
-            f"{widest.width} the bus rate {widest.bus_rate:g} is below the "
-            f"demand {widest.demand:g}. Split the group across several "
-            "buses (repro.busgen.split).",
-            demand=widest.demand,
-            best_rate=widest.bus_rate,
-        )
+        feasible_evals = [e for e in evaluations if e.feasible]
+        if not feasible_evals:
+            widest = max(evaluations, key=lambda e: e.width)
+            raise InfeasibleBusError(
+                f"group {group.name}: no feasible buswidth in "
+                f"[{min(candidate_widths)}, {max(candidate_widths)}]; at "
+                f"width {widest.width} the bus rate {widest.bus_rate:g} is "
+                f"below the demand {widest.demand:g}. Split the group "
+                "across several buses (repro.busgen.split).",
+                demand=widest.demand,
+                best_rate=widest.bus_rate,
+            )
 
-    # Step 5: least cost; deterministic tie-break on the narrower bus
-    # (fewer pins at equal cost is strictly better interconnect).
-    selected = min(feasible_evals, key=lambda e: (e.cost, e.width))
+        # Step 5: least cost; deterministic tie-break on the narrower bus
+        # (fewer pins at equal cost is strictly better interconnect).
+        selected = min(feasible_evals, key=lambda e: (e.cost, e.width))
+        sp.set(width=selected.width,
+               feasible_widths=len(feasible_evals))
 
     return BusDesign(
         group=group,

@@ -29,6 +29,7 @@ from repro.channels.group import ChannelGroup
 from repro.channels.rates import GroupRateModel
 from repro.errors import InfeasibleBusError
 from repro.estimate.perf import PerformanceEstimator
+from repro.obs.tracer import span as obs_span
 from repro.protocols import FULL_HANDSHAKE, Protocol
 
 
@@ -112,26 +113,30 @@ def split_group(group: ChannelGroup,
                for c in group.channels]
 
     last_error: Optional[InfeasibleBusError] = None
-    for k in range(1, limit + 1):
-        if k == 1:
-            sub_channel_sets = [list(group.channels)]
-        else:
-            sub_channel_sets = _lpt_partition(group.channels, weights, k)
-        designs: List[BusDesign] = []
-        try:
-            for index, sub_channels in enumerate(sub_channel_sets):
-                name = group.name if k == 1 else f"{group.name}_part{index}"
-                sub_group = ChannelGroup(name, sub_channels,
-                                         clock_period=group.clock_period)
-                sub_constraints = _restrict_constraints(
-                    constraints, {c.name for c in sub_channels})
-                designs.append(generate_bus(
-                    sub_group, protocol, sub_constraints,
-                    estimator=estimator))
-        except InfeasibleBusError as error:
-            last_error = error
-            continue
-        return SplitResult(original_group=group, designs=designs)
+    with obs_span("busgen.split_group", group=group.name,
+                  channels=len(group)) as sp:
+        for k in range(1, limit + 1):
+            if k == 1:
+                sub_channel_sets = [list(group.channels)]
+            else:
+                sub_channel_sets = _lpt_partition(group.channels, weights, k)
+            designs: List[BusDesign] = []
+            try:
+                for index, sub_channels in enumerate(sub_channel_sets):
+                    name = group.name if k == 1 \
+                        else f"{group.name}_part{index}"
+                    sub_group = ChannelGroup(name, sub_channels,
+                                             clock_period=group.clock_period)
+                    sub_constraints = _restrict_constraints(
+                        constraints, {c.name for c in sub_channels})
+                    designs.append(generate_bus(
+                        sub_group, protocol, sub_constraints,
+                        estimator=estimator))
+            except InfeasibleBusError as error:
+                last_error = error
+                continue
+            sp.set(buses=len(designs))
+            return SplitResult(original_group=group, designs=designs)
 
     assert last_error is not None
     raise InfeasibleBusError(

@@ -101,7 +101,61 @@ def cmd_info(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _observability_requested(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "trace_out", None) or
+                getattr(args, "metrics_out", None))
+
+
+def _write_observability(args: argparse.Namespace, tracer,
+                         simulations, sim_runs) -> None:
+    """Write --metrics-out / --trace-out files from a traced run."""
+    from repro.obs import export as obs_export
+    from repro.obs import report as obs_report
+
+    if args.metrics_out:
+        payload = obs_report.run_report(
+            meta={"command": args.command, "system": args.system,
+                  "protocol": args.protocol},
+            tracer=tracer, simulations=simulations,
+        )
+        if args.metrics_format == "prom":
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(obs_export.to_prometheus(payload))
+        else:
+            obs_export.write_json(payload, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    if args.trace_out:
+        obs_export.write_chrome_trace(tracer, args.trace_out,
+                                      sim_runs=sim_runs)
+        print(f"chrome trace written to {args.trace_out} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
+
+
 def cmd_synth(args: argparse.Namespace) -> int:
+    if not _observability_requested(args):
+        return _synth_flow(args, sim_metrics=None, captured=None)
+
+    from repro import obs
+    from repro.obs import report as obs_report
+
+    tracer = obs.Tracer()
+    sim_metrics = obs.SimMetrics()
+    captured: dict = {}
+    try:
+        with obs.tracing(tracer):
+            code = _synth_flow(args, sim_metrics, captured)
+    finally:
+        simulations = []
+        sim_runs = []
+        if "result" in captured:
+            simulations.append(obs_report.sim_section(
+                args.system, captured["result"], sim_metrics))
+            sim_runs.append((args.system, captured["result"].transactions))
+        _write_observability(args, tracer, simulations, sim_runs)
+    return code
+
+
+def _synth_flow(args: argparse.Namespace, sim_metrics, captured) -> int:
     system, groups, schedule, oracle = _load_system(args.system)
     if not isinstance(groups, list):
         groups = [groups]
@@ -156,7 +210,9 @@ def cmd_synth(args: argparse.Namespace) -> int:
               f"{area.total_gates} gate-equivalents")
 
     if args.simulate:
-        result = simulate(refined, schedule=schedule)
+        result = simulate(refined, schedule=schedule, metrics=sim_metrics)
+        if captured is not None:
+            captured["result"] = result
         print(f"\nsimulated {result.end_time} clocks; "
               f"{sum(len(t) for t in result.transactions.values())} "
               "bus transactions")
@@ -223,6 +279,75 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     threshold = Severity.parse(args.fail_on)
     return 1 if diagnostics.at_least(threshold) else 0
+
+
+#: Systems `repro-synth profile` covers when asked for "all".
+PROFILE_SYSTEMS = ("flc", "answering-machine", "ethernet")
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Instrumented synth+sim sweep with a stage-by-stage breakdown."""
+    from repro import obs
+    from repro.analysis import analyze_refined
+    from repro.obs import report as obs_report
+
+    systems = list(PROFILE_SYSTEMS) if args.system == "all" \
+        else [args.system]
+    protocol = get_protocol(args.protocol)
+    tracer = obs.Tracer()
+    simulations = []
+    sim_runs = []
+    summary_rows = []
+    exit_code = 0
+    with obs.tracing(tracer):
+        for name in systems:
+            with obs.span("profile.system", system=name):
+                system, groups, schedule, oracle = _load_system(name)
+                if not isinstance(groups, list):
+                    groups = [groups]
+                plans = [generate_bus(group, protocol=protocol)
+                         for group in groups]
+                refined = refine_system(system, plans)
+                analyze_refined(refined)
+                text = emit_refined_spec(refined)
+                validate_vhdl(
+                    text,
+                    structures=[b.structure for b in refined.buses],
+                ).raise_if_failed()
+                metrics = obs.SimMetrics()
+                result = simulate(refined, schedule=schedule,
+                                  metrics=metrics)
+                ok = True
+                if oracle:
+                    ok = all(result.final_values[k] == v
+                             for k, v in oracle.items())
+                    if not ok:
+                        exit_code = 1
+                simulations.append(
+                    obs_report.sim_section(name, result, metrics))
+                sim_runs.append((name, result.transactions))
+                transfers = sum(len(t)
+                                for t in result.transactions.values())
+                utilization = max(result.utilization.values()) \
+                    if result.utilization else 0.0
+                summary_rows.append((name, result.end_time, transfers,
+                                     utilization,
+                                     "OK" if ok else "MISMATCH"))
+
+    print("stage breakdown (wall time):")
+    print(f"  {'stage':<46} {'calls':>5} {'total ms':>10}")
+    for entry in tracer.breakdown():
+        print(f"  {entry['name']:<46} {entry['calls']:>5} "
+              f"{entry['total_ms']:>10.3f}")
+    print("\nsimulation summary:")
+    print(f"  {'system':<20} {'clocks':>8} {'transfers':>9} "
+          f"{'bus util':>9}  oracle")
+    for name, clocks, transfers, utilization, ok in summary_rows:
+        print(f"  {name:<20} {clocks:>8} {transfers:>9} "
+              f"{utilization:>9.3f}  {ok}")
+
+    _write_observability(args, tracer, simulations, sim_runs)
+    return exit_code
 
 
 def cmd_fig7(_args: argparse.Namespace) -> int:
@@ -309,6 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(channels, procedures, FSMs, area)")
     synth.add_argument("--vhdl", metavar="FILE",
                        help="emit validated VHDL to FILE")
+    _add_observability_flags(synth)
     synth.set_defaults(func=cmd_synth)
 
     lint = sub.add_parser(
@@ -332,11 +458,37 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: error)")
     lint.set_defaults(func=cmd_lint)
 
+    profile = sub.add_parser(
+        "profile",
+        help="run synth+sim fully instrumented and report a "
+             "stage-by-stage time/cycle breakdown")
+    profile.add_argument("system", nargs="?", default="all",
+                         help="flc, answering-machine, ethernet, a "
+                              ".spec path, or 'all' (default) for the "
+                              "three built-in systems")
+    profile.add_argument("--protocol", default="full_handshake",
+                         choices=sorted(PROTOCOLS))
+    _add_observability_flags(profile)
+    profile.set_defaults(func=cmd_profile)
+
     sub.add_parser("fig7", help="print the Figure 7 sweep") \
         .set_defaults(func=cmd_fig7)
     sub.add_parser("fig8", help="print the Figure 8 designs") \
         .set_defaults(func=cmd_fig8)
     return parser
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="write a Chrome trace_event JSON file "
+                             "(chrome://tracing / Perfetto)")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="write the machine-readable run report")
+    parser.add_argument("--metrics-format", choices=["json", "prom"],
+                        default="json",
+                        help="run-report format for --metrics-out: "
+                             "unified JSON (default) or a flat "
+                             "Prometheus-style text dump")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

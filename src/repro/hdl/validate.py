@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import HdlError
+from repro.obs.tracer import span as obs_span
 
 if TYPE_CHECKING:
     from repro.protogen.structure import BusStructure
@@ -79,14 +80,15 @@ def validate_vhdl(text: str,
     signal must declare ``ID``/``DATA`` record fields whose bit widths
     match the structure's ID lines and buswidth.
     """
-    report = ValidationReport()
-    lines = [_strip(line) for line in text.splitlines()]
+    with obs_span("hdl.validate", lines=text.count("\n") + 1):
+        report = ValidationReport()
+        lines = [_strip(line) for line in text.splitlines()]
 
-    _check_balance(lines, report)
-    _collect_declarations(lines, report)
-    _check_references(lines, report)
-    if structures:
-        _check_widths(lines, report, structures)
+        _check_balance(lines, report)
+        _collect_declarations(lines, report)
+        _check_references(lines, report)
+        if structures:
+            _check_widths(lines, report, structures)
     return report
 
 

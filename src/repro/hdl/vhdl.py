@@ -30,6 +30,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import HdlError
 from repro.hdl.writer import SourceWriter
+from repro.obs.tracer import span as obs_span
 from repro.protogen.procedures import CommProcedure, FieldKind, Role
 from repro.protogen.refine import RefinedSpec
 from repro.protogen.structure import BusStructure
@@ -628,6 +629,14 @@ def emit_refined_spec(spec: RefinedSpec,
                       entity_name: Optional[str] = None) -> str:
     """Emit a complete refined design: entity, buses, procedures,
     behaviors and variable processes."""
+    with obs_span("hdl.emit_vhdl", system=spec.name) as sp:
+        text = _emit_refined_spec(spec, entity_name)
+        sp.set(lines=text.count("\n") + 1)
+    return text
+
+
+def _emit_refined_spec(spec: RefinedSpec,
+                       entity_name: Optional[str] = None) -> str:
     w = SourceWriter()
     name = entity_name or spec.name
     w.line(f"-- Generated by repro.hdl.vhdl from refined spec {spec.name}")

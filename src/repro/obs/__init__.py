@@ -1,0 +1,52 @@
+"""Unified observability: pipeline tracing, simulator metrics, reports.
+
+Public surface:
+
+* :func:`span` / :func:`count` / :func:`tracing` /
+  :class:`Tracer` -- pipeline span tracer
+  (:mod:`repro.obs.tracer`); instrumentation is free when no tracer
+  is active.
+* :class:`SimMetrics` and its per-component collectors -- live
+  simulator metrics (:mod:`repro.obs.simmetrics`), threaded through
+  ``simulate(..., metrics=...)``.
+* :mod:`repro.obs.export` -- JSON, Chrome ``trace_event`` and
+  Prometheus text exporters.
+* :mod:`repro.obs.report` -- the unified machine-readable run report.
+
+See ``docs/observability.md`` for the metric catalogue and a
+``repro-synth profile`` walkthrough.
+"""
+
+from repro.obs.simmetrics import (
+    ArbiterMetrics,
+    BusMetrics,
+    Histogram,
+    KernelMetrics,
+    SimMetrics,
+)
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    activate,
+    active_tracer,
+    count,
+    deactivate,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "ArbiterMetrics",
+    "BusMetrics",
+    "Histogram",
+    "KernelMetrics",
+    "SimMetrics",
+    "Span",
+    "Tracer",
+    "activate",
+    "active_tracer",
+    "count",
+    "deactivate",
+    "span",
+    "tracing",
+]

@@ -1,0 +1,176 @@
+"""Exporters: JSON, Chrome ``trace_event`` and Prometheus text.
+
+Three views of one run's observability data:
+
+* :func:`write_json` -- the unified run report (see
+  :mod:`repro.obs.report`) as indented, sorted JSON;
+* :func:`to_chrome_trace` -- the pipeline spans (wall-clock domain) and
+  simulated bus transactions (clock domain, 1 clock rendered as 1 us)
+  in the Chrome ``trace_event`` JSON format, loadable in
+  ``chrome://tracing`` or https://ui.perfetto.dev;
+* :func:`to_prometheus` -- a flat ``metric{labels} value`` text dump of
+  the run-report payload, for scraping or diffing across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.obs.tracer import Tracer
+
+#: One simulated run for the chrome exporter: (run label, {bus name ->
+#: transaction list}).  Transactions only need ``start_time``,
+#: ``end_time``, ``channel``, ``initiator``, ``address`` and ``data``.
+SimRun = Tuple[str, Mapping[str, Sequence[Any]]]
+
+
+def write_json(payload: Mapping[str, Any], path: str) -> None:
+    """Write a report payload as stable, human-diffable JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+
+def to_chrome_trace(tracer: Tracer,
+                    sim_runs: Iterable[SimRun] = ()) -> Dict[str, Any]:
+    """Build a Chrome ``trace_event`` document.
+
+    Pipeline spans land on pid 1 ("pipeline", wall-clock microseconds,
+    rebased to the first span).  Each simulated run gets its own pid
+    with one tid per bus, timestamps in simulation clocks.
+    """
+    events: List[Dict[str, Any]] = [
+        {"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+         "args": {"name": "pipeline (wall clock)"}},
+    ]
+    base_ns = min((s.start_ns for s in tracer.spans), default=0)
+    for span in tracer.spans:
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": (span.start_ns - base_ns) / 1000.0,
+            "dur": span.duration_ns / 1000.0,
+            "pid": 1,
+            "tid": 1,
+            "args": dict(span.args),
+        })
+    if tracer.counters:
+        events.append({
+            "name": "counters", "cat": "counter", "ph": "I",
+            "ts": 0.0, "pid": 1, "tid": 1, "s": "g",
+            "args": dict(tracer.counters),
+        })
+
+    for run_index, (label, buses) in enumerate(sim_runs):
+        pid = 100 + run_index
+        events.append({
+            "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+            "args": {"name": f"simulation {label} (1 clock = 1 us)"},
+        })
+        for tid, (bus_name, transactions) in enumerate(
+                sorted(buses.items()), start=1):
+            events.append({
+                "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                "args": {"name": f"bus {bus_name}"},
+            })
+            for txn in transactions:
+                events.append({
+                    "name": txn.channel,
+                    "cat": "transaction",
+                    "ph": "X",
+                    "ts": float(txn.start_time),
+                    "dur": float(txn.end_time - txn.start_time),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {
+                        "initiator": txn.initiator,
+                        "address": txn.address,
+                        "data": txn.data,
+                    },
+                })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str,
+                       sim_runs: Iterable[SimRun] = ()) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(tracer, sim_runs), handle, indent=2)
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text format
+# ---------------------------------------------------------------------------
+
+def _labels(pairs: Mapping[str, Any]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in pairs.items())
+    return "{" + inner + "}"
+
+
+def _sanitize(name: str) -> str:
+    return "".join(ch if ch.isalnum() or ch == "_" else "_"
+                   for ch in name)
+
+
+def to_prometheus(payload: Mapping[str, Any]) -> str:
+    """Flatten a run-report payload into Prometheus exposition lines."""
+    lines: List[str] = []
+
+    def emit(metric: str, value: Any, **labels: Any) -> None:
+        if value is None:
+            return
+        lines.append(f"repro_{metric}{_labels(labels)} {value:g}"
+                     if isinstance(value, float)
+                     else f"repro_{metric}{_labels(labels)} {value}")
+
+    pipeline = payload.get("pipeline") or {}
+    for entry in pipeline.get("breakdown", []):
+        emit("pipeline_stage_ms", round(entry["total_ms"], 6),
+             stage=entry["name"])
+        emit("pipeline_stage_calls", entry["calls"], stage=entry["name"])
+    for name, value in sorted((pipeline.get("counters") or {}).items()):
+        emit(f"counter_{_sanitize(name)}", value)
+
+    for run in payload.get("simulations", []):
+        system = run.get("system", "unknown")
+        emit("sim_end_clock", run.get("end_clock"), system=system)
+        live = run.get("live") or {}
+        kernel = live.get("kernel") or {}
+        emit("sim_kernel_passes", kernel.get("passes"), system=system)
+        emit("sim_kernel_steps", kernel.get("steps"), system=system)
+        for pname, proc in (kernel.get("processes") or {}).items():
+            emit("sim_process_steps", proc["steps"], system=system,
+                 process=pname)
+            emit("sim_process_blocked_clocks", proc["blocked_clocks"],
+                 system=system, process=pname)
+            emit("sim_process_timer_clocks", proc["timer_clocks"],
+                 system=system, process=pname)
+        for bus_name, bus in (live.get("buses") or {}).items():
+            emit("bus_transactions_total", bus["transactions"],
+                 system=system, bus=bus_name)
+            emit("bus_words_total", bus["words"], system=system,
+                 bus=bus_name)
+            emit("bus_busy_clocks", bus["busy_clocks"], system=system,
+                 bus=bus_name)
+            emit("bus_utilization", float(bus["utilization"]),
+                 system=system, bus=bus_name)
+            for row in bus["latency_clocks"]["buckets"]:
+                emit("bus_latency_clocks_bucket", row["count"],
+                     system=system, bus=bus_name, le=row["le"])
+        for bus_name, arb in (live.get("arbiters") or {}).items():
+            emit("arbiter_requests_total", arb["requests"],
+                 system=system, bus=bus_name)
+            emit("arbiter_max_queue_depth", arb["max_queue_depth"],
+                 system=system, bus=bus_name)
+            for requester, grants in arb["grants"].items():
+                emit("arbiter_grants_total", grants, system=system,
+                     bus=bus_name, requester=requester)
+    return "\n".join(lines) + "\n"

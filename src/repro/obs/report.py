@@ -1,0 +1,84 @@
+"""Machine-readable run reports: pipeline + simulator, unified.
+
+:func:`run_report` merges everything one synthesis/simulation run
+produced into a single JSON-ready payload:
+
+* ``pipeline`` -- the tracer's spans, counters and per-stage breakdown
+  (:class:`~repro.obs.tracer.Tracer`);
+* ``simulations`` -- one entry per simulated system: end clock,
+  per-behavior clocks, per-bus utilization/arbitration numbers from the
+  :class:`~repro.sim.runtime.SimResult`, the live collector output
+  (:class:`~repro.obs.simmetrics.SimMetrics`) and the post-hoc
+  transaction statistics of :mod:`repro.sim.analysis` -- the two views
+  agree on transaction counts, which the test suite asserts.
+
+The payload is what ``repro-synth synth --metrics-out`` and
+``repro-synth profile`` write to disk, and what
+:func:`repro.obs.export.to_prometheus` flattens.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro import __version__
+from repro.obs.simmetrics import SimMetrics
+from repro.obs.tracer import Tracer
+from repro.sim.analysis import BusStats, analyze_bus
+
+
+def bus_stats_dict(stats: BusStats) -> Dict[str, Any]:
+    """JSON-ready form of :class:`~repro.sim.analysis.BusStats`."""
+    return {
+        "transactions": stats.transactions,
+        "busy_clocks": stats.busy_clocks,
+        "span_clocks": stats.span_clocks,
+        "utilization": stats.utilization,
+        "longest_idle_gap": stats.longest_idle_gap,
+        "per_channel": {
+            name: {
+                "count": ch.count,
+                "total_clocks": ch.total_clocks,
+                "mean_clocks": ch.mean_clocks,
+                "min_clocks": ch.min_clocks,
+                "max_clocks": ch.max_clocks,
+                "mean_interarrival": ch.mean_interarrival,
+            }
+            for name, ch in stats.per_channel.items()
+        },
+    }
+
+
+def sim_section(system: str, result: Any,
+                metrics: Optional[SimMetrics] = None) -> Dict[str, Any]:
+    """Report entry for one simulated system.
+
+    ``result`` is a :class:`~repro.sim.runtime.SimResult` (duck-typed
+    to keep this module import-light).
+    """
+    return {
+        "system": system,
+        "end_clock": result.end_time,
+        "behavior_clocks": dict(result.clocks),
+        "bus_utilization": dict(result.utilization),
+        "arbitration_wait_clocks": dict(result.arbitration_wait),
+        "transaction_stats": {
+            bus: bus_stats_dict(analyze_bus(log))
+            for bus, log in sorted(result.transactions.items())
+        },
+        "live": metrics.to_dict() if metrics is not None else None,
+    }
+
+
+def run_report(meta: Mapping[str, Any],
+               tracer: Optional[Tracer] = None,
+               simulations: Optional[List[Dict[str, Any]]] = None,
+               ) -> Dict[str, Any]:
+    """The unified machine-readable run report."""
+    return {
+        "schema": "repro.obs/run-report/v1",
+        "version": __version__,
+        "meta": dict(meta),
+        "pipeline": tracer.to_dict() if tracer is not None else None,
+        "simulations": simulations or [],
+    }

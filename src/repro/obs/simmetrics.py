@@ -1,0 +1,262 @@
+"""Live simulator metrics: kernel, bus and arbiter collectors.
+
+:class:`SimMetrics` is the per-run container the simulation layer
+threads through its components (``simulate(..., metrics=SimMetrics())``):
+
+* :class:`KernelMetrics` hooks :class:`~repro.sim.kernel.Simulator` --
+  delta passes, per-process step counts and, at every clock advance,
+  how long each unfinished process sat blocked on a predicate
+  (handshake wait) versus sleeping on a timer.
+* :class:`BusMetrics` hooks :class:`~repro.sim.bus.SimBus` -- completed
+  transactions, bus words moved, busy clocks and a handshake-latency
+  histogram (whole-message clocks).
+* :class:`ArbiterMetrics` hooks :class:`~repro.sim.arbiter.Arbiter` --
+  request/grant counts per requester, queue depth at request time and
+  a grant-wait histogram.
+
+Every hook sits behind an ``if metrics is not None`` guard in the hot
+code, so a run without metrics pays one pointer test per event.  All
+collectors reduce to plain dicts via ``to_dict`` for the exporters in
+:mod:`repro.obs.export`; the run report in :mod:`repro.obs.report`
+unifies them with the post-hoc transaction statistics of
+:mod:`repro.sim.analysis`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+#: Histogram bucket upper bounds, in clocks.
+LATENCY_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+class Histogram:
+    """Fixed-bucket histogram (Prometheus-style cumulative ``le``)."""
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[int] = LATENCY_BUCKETS):
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)   # last = +Inf
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def observe(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative(self) -> List[Dict[str, Any]]:
+        """Cumulative ``[{le, count}]`` rows ending with ``+Inf``."""
+        rows: List[Dict[str, Any]] = []
+        running = 0
+        for bound, bucket in zip(self.bounds, self.counts):
+            running += bucket
+            rows.append({"le": bound, "count": running})
+        rows.append({"le": "+Inf", "count": running + self.counts[-1]})
+        return rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": self.cumulative(),
+        }
+
+
+class _ProcessCounters:
+    __slots__ = ("steps", "blocked_clocks", "timer_clocks")
+
+    def __init__(self) -> None:
+        self.steps = 0
+        #: Clocks spent waiting on a WaitUntil predicate (handshakes,
+        #: schedule dependencies, arbitration).
+        self.blocked_clocks = 0
+        #: Clocks spent sleeping on a Wait timer (doing "work").
+        self.timer_clocks = 0
+
+
+class KernelMetrics:
+    """Scheduler-level counters, fed by the simulation kernel."""
+
+    def __init__(self) -> None:
+        self.end_clock = 0
+        self.clock_jumps = 0
+        self.passes = 0
+        self.steps = 0
+        self._processes: Dict[str, _ProcessCounters] = {}
+
+    def _process(self, name: str) -> _ProcessCounters:
+        counters = self._processes.get(name)
+        if counters is None:
+            counters = self._processes[name] = _ProcessCounters()
+        return counters
+
+    # -- kernel hooks ------------------------------------------------------
+
+    def on_step(self, name: str) -> None:
+        self.steps += 1
+        self._process(name).steps += 1
+
+    def on_pass(self) -> None:
+        self.passes += 1
+
+    def on_advance(self, now: int, next_time: int,
+                   processes: Iterable[Any]) -> None:
+        """Called once per clock jump with the kernel's process list."""
+        delta = next_time - now
+        self.clock_jumps += 1
+        self.end_clock = next_time
+        for process in processes:
+            if process.finished:
+                continue
+            counters = self._process(process.name)
+            if process.predicate is not None:
+                counters.blocked_clocks += delta
+            else:
+                counters.timer_clocks += delta
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "end_clock": self.end_clock,
+            "clock_jumps": self.clock_jumps,
+            "passes": self.passes,
+            "steps": self.steps,
+            "processes": {
+                name: {
+                    "steps": c.steps,
+                    "blocked_clocks": c.blocked_clocks,
+                    "timer_clocks": c.timer_clocks,
+                }
+                for name, c in sorted(self._processes.items())
+            },
+        }
+
+
+class BusMetrics:
+    """Per-bus transfer counters, fed by :class:`~repro.sim.bus.SimBus`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.transactions = 0
+        self.words = 0
+        self.busy_clocks = 0
+        self.latency = Histogram()
+        self.per_channel: Dict[str, int] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def on_transaction(self, transaction: Any, words: int,
+                       busy_clocks: int) -> None:
+        self.transactions += 1
+        self.words += words
+        self.busy_clocks += busy_clocks
+        self.latency.observe(transaction.clocks)
+        channel = transaction.channel
+        self.per_channel[channel] = self.per_channel.get(channel, 0) + 1
+        if transaction.direction.name == "WRITE":
+            self.writes += 1
+        else:
+            self.reads += 1
+
+    def utilization(self, end_clock: int) -> float:
+        if end_clock <= 0:
+            return 0.0
+        return self.busy_clocks / end_clock
+
+    def to_dict(self, end_clock: int = 0) -> Dict[str, Any]:
+        return {
+            "transactions": self.transactions,
+            "words": self.words,
+            "busy_clocks": self.busy_clocks,
+            "utilization": self.utilization(end_clock),
+            "reads": self.reads,
+            "writes": self.writes,
+            "per_channel": dict(sorted(self.per_channel.items())),
+            "latency_clocks": self.latency.to_dict(),
+        }
+
+
+class ArbiterMetrics:
+    """Per-bus arbitration counters, fed by the arbiter base class."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.requests = 0
+        self.grants: Dict[str, int] = {}
+        self.wait = Histogram()
+        self.max_queue_depth = 0
+        self._queue_depth_sum = 0
+
+    def on_request(self, queue_depth: int) -> None:
+        self.requests += 1
+        self._queue_depth_sum += queue_depth
+        if queue_depth > self.max_queue_depth:
+            self.max_queue_depth = queue_depth
+
+    def on_grant(self, requester: str, wait_clocks: int) -> None:
+        self.grants[requester] = self.grants.get(requester, 0) + 1
+        self.wait.observe(wait_clocks)
+
+    @property
+    def mean_queue_depth(self) -> float:
+        if not self.requests:
+            return 0.0
+        return self._queue_depth_sum / self.requests
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "grants": dict(sorted(self.grants.items())),
+            "max_queue_depth": self.max_queue_depth,
+            "mean_queue_depth": self.mean_queue_depth,
+            "wait_clocks": self.wait.to_dict(),
+        }
+
+
+class SimMetrics:
+    """All live collectors for one simulation run."""
+
+    def __init__(self) -> None:
+        self.kernel = KernelMetrics()
+        self.buses: Dict[str, BusMetrics] = {}
+        self.arbiters: Dict[str, ArbiterMetrics] = {}
+
+    def bus(self, name: str) -> BusMetrics:
+        metrics = self.buses.get(name)
+        if metrics is None:
+            metrics = self.buses[name] = BusMetrics(name)
+        return metrics
+
+    def arbiter(self, name: str) -> ArbiterMetrics:
+        metrics = self.arbiters.get(name)
+        if metrics is None:
+            metrics = self.arbiters[name] = ArbiterMetrics(name)
+        return metrics
+
+    def to_dict(self) -> Dict[str, Any]:
+        end_clock = self.kernel.end_clock
+        return {
+            "kernel": self.kernel.to_dict(),
+            "buses": {name: bus.to_dict(end_clock)
+                      for name, bus in sorted(self.buses.items())},
+            "arbiters": {name: arb.to_dict()
+                         for name, arb in sorted(self.arbiters.items())},
+        }

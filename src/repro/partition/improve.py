@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.tracer import span as obs_span
 from repro.partition.closeness import ClosenessModel, PartObject, object_name
 from repro.partition.module import ModuleKind
 from repro.partition.partitioner import Partition
@@ -90,6 +91,17 @@ def improve_partition(partition: Partition,
         report = ImprovementReport(initial_cut=0, final_cut=0, passes=0)
         return partition, report
 
+    with obs_span("partition.improve", system=partition.system.name,
+                  modules=len(partition.modules)) as sp:
+        improved, report = _improve(partition, max_passes, model)
+        sp.set(passes=report.passes, initial_cut=report.initial_cut,
+               final_cut=report.final_cut)
+    return improved, report
+
+
+def _improve(partition: Partition, max_passes: int,
+             model: Optional[ClosenessModel],
+             ) -> Tuple[Partition, ImprovementReport]:
     model = model or ClosenessModel(partition.system)
     module_kinds = {m.name: m.kind for m in partition.modules}
     assignment = _assignment_of(partition)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import PartitionError
+from repro.obs.tracer import span as obs_span
 from repro.partition.closeness import ClosenessModel, PartObject, object_name
 from repro.partition.module import ModuleKind, SystemModule
 from repro.spec.behavior import Behavior
@@ -147,6 +148,14 @@ def cluster_partition(system: SystemSpec, module_count: int,
         raise PartitionError(
             f"cannot split {len(objects)} objects into {module_count} modules"
         )
+    with obs_span("partition.cluster", system=system.name,
+                  objects=len(objects), modules=module_count):
+        return _cluster(system, module_count, module_prefix, model, objects)
+
+
+def _cluster(system: SystemSpec, module_count: int, module_prefix: str,
+             model: Optional[ClosenessModel],
+             objects: List[PartObject]) -> Partition:
     model = model or ClosenessModel(system)
 
     clusters: List[List[PartObject]] = [[obj] for obj in objects]

@@ -34,7 +34,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.busgen.algorithm import BusDesign
 from repro.channels.group import ChannelGroup
 from repro.errors import RefinementError
+from repro.obs.tracer import span as obs_span
 from repro.protocols import FULL_HANDSHAKE, Protocol
+from repro.protogen.idassign import assign_ids
 from repro.protogen.procedures import ChannelProcedures, make_procedures
 from repro.protogen.structure import BusStructure, make_structure
 from repro.protogen.varproc import VariableProcess, make_variable_processes
@@ -341,28 +343,51 @@ def generate_protocol(system: SystemSpec, group: ChannelGroup, width: int,
     """
     base_behaviors = list(behaviors) if behaviors is not None \
         else list(system.behaviors)
+    bus_label = bus_name or group.name
 
-    # Steps 1-2-3: structure (records the protocol and ID assignment)
-    # plus procedures for every channel.
-    structure = make_structure(bus_name or group.name, group, width, protocol)
-    procedures = {
-        channel.name: make_procedures(channel, protocol)
-        for channel in group
-    }
+    # Step 1: protocol selection.  The choice is the caller's (or the
+    # full-handshake default); the span records which discipline this
+    # bus will speak.
+    with obs_span("protogen.step1_protocol_selection", bus=bus_label,
+                  protocol=protocol.name, channels=len(group)):
+        pass
+
+    # Step 2: ID assignment.
+    with obs_span("protogen.step2_id_assignment", bus=bus_label) as sp:
+        ids = assign_ids(group)
+        sp.set(id_bits=ids.width)
+
+    # Step 3: bus structure plus procedures for every channel.
+    with obs_span("protogen.step3_structure_and_procedures",
+                  bus=bus_label, width=width) as sp:
+        structure = make_structure(bus_label, group, width, protocol,
+                                   ids=ids)
+        procedures = {
+            channel.name: make_procedures(channel, protocol)
+            for channel in group
+        }
+        sp.set(pins=structure.total_pins)
 
     # Step 4: rewrite every accessor behavior.
-    rewritten: List[Behavior] = []
-    rewritten_names: List[str] = []
-    for behavior in base_behaviors:
-        remote = _remote_map(behavior, group, procedures)
-        if remote:
-            rewritten.append(_BehaviorRewriter(behavior, remote).rewrite())
-            rewritten_names.append(behavior.name)
-        else:
-            rewritten.append(behavior)
+    with obs_span("protogen.step4_update_variable_references",
+                  bus=bus_label) as sp:
+        rewritten: List[Behavior] = []
+        rewritten_names: List[str] = []
+        for behavior in base_behaviors:
+            remote = _remote_map(behavior, group, procedures)
+            if remote:
+                rewritten.append(
+                    _BehaviorRewriter(behavior, remote).rewrite())
+                rewritten_names.append(behavior.name)
+            else:
+                rewritten.append(behavior)
+        sp.set(rewritten=len(rewritten_names))
 
     # Step 5: variable processes.
-    variable_processes = make_variable_processes(procedures)
+    with obs_span("protogen.step5_variable_processes",
+                  bus=bus_label) as sp:
+        variable_processes = make_variable_processes(procedures)
+        sp.set(processes=len(variable_processes))
 
     bus = RefinedBus(structure=structure, procedures=procedures,
                      variable_processes=variable_processes, design=design)
@@ -390,6 +415,16 @@ def refine_system(system: SystemSpec, plans: Sequence[BusPlan],
     behaviors: List[Behavior] = list(system.behaviors)
     buses: List[RefinedBus] = []
     rewritten_names: List[str] = []
+    with obs_span("protogen.refine_system", system=system.name,
+                  buses=len(plans)):
+        return _refine_system_buses(system, plans, protocol, behaviors,
+                                    buses, rewritten_names)
+
+
+def _refine_system_buses(system: SystemSpec, plans: Sequence[BusPlan],
+                         protocol: Protocol, behaviors: List[Behavior],
+                         buses: List[RefinedBus],
+                         rewritten_names: List[str]) -> RefinedSpec:
     for plan in plans:
         if isinstance(plan, BusDesign):
             group, width, proto, design = (plan.group, plan.width,

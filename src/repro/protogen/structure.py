@@ -20,7 +20,7 @@ is an 8-bit full-handshake bus with 2 ID lines -- ``BusStructure`` with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.channels.group import ChannelGroup
 from repro.errors import ProtocolError
@@ -93,9 +93,15 @@ class BusStructure:
 
 
 def make_structure(name: str, group: ChannelGroup, width: int,
-                   protocol: Protocol) -> BusStructure:
-    """Build the bus structure for a group at a selected width."""
+                   protocol: Protocol,
+                   ids: Optional[IdAssignment] = None) -> BusStructure:
+    """Build the bus structure for a group at a selected width.
+
+    ``ids`` accepts a precomputed assignment (protocol generation runs
+    step 2 separately so the step is individually traceable); the
+    default recomputes it here.
+    """
     return BusStructure(
         name=name, group=group, width=width, protocol=protocol,
-        ids=assign_ids(group),
+        ids=ids if ids is not None else assign_ids(group),
     )

@@ -50,6 +50,9 @@ class Arbiter:
         self.grants: List[tuple] = []
         #: Total clocks requesters spent waiting for grants.
         self.wait_clocks = 0
+        #: Optional :class:`repro.obs.ArbiterMetrics`-shaped collector
+        #: (``on_request``/``on_grant``); attached by the runtime.
+        self.metrics: Optional[object] = None
 
     # -- policy hook -------------------------------------------------------
 
@@ -67,13 +70,18 @@ class Arbiter:
             )
         request_time = self.sim.now
         self._waiting.append(requester)
+        if self.metrics is not None:
+            self.metrics.on_request(len(self._waiting))
         self._try_grant()
         if self._owner != requester:
             yield WaitUntil(lambda: self._owner == requester)
         if self.grant_delay:
             yield Wait(self.grant_delay)
-        self.wait_clocks += self.sim.now - request_time
+        waited = self.sim.now - request_time
+        self.wait_clocks += waited
         self.grants.append((self.sim.now, requester))
+        if self.metrics is not None:
+            self.metrics.on_grant(requester, waited)
 
     def release(self, requester: str) -> None:
         if self._owner != requester:
@@ -173,11 +181,16 @@ class TdmaArbiter(Arbiter):
                 f"{requester} has no TDMA slot (schedule: {self.schedule})"
             )
         request_time = self.sim.now
+        if self.metrics is not None:
+            self.metrics.on_request(1)
         while not (self._slot_owner() == requester and self._owner is None):
             yield Wait(1)
         self._owner = requester
-        self.wait_clocks += self.sim.now - request_time
+        waited = self.sim.now - request_time
+        self.wait_clocks += waited
         self.grants.append((self.sim.now, requester))
+        if self.metrics is not None:
+            self.metrics.on_grant(requester, waited)
 
     def _try_grant(self) -> None:
         # Grants happen only inside acquire's polling loop.

@@ -108,17 +108,20 @@ class SimBus:
     """Live signals plus protocol engines for one generated bus."""
 
     def __init__(self, structure: BusStructure, sim: Simulator,
-                 arbiter: Optional[Arbiter] = None, trace: bool = False):
+                 arbiter: Optional[Arbiter] = None, trace: bool = False,
+                 metrics: Optional[object] = None):
         self.structure = structure
         self.sim = sim
         self.arbiter = arbiter or ImmediateArbiter(sim)
         clock = lambda: sim.now  # noqa: E731 - tiny closure is clearest
         self.controls: Dict[str, Signal] = {
-            name: Signal(f"{structure.name}.{name}", clock=clock, trace=trace)
+            name: Signal(f"{structure.name}.{name}", clock=clock,
+                         trace=trace, width=1)
             for name in structure.protocol.control_lines
         }
         self.id_lines = Signal(f"{structure.name}.ID", clock=clock,
-                               trace=trace)
+                               trace=trace,
+                               width=max(1, structure.id_lines))
         self.data = DataLines(f"{structure.name}.DATA", structure.width,
                               clock=clock, trace=trace)
         #: Word strobe for 1-clock protocols.  For the half handshake it
@@ -131,6 +134,8 @@ class SimBus:
                                   trace=trace)
         self.transactions: List[Transaction] = []
         self.busy_clocks = 0
+        #: Optional :class:`repro.obs.BusMetrics`-shaped live collector.
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
 
@@ -200,8 +205,8 @@ class SimBus:
             received = yield from self._accessor_strobed(
                 code, words, message)
 
-        self.busy_clocks += self.structure.protocol.message_clocks(
-            len(words))
+        message_clocks = self.structure.protocol.message_clocks(len(words))
+        self.busy_clocks += message_clocks
 
         if channel.is_write:
             result: Optional[int] = None
@@ -212,11 +217,15 @@ class SimBus:
             result = (received >> data_field.offset) & \
                 ((1 << data_field.bits) - 1)
             logged_data = result
-        self.transactions.append(Transaction(
+        transaction = Transaction(
             start_time=start_time, end_time=self.sim.now,
             channel=channel.name, direction=channel.direction,
             address=address, data=logged_data or 0, initiator=initiator,
-        ))
+        )
+        self.transactions.append(transaction)
+        if self.metrics is not None:
+            self.metrics.on_transaction(transaction, words=len(words),
+                                        busy_clocks=message_clocks)
         return result
 
     def _accessor_handshake(self, code: int, words: List[WordSpec],

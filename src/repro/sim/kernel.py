@@ -139,14 +139,21 @@ class SimStats:
 
 
 class Simulator:
-    """The cooperative clock-accurate scheduler."""
+    """The cooperative clock-accurate scheduler.
+
+    ``metrics`` is an optional :class:`repro.obs.KernelMetrics`-shaped
+    collector (``on_step``/``on_pass``/``on_advance``); every hook sits
+    behind a ``None`` test so unmetered runs pay nothing.
+    """
 
     def __init__(self, max_clocks: int = 10_000_000,
-                 max_passes_per_clock: int = 10_000):
+                 max_passes_per_clock: int = 10_000,
+                 metrics: Optional[object] = None):
         self.max_clocks = max_clocks
         self.max_passes_per_clock = max_passes_per_clock
         self._processes: List[_Process] = []
         self._now = 0
+        self._metrics = metrics
 
     @property
     def now(self) -> int:
@@ -195,6 +202,9 @@ class Simulator:
                 raise SimulationError(
                     f"exceeded max_clocks={self.max_clocks}"
                 )
+            if self._metrics is not None:
+                self._metrics.on_advance(self._now, next_time,
+                                         self._processes)
             self._now = next_time
 
         return SimStats(
@@ -220,6 +230,8 @@ class Simulator:
                     ran_any = True
             if not ran_any:
                 return
+            if self._metrics is not None:
+                self._metrics.on_pass()
         raise SimulationError(
             f"exceeded {self.max_passes_per_clock} passes at clock "
             f"{self._now}; processes are likely delta-cycling forever"
@@ -227,6 +239,8 @@ class Simulator:
 
     def _step(self, process: _Process) -> None:
         """Advance one process to its next wait request."""
+        if self._metrics is not None:
+            self._metrics.on_step(process.name)
         if process.start_time is None:
             process.start_time = self._now
         process.delta = False

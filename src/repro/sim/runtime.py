@@ -31,6 +31,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Union
 
 from repro.errors import SimulationError
+from repro.obs.simmetrics import SimMetrics
+from repro.obs.tracer import span as obs_span
 from repro.protogen.procedures import CommProcedure
 from repro.protogen.refine import RefinedSpec
 from repro.sim.arbiter import Arbiter
@@ -117,9 +119,12 @@ class RefinedSimulation:
                  schedule: Optional[Sequence[Stage]] = None,
                  arbiter_factories: Optional[Dict[str, ArbiterFactory]] = None,
                  trace: bool = False,
-                 max_clocks: int = 10_000_000):
+                 max_clocks: int = 10_000_000,
+                 metrics: Optional[SimMetrics] = None):
         self.spec = spec
-        self.sim = Simulator(max_clocks=max_clocks)
+        self.metrics = metrics
+        self.sim = Simulator(max_clocks=max_clocks,
+                             metrics=metrics.kernel if metrics else None)
         self.env = Environment()
         for variable in spec.original.variables:
             self.env.declare(variable)
@@ -137,8 +142,13 @@ class RefinedSimulation:
             members = [b.name for b in refined_bus.group.behaviors()]
             factory = factories.get(refined_bus.name)
             arbiter = factory(self.sim, members) if factory else None
-            sim_bus = SimBus(refined_bus.structure, self.sim,
-                             arbiter=arbiter, trace=trace)
+            sim_bus = SimBus(
+                refined_bus.structure, self.sim, arbiter=arbiter,
+                trace=trace,
+                metrics=metrics.bus(refined_bus.name) if metrics else None,
+            )
+            if metrics is not None:
+                sim_bus.arbiter.metrics = metrics.arbiter(refined_bus.name)
             self.buses[refined_bus.name] = sim_bus
             for pair in refined_bus.procedures.values():
                 self._proc_map[id(pair.accessor)] = (sim_bus, pair)
@@ -379,7 +389,10 @@ class RefinedSimulation:
     # ------------------------------------------------------------------
 
     def run(self) -> SimResult:
-        stats = self.sim.run()
+        with obs_span("sim.run", category="sim",
+                      system=self.spec.name) as sp:
+            stats = self.sim.run()
+            sp.set(end_clock=stats.end_time)
         final_values: Dict[str, Value] = {}
         for variable in self.spec.original.variables:
             value = self.env.read(variable)
@@ -407,10 +420,16 @@ def simulate(spec: RefinedSpec,
              schedule: Optional[Sequence[Stage]] = None,
              arbiter_factories: Optional[Dict[str, ArbiterFactory]] = None,
              trace: bool = False,
-             max_clocks: int = 10_000_000) -> SimResult:
-    """Elaborate and run a refined specification in one call."""
-    simulation = RefinedSimulation(
-        spec, schedule=schedule, arbiter_factories=arbiter_factories,
-        trace=trace, max_clocks=max_clocks,
-    )
+             max_clocks: int = 10_000_000,
+             metrics: Optional[SimMetrics] = None) -> SimResult:
+    """Elaborate and run a refined specification in one call.
+
+    Pass a :class:`repro.obs.SimMetrics` as ``metrics`` to collect live
+    kernel/bus/arbiter counters for the run.
+    """
+    with obs_span("sim.elaborate", category="sim", system=spec.name):
+        simulation = RefinedSimulation(
+            spec, schedule=schedule, arbiter_factories=arbiter_factories,
+            trace=trace, max_clocks=max_clocks, metrics=metrics,
+        )
     return simulation.run()

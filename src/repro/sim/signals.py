@@ -23,15 +23,28 @@ from repro.errors import SimulationError
 
 
 class Signal:
-    """A named scalar signal with optional value-change recording."""
+    """A named scalar signal with optional value-change recording.
 
-    __slots__ = ("name", "value", "_clock", "changes", "trace_enabled")
+    ``width`` is the *declared* bit width, when known (control lines
+    are 1 bit, ID lines ``clog2(channels)`` bits).  Waveform export
+    uses it so a wire dumps at its physical width even when the run
+    only exercised small values; ``None`` means unknown, and exporters
+    fall back to the observed value range.
+    """
+
+    __slots__ = ("name", "value", "width", "_clock", "changes",
+                 "trace_enabled")
 
     def __init__(self, name: str, init: int = 0,
                  clock: Optional[Callable[[], int]] = None,
-                 trace: bool = False):
+                 trace: bool = False, width: Optional[int] = None):
+        if width is not None and width < 1:
+            raise SimulationError(
+                f"signal {name}: declared width must be >= 1, got {width}"
+            )
         self.name = name
         self.value = init
+        self.width = width
         self._clock = clock
         self.trace_enabled = trace
         #: (time, value) pairs, recorded when tracing is on.

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint profile bench bench-only reports examples verify-all clean
+.PHONY: install test lint profile bench bench-kernel bench-only reports examples verify-all clean
 
 install:
 	pip install -e .
@@ -20,6 +20,15 @@ profile:          ## instrumented synth+sim sweep with stage breakdown
 
 bench:            ## full benchmark suite (asserts + tables)
 	$(PYTHON) -m pytest benchmarks/
+
+bench-kernel:     ## kernel benches + wall-time regression gate
+	rm -rf benchmarks/reports/.baseline
+	mkdir -p benchmarks/reports/.baseline
+	cp benchmarks/reports/BENCH_*.json benchmarks/reports/.baseline/
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_kernel_scaling.py benchmarks/bench_three_systems.py
+	PYTHONPATH=src $(PYTHON) benchmarks/compare_baselines.py \
+		--baseline benchmarks/reports/.baseline \
+		--fresh benchmarks/reports
 
 bench-only:       ## timed harnesses only
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,131 @@
+"""Benchmark regression gate: fresh ``BENCH_*.json`` vs. baselines.
+
+The timed benchmarks persist machine-readable reports into
+``benchmarks/reports/BENCH_<name>.json`` *in place*, overwriting the
+committed baselines.  CI (and ``make bench-kernel``) therefore snapshots
+the committed files first, re-runs the benches, and calls this script to
+compare every wall-time field:
+
+.. code-block:: console
+
+    $ cp benchmarks/reports/BENCH_*.json /tmp/baseline/
+    $ pytest benchmarks/bench_kernel_scaling.py benchmarks/bench_three_systems.py
+    $ python benchmarks/compare_baselines.py \
+          --baseline /tmp/baseline --fresh benchmarks/reports
+
+Any numeric leaf whose key starts with ``wall_seconds`` is compared.
+The gate fails (exit 1) when a fresh timing exceeds its baseline by more
+than ``--threshold`` (default 25%) *and* by more than ``--min-delta``
+seconds -- the absolute floor keeps sub-millisecond jitter on tiny
+measurements from tripping the relative check.  Fields present on only
+one side are reported but never fatal (benchmarks gain and lose rows);
+a baseline file with no fresh counterpart is an error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Dict, Iterator, Tuple
+
+#: Leaf keys compared by the gate.
+WALL_PREFIX = "wall_seconds"
+
+
+def _wall_fields(payload, path: str = "") -> Iterator[Tuple[str, float]]:
+    """Yields ``(dotted.path, seconds)`` for every wall-time leaf."""
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            where = f"{path}.{key}" if path else str(key)
+            value = payload[key]
+            if key.startswith(WALL_PREFIX) and isinstance(
+                    value, (int, float)):
+                yield where, float(value)
+            else:
+                yield from _wall_fields(value, where)
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            yield from _wall_fields(value, f"{path}[{index}]")
+
+
+def _load(path: str) -> Dict[str, float]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return dict(_wall_fields(json.load(handle)))
+
+
+def compare_file(name: str, baseline_path: str, fresh_path: str,
+                 threshold: float, min_delta: float) -> int:
+    """Prints one report line per field; returns the regression count."""
+    baseline = _load(baseline_path)
+    fresh = _load(fresh_path)
+    regressions = 0
+    for field in sorted(baseline.keys() | fresh.keys()):
+        old = baseline.get(field)
+        new = fresh.get(field)
+        if old is None or new is None:
+            side = "baseline" if new is None else "fresh run"
+            print(f"  ~ {name}:{field} only in {side}; skipped")
+            continue
+        delta = new - old
+        ratio = (new / old - 1.0) if old > 0 else 0.0
+        regressed = ratio > threshold and delta > min_delta
+        marker = "FAIL" if regressed else "ok"
+        print(f"  {marker:>4} {name}:{field}  "
+              f"{old:.4f}s -> {new:.4f}s  ({ratio:+.1%})")
+        regressions += regressed
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when fresh BENCH_*.json wall times regress "
+                    "past the committed baselines.")
+    parser.add_argument("--baseline", required=True,
+                        help="directory holding the baseline "
+                             "BENCH_*.json snapshot")
+    parser.add_argument("--fresh", default=os.path.join(
+                            os.path.dirname(__file__), "reports"),
+                        help="directory the benches wrote into "
+                             "(default: benchmarks/reports)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated relative slowdown "
+                             "(default: 0.25 = 25%%)")
+    parser.add_argument("--min-delta", type=float, default=0.01,
+                        help="absolute seconds a timing must regress "
+                             "by before the relative check applies "
+                             "(default: 0.01)")
+    args = parser.parse_args(argv)
+
+    pattern = os.path.join(args.baseline, "BENCH_*.json")
+    baseline_files = sorted(glob.glob(pattern))
+    if not baseline_files:
+        print(f"error: no BENCH_*.json baselines under {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    total = 0
+    for baseline_path in baseline_files:
+        name = os.path.basename(baseline_path)
+        fresh_path = os.path.join(args.fresh, name)
+        if not os.path.exists(fresh_path):
+            print(f"error: {name} has no fresh counterpart in "
+                  f"{args.fresh} (bench did not run?)", file=sys.stderr)
+            return 2
+        print(f"{name}:")
+        total += compare_file(name, baseline_path, fresh_path,
+                              args.threshold, args.min_delta)
+
+    if total:
+        print(f"\n{total} wall-time regression(s) beyond "
+              f"{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    print("\nall wall times within the regression threshold "
+          f"({args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -285,15 +285,16 @@ def cmd_lint(args: argparse.Namespace) -> int:
 PROFILE_SYSTEMS = ("flc", "answering-machine", "ethernet")
 
 
-def cmd_profile(args: argparse.Namespace) -> int:
-    """Instrumented synth+sim sweep with a stage-by-stage breakdown."""
+def _profile_once(args: argparse.Namespace, systems, protocol):
+    """One instrumented synth+sim sweep over ``systems``.
+
+    Returns ``(tracer, simulations, sim_runs, summary_rows, exit_code)``
+    so ``cmd_profile`` can repeat the sweep and aggregate timings.
+    """
     from repro import obs
     from repro.analysis import analyze_refined
     from repro.obs import report as obs_report
 
-    systems = list(PROFILE_SYSTEMS) if args.system == "all" \
-        else [args.system]
-    protocol = get_protocol(args.protocol)
     tracer = obs.Tracer()
     simulations = []
     sim_runs = []
@@ -333,12 +334,47 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 summary_rows.append((name, result.end_time, transfers,
                                      utilization,
                                      "OK" if ok else "MISMATCH"))
+    return tracer, simulations, sim_runs, summary_rows, exit_code
 
-    print("stage breakdown (wall time):")
-    print(f"  {'stage':<46} {'calls':>5} {'total ms':>10}")
-    for entry in tracer.breakdown():
-        print(f"  {entry['name']:<46} {entry['calls']:>5} "
-              f"{entry['total_ms']:>10.3f}")
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Instrumented synth+sim sweep with a stage-by-stage breakdown."""
+    import statistics
+
+    systems = list(PROFILE_SYSTEMS) if args.system == "all" \
+        else [args.system]
+    protocol = get_protocol(args.protocol)
+    repeat = max(1, args.repeat)
+
+    stage_order: List[str] = []
+    stage_samples = {}
+    stage_calls = {}
+    for _ in range(repeat):
+        (tracer, simulations, sim_runs,
+         summary_rows, exit_code) = _profile_once(args, systems, protocol)
+        for entry in tracer.breakdown():
+            name = entry["name"]
+            if name not in stage_samples:
+                stage_order.append(name)
+                stage_samples[name] = []
+                stage_calls[name] = entry["calls"]
+            stage_samples[name].append(entry["total_ms"])
+
+    if repeat == 1:
+        print("stage breakdown (wall time):")
+        print(f"  {'stage':<46} {'calls':>5} {'total ms':>10}")
+        for name in stage_order:
+            print(f"  {name:<46} {stage_calls[name]:>5} "
+                  f"{stage_samples[name][0]:>10.3f}")
+    else:
+        print(f"stage breakdown (wall time over {repeat} runs):")
+        print(f"  {'stage':<46} {'calls':>5} {'min ms':>10} "
+              f"{'median ms':>10}")
+        for name in stage_order:
+            samples = stage_samples[name]
+            print(f"  {name:<46} {stage_calls[name]:>5} "
+                  f"{min(samples):>10.3f} "
+                  f"{statistics.median(samples):>10.3f}")
     print("\nsimulation summary:")
     print(f"  {'system':<20} {'clocks':>8} {'transfers':>9} "
           f"{'bus util':>9}  oracle")
@@ -468,6 +504,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "three built-in systems")
     profile.add_argument("--protocol", default="full_handshake",
                          choices=sorted(PROTOCOLS))
+    profile.add_argument("--repeat", type=int, default=1, metavar="N",
+                         help="run the sweep N times and report "
+                              "min/median stage timings; observability "
+                              "outputs come from the last run "
+                              "(default: 1)")
     _add_observability_flags(profile)
     profile.set_defaults(func=cmd_profile)
 

@@ -101,6 +101,12 @@ class KernelMetrics:
         self.clock_jumps = 0
         self.passes = 0
         self.steps = 0
+        #: Event-kernel counters, filled by ``on_run_end``: how many
+        #: wait predicates were evaluated, how many processes the
+        #: EventBus woke, and how many timer-heap wakeups were served.
+        self.predicate_evals = 0
+        self.signal_wakeups = 0
+        self.timer_pops = 0
         self._processes: Dict[str, _ProcessCounters] = {}
 
     def _process(self, name: str) -> _ProcessCounters:
@@ -133,12 +139,22 @@ class KernelMetrics:
             else:
                 counters.timer_clocks += delta
 
+    def on_run_end(self, predicate_evals: int = 0, signal_wakeups: int = 0,
+                   timer_pops: int = 0) -> None:
+        """Called once when the kernel's run loop completes."""
+        self.predicate_evals = predicate_evals
+        self.signal_wakeups = signal_wakeups
+        self.timer_pops = timer_pops
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "end_clock": self.end_clock,
             "clock_jumps": self.clock_jumps,
             "passes": self.passes,
             "steps": self.steps,
+            "predicate_evals": self.predicate_evals,
+            "signal_wakeups": self.signal_wakeups,
+            "timer_pops": self.timer_pops,
             "processes": {
                 name: {
                     "steps": c.steps,

@@ -38,6 +38,7 @@ the bus declaration and send and receive procedures need be changed."
 from __future__ import annotations
 
 import enum
+from functools import cached_property
 import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
@@ -119,7 +120,23 @@ class WordSpec:
     def bits(self) -> int:
         return self.msg_hi - self.msg_lo + 1
 
+    # cached_property writes straight to __dict__, which a frozen
+    # dataclass permits; the simulator asks for the same role split on
+    # every word of every transfer.
+    @cached_property
+    def _accessor_slices(self) -> Tuple[WordSlice, ...]:
+        return tuple(s for s in self.slices
+                     if s.field.driver is Role.ACCESSOR)
+
+    @cached_property
+    def _server_slices(self) -> Tuple[WordSlice, ...]:
+        return tuple(s for s in self.slices if s.field.driver is Role.SERVER)
+
     def slices_driven_by(self, role: Role) -> Tuple[WordSlice, ...]:
+        if role is Role.ACCESSOR:
+            return self._accessor_slices
+        if role is Role.SERVER:
+            return self._server_slices
         return tuple(s for s in self.slices if s.field.driver is role)
 
 
@@ -148,6 +165,7 @@ class MessageLayout:
             driver=data_driver,
         ))
         self.fields: Tuple[MessageField, ...] = tuple(fields)
+        self._words_cache: dict = {}
 
     @property
     def total_bits(self) -> int:
@@ -170,7 +188,14 @@ class MessageLayout:
         return math.ceil(self.total_bits / width)
 
     def words(self, width: int) -> List[WordSpec]:
-        """Slice the message into bus words, LSB (address) first."""
+        """Slice the message into bus words, LSB (address) first.
+
+        The result is memoized per width (layouts are immutable and the
+        simulator re-slices every transfer); treat it as read-only.
+        """
+        cached = self._words_cache.get(width)
+        if cached is not None:
+            return cached
         words: List[WordSpec] = []
         total = self.total_bits
         for index in range(self.word_count(width)):
@@ -192,6 +217,7 @@ class MessageLayout:
                 index=index, msg_lo=msg_lo, msg_hi=msg_hi,
                 slices=tuple(slices),
             ))
+        self._words_cache[width] = words
         return words
 
     # ------------------------------------------------------------------

@@ -24,10 +24,12 @@ from repro.sim.arbiter import (
 from repro.sim.bus import SimBus, StorageAdapter, Transaction
 from repro.sim.kernel import (
     Delta,
+    EventBus,
     ProcessStats,
     SimStats,
     Simulator,
     Wait,
+    WaitOn,
     WaitUntil,
 )
 from repro.sim.runtime import RefinedSimulation, SimResult, simulate
@@ -50,6 +52,7 @@ __all__ = [
     "overlap_clocks",
     "DataLines",
     "Delta",
+    "EventBus",
     "ImmediateArbiter",
     "PriorityArbiter",
     "ProcessStats",
@@ -64,6 +67,7 @@ __all__ = [
     "TdmaArbiter",
     "Transaction",
     "Wait",
+    "WaitOn",
     "WaitUntil",
     "bus_signals",
     "format_transactions",

@@ -31,7 +31,8 @@ from __future__ import annotations
 from typing import Dict, Generator, List, Optional, Sequence
 
 from repro.errors import ArbitrationError
-from repro.sim.kernel import Simulator, Wait, WaitUntil
+from repro.sim.kernel import Simulator, Wait, WaitOn
+from repro.sim.signals import Signal
 
 
 class Arbiter:
@@ -45,6 +46,10 @@ class Arbiter:
         self.sim = sim
         self.grant_delay = grant_delay
         self._owner: Optional[str] = None
+        #: Internal event wire: bumped whenever ownership changes, so
+        #: waiters sleep on a sensitivity list instead of polling.  It
+        #: is not a counted bus wire.
+        self._grant_event = Signal("arbiter.grant")
         self._waiting: List[str] = []
         #: (time, requester) grant log for analysis.
         self.grants: List[tuple] = []
@@ -74,7 +79,8 @@ class Arbiter:
             self.metrics.on_request(len(self._waiting))
         self._try_grant()
         if self._owner != requester:
-            yield WaitUntil(lambda: self._owner == requester)
+            yield WaitOn((self._grant_event,),
+                         lambda: self._owner == requester)
         if self.grant_delay:
             yield Wait(self.grant_delay)
         waited = self.sim.now - request_time
@@ -89,6 +95,7 @@ class Arbiter:
                 f"{requester} released a bus owned by {self._owner}"
             )
         self._owner = None
+        self._grant_event.set(self._grant_event.value + 1)
         self._try_grant()
 
     def _try_grant(self) -> None:
@@ -98,6 +105,7 @@ class Arbiter:
         if chosen is not None:
             self._waiting.remove(chosen)
             self._owner = chosen
+            self._grant_event.set(self._grant_event.value + 1)
 
     @property
     def owner(self) -> Optional[str]:

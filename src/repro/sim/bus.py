@@ -38,7 +38,7 @@ from repro.protogen.procedures import (
 from repro.protogen.structure import BusStructure
 from repro.protogen.varproc import VariableProcess
 from repro.sim.arbiter import Arbiter, ImmediateArbiter
-from repro.sim.kernel import Delta, Simulator, Wait, WaitUntil
+from repro.sim.kernel import Delta, Simulator, Wait, WaitOn
 from repro.sim.signals import DataLines, Signal
 from repro.spec.access import Direction
 
@@ -335,12 +335,14 @@ class SimBus:
                           storage: StorageAdapter) -> Generator:
         start = self.controls["START"]
         done = self.controls["DONE"]
+        id_lines = self.id_lines
         in_progress: Dict[int, _ServerTransfer] = {}
         while True:
-            yield WaitUntil(
-                lambda: start.value == 1 and self.id_lines.value in services
+            yield WaitOn(
+                (start, id_lines),
+                lambda: start.value == 1 and id_lines.value in services,
             )
-            code = self.id_lines.value
+            code = id_lines.value
             transfer = in_progress.get(code)
             if transfer is None:
                 transfer = _ServerTransfer(services[code], self.width,
@@ -348,7 +350,7 @@ class SimBus:
                 in_progress[code] = transfer
             transfer.handle_word(self.data)
             done.set(1)
-            yield WaitUntil(lambda: start.value == 0)
+            yield WaitOn((start,), lambda: start.value == 0)
             done.set(0)
             if transfer.complete:
                 transfer.commit()
@@ -359,30 +361,35 @@ class SimBus:
                       storage: StorageAdapter) -> Generator:
         start = self.controls["START"]
         done = self.controls["DONE"]
+        id_lines = self.id_lines
+        strobe = self._strobe
         while True:
-            yield WaitUntil(
-                lambda: start.value == 1 and self.id_lines.value in services
+            yield WaitOn(
+                (start, id_lines),
+                lambda: start.value == 1 and id_lines.value in services,
             )
-            code = self.id_lines.value
+            code = id_lines.value
             done.set(1)
             transfer = _ServerTransfer(services[code], self.width, storage)
-            last_strobe = self._strobe.value
+            last_strobe = strobe.value
             while not transfer.complete:
-                yield WaitUntil(lambda: self._strobe.value != last_strobe)
-                last_strobe = self._strobe.value
+                yield WaitOn((strobe,),
+                             lambda: strobe.value != last_strobe)
+                last_strobe = strobe.value
                 transfer.handle_word(self.data)
             transfer.commit()
-            yield WaitUntil(lambda: start.value == 0)
+            yield WaitOn((start,), lambda: start.value == 0)
             done.set(0)
 
     def _server_strobed(self, name: str,
                         services: Dict[int, ChannelProcedures],
                         storage: StorageAdapter) -> Generator:
-        last_strobe = self._strobe.value
+        strobe = self._strobe
+        last_strobe = strobe.value
         in_progress: Dict[int, _ServerTransfer] = {}
         while True:
-            yield WaitUntil(lambda: self._strobe.value != last_strobe)
-            last_strobe = self._strobe.value
+            yield WaitOn((strobe,), lambda: strobe.value != last_strobe)
+            last_strobe = strobe.value
             code = self.id_lines.value
             if code not in services:
                 continue

@@ -1,4 +1,4 @@
-"""Discrete-event simulation kernel.
+"""Event-driven discrete-event simulation kernel.
 
 The paper's headline property is that the refined specification is
 *simulatable*.  This kernel provides the execution substrate: a clock-
@@ -12,24 +12,44 @@ style of a (much simplified) VHDL simulation cycle:
   VHDL delta cycles).
 * A process is a Python generator that yields *wait requests*:
 
-  - ``Wait(n)``      -- resume ``n`` clocks from now (n >= 1);
-  - ``Delta()``      -- resume in the next pass of the same clock;
-  - ``WaitUntil(f)`` -- resume in the first pass where ``f()`` is true.
+  - ``Wait(n)``        -- resume ``n`` clocks from now (n >= 1);
+  - ``Delta()``        -- resume in the next pass of the same clock;
+  - ``WaitOn(sigs,f)`` -- sleep on a **sensitivity list**: re-evaluate
+    ``f`` only when one of the watched signals changes (``f`` omitted
+    means "wake on any change");
+  - ``WaitUntil(f)``   -- legacy polled fallback: ``f`` is re-polled
+    each pass in which anything happened.
 
 * **Daemon** processes (the generated variable processes, which serve
   the bus forever) do not keep the simulation alive: it ends when every
   non-daemon process has finished.
 
-Determinism: within a pass, runnable processes execute in registration
-order.  All state lives in ordinary Python objects (usually
-:class:`~repro.sim.signals.Signal`), so ``WaitUntil`` predicates are
-plain closures.
+Scheduling is event-driven, not polling: a ``heapq`` timer queue finds
+the next clock in O(log timers), an :class:`EventBus` owned by the
+kernel wakes only the processes whose watched signals actually changed
+(``Signal.set`` / ``DataLines.drive`` notify it), and each pass runs a
+ready agenda rather than scanning every process.  Cost per clock is
+proportional to the *active* processes, not the registered ones.
+
+Determinism: the pass agenda is a min-heap over registration indices,
+so runnable processes within a pass execute in registration order --
+exactly the discipline of the original polling fixpoint kernel.  A
+process woken by an event keeps the old same-pass/next-pass placement:
+if its registration index is after the currently running process it
+joins the current pass, otherwise the next one.  ``WaitOn`` predicates
+are evaluated when the process's turn comes (not at notify time), so
+they observe the same intermediate state the polling kernel's sweep
+would have.
+
+Contract: a ``WaitOn`` predicate must depend only on the watched
+signals (that is what makes skipping re-evaluation sound).  Predicates
+over arbitrary Python state belong in ``WaitUntil``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List, Optional
+from heapq import heapify, heappop, heappush
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.errors import DeadlockError, SimulationError
 
@@ -60,7 +80,12 @@ class Delta:
 
 
 class WaitUntil:
-    """Resume when the predicate evaluates true."""
+    """Resume when the predicate evaluates true (legacy, polled).
+
+    The predicate may read arbitrary state, so the kernel re-polls it
+    in every pass in which any process ran.  Prefer :class:`WaitOn`
+    when the predicate only depends on signals.
+    """
 
     __slots__ = ("predicate",)
 
@@ -73,26 +98,84 @@ class WaitUntil:
         return "WaitUntil(...)"
 
 
+class WaitOn:
+    """Sleep on a sensitivity list of signals.
+
+    ``signals`` is one watchable or a sequence of them (anything with
+    the ``_watchers`` notification slot: :class:`~repro.sim.signals.
+    Signal`, :class:`~repro.sim.signals.DataLines`).  The process is
+    woken -- and ``predicate`` re-evaluated -- only when one of them
+    changes value.  With no predicate the process resumes on the first
+    change.  With a predicate, it also fires if the predicate is
+    already true at yield time (matching ``WaitUntil``'s semantics).
+
+    The predicate must depend only on the watched signals.
+    """
+
+    __slots__ = ("signals", "predicate")
+
+    def __init__(self, signals, predicate: Optional[Callable[[], bool]] = None):
+        if not isinstance(signals, (tuple, list)):
+            signals = (signals,)
+        if not signals:
+            raise SimulationError("WaitOn requires at least one signal")
+        for signal in signals:
+            if not hasattr(signal, "_watchers"):
+                raise SimulationError(
+                    f"WaitOn: {signal!r} is not watchable (no _watchers "
+                    "slot); use Signal/DataLines or WaitUntil"
+                )
+        if predicate is not None and not callable(predicate):
+            raise SimulationError("WaitOn predicate must be callable")
+        self.signals: Tuple = tuple(signals)
+        self.predicate = predicate
+
+    def __repr__(self) -> str:
+        names = ",".join(getattr(s, "name", "?") for s in self.signals)
+        return f"WaitOn([{names}])"
+
+
+def _any_change() -> bool:
+    """Predicate standing in for ``WaitOn`` without one: any notify
+    from a watched signal is a wake."""
+    return True
+
+
 ProcessBody = Generator[object, None, None]
 
 
-@dataclass
 class _Process:
     """Bookkeeping for one simulated process."""
 
-    name: str
-    body: ProcessBody
-    daemon: bool
-    #: Clock at which the process becomes runnable (for Wait); None when
-    #: blocked on a predicate or on Delta.
-    wake_time: Optional[int] = 0
-    #: Predicate blocking the process (WaitUntil), else None.
-    predicate: Optional[Callable[[], bool]] = None
-    #: True when blocked on Delta (runnable next pass).
-    delta: bool = False
-    finished: bool = False
-    start_time: Optional[int] = None
-    finish_time: Optional[int] = None
+    __slots__ = ("name", "body", "daemon", "index", "wake_time",
+                 "predicate", "delta", "finished", "start_time",
+                 "finish_time", "polled", "queued", "notified", "watched")
+
+    def __init__(self, name: str, body: ProcessBody, daemon: bool,
+                 index: int):
+        self.name = name
+        self.body = body
+        self.daemon = daemon
+        #: Registration index: the determinism tiebreak within a pass.
+        self.index = index
+        #: Clock at which the process becomes runnable (for Wait); None
+        #: when blocked on a predicate or on Delta.
+        self.wake_time: Optional[int] = 0
+        #: Predicate blocking the process (WaitOn/WaitUntil), else None.
+        self.predicate: Optional[Callable[[], bool]] = None
+        #: True when blocked on Delta (runnable next pass).
+        self.delta = False
+        self.finished = False
+        self.start_time: Optional[int] = None
+        self.finish_time: Optional[int] = None
+        #: True while blocked on a bare WaitUntil (kernel re-polls it).
+        self.polled = False
+        #: True while sitting in a pass agenda (dedup guard).
+        self.queued = False
+        #: True while sitting in the EventBus pending list.
+        self.notified = False
+        #: Signals this process is subscribed to (WaitOn).
+        self.watched: List = []
 
     def runnable(self, now: int) -> bool:
         if self.finished:
@@ -101,19 +184,21 @@ class _Process:
             return True
         if self.predicate is not None:
             return bool(self.predicate())
-        assert self.wake_time is not None
-        return self.wake_time <= now
+        return self.wake_time is not None and self.wake_time <= now
 
 
-@dataclass
 class ProcessStats:
     """Post-run statistics of one process."""
 
-    name: str
-    daemon: bool
-    finished: bool
-    start_time: Optional[int]
-    finish_time: Optional[int]
+    __slots__ = ("name", "daemon", "finished", "start_time", "finish_time")
+
+    def __init__(self, name: str, daemon: bool, finished: bool,
+                 start_time: Optional[int], finish_time: Optional[int]):
+        self.name = name
+        self.daemon = daemon
+        self.finished = finished
+        self.start_time = start_time
+        self.finish_time = finish_time
 
     @property
     def active_clocks(self) -> Optional[int]:
@@ -123,13 +208,21 @@ class ProcessStats:
             return None
         return self.finish_time - self.start_time
 
+    def __repr__(self) -> str:  # keeps dataclass-era debugging output
+        return (f"ProcessStats(name={self.name!r}, daemon={self.daemon}, "
+                f"finished={self.finished}, start_time={self.start_time}, "
+                f"finish_time={self.finish_time})")
 
-@dataclass
+
 class SimStats:
     """Outcome of a simulation run."""
 
-    end_time: int
-    processes: Dict[str, ProcessStats] = field(default_factory=dict)
+    __slots__ = ("end_time", "processes")
+
+    def __init__(self, end_time: int,
+                 processes: Optional[Dict[str, ProcessStats]] = None):
+        self.end_time = end_time
+        self.processes: Dict[str, ProcessStats] = processes or {}
 
     def clocks(self, name: str) -> int:
         stats = self.processes[name]
@@ -138,12 +231,61 @@ class SimStats:
         return stats.active_clocks
 
 
+class EventBus:
+    """Fan-out from signal changes to sensitivity-listed processes.
+
+    Owned by the kernel.  ``watch`` subscribes a blocked process to a
+    signal; ``Signal.set`` / ``DataLines.drive``/``release`` call
+    ``notify`` when their (resolved) value changes.  The kernel drains
+    the pending list after every process step and decides same-pass
+    versus next-pass placement.
+    """
+
+    __slots__ = ("pending",)
+
+    def __init__(self) -> None:
+        #: Processes notified since the last drain (deduplicated).
+        self.pending: List[_Process] = []
+
+    def watch(self, signal, process: _Process) -> None:
+        watchers = signal._watchers
+        if watchers is None:
+            signal._watchers = [process]
+            signal._event_bus = self
+        else:
+            watchers.append(process)
+        process.watched.append(signal)
+
+    def unwatch(self, process: _Process) -> None:
+        for signal in process.watched:
+            try:
+                signal._watchers.remove(process)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        process.watched.clear()
+
+    def notify(self, signal) -> None:
+        pending = self.pending
+        for process in signal._watchers:
+            if not process.notified:
+                process.notified = True
+                pending.append(process)
+
+
 class Simulator:
     """The cooperative clock-accurate scheduler.
 
     ``metrics`` is an optional :class:`repro.obs.KernelMetrics`-shaped
     collector (``on_step``/``on_pass``/``on_advance``); every hook sits
     behind a ``None`` test so unmetered runs pay nothing.
+
+    Instrumentation counters (always on, plain ints):
+
+    * ``predicate_evals`` -- how many times any wait predicate was
+      called; with sensitivity lists this scales with signal *changes*,
+      not clocks x processes.
+    * ``signal_wakeups`` -- processes woken via the EventBus.
+    * ``timer_pops`` -- timer-heap wakeups served.
     """
 
     def __init__(self, max_clocks: int = 10_000_000,
@@ -154,6 +296,22 @@ class Simulator:
         self._processes: List[_Process] = []
         self._now = 0
         self._metrics = metrics
+        self.events = EventBus()
+        #: (wake_time, registration index) min-heap.  An entry is live
+        #: for exactly one outstanding Wait, so no stale entries occur.
+        self._timers: List[Tuple[int, int]] = []
+        #: Processes blocked on bare WaitUntil (legacy polling).
+        self._polled: List[_Process] = []
+        #: Current-pass agenda (registration-index heap) and the next
+        #: pass's accumulator; only meaningful inside _run_passes.
+        self._agenda: List[int] = []
+        self._next_agenda: List[int] = []
+        self._current_index = -1
+        #: Unfinished non-daemon processes (O(1) completion check).
+        self._active_workers = 0
+        self.predicate_evals = 0
+        self.signal_wakeups = 0
+        self.timer_pops = 0
 
     @property
     def now(self) -> int:
@@ -170,7 +328,12 @@ class Simulator:
                 f"process {name}: body must be a generator (did you call "
                 "the function?)"
             )
-        self._processes.append(_Process(name=name, body=body, daemon=daemon))
+        index = len(self._processes)
+        process = _Process(name=name, body=body, daemon=daemon, index=index)
+        self._processes.append(process)
+        if not daemon:
+            self._active_workers += 1
+        heappush(self._timers, (0, index))
 
     # ------------------------------------------------------------------
 
@@ -181,18 +344,14 @@ class Simulator:
         but none can ever become runnable, and
         :class:`SimulationError` when ``max_clocks`` is exceeded.
         """
+        timers = self._timers
         while True:
             self._run_passes()
-            if self._all_workers_done():
+            if not self._active_workers:
                 break
-            next_time = self._next_wake_time()
-            if next_time is None:
-                blocked = [p.name for p in self._processes
-                           if not p.finished and not p.daemon]
-                raise DeadlockError(
-                    f"deadlock at clock {self._now}: processes "
-                    f"{blocked} are blocked and no timer is pending"
-                )
+            if not timers:
+                raise self._deadlock_error()
+            next_time = timers[0][0]
             if next_time <= self._now:
                 raise SimulationError(
                     f"scheduler error: wake time {next_time} is not in "
@@ -207,6 +366,12 @@ class Simulator:
                                          self._processes)
             self._now = next_time
 
+        if self._metrics is not None:
+            on_run_end = getattr(self._metrics, "on_run_end", None)
+            if on_run_end is not None:
+                on_run_end(predicate_evals=self.predicate_evals,
+                           signal_wakeups=self.signal_wakeups,
+                           timer_pops=self.timer_pops)
         return SimStats(
             end_time=self._now,
             processes={
@@ -221,21 +386,97 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _run_passes(self) -> None:
-        """Run all processes at the current clock to a fixpoint."""
-        for _ in range(self.max_passes_per_clock):
-            ran_any = False
-            for process in self._processes:
-                if process.runnable(self._now):
+        """Run the current clock's ready agenda to a fixpoint."""
+        now = self._now
+        processes = self._processes
+        timers = self._timers
+        metrics = self._metrics
+
+        # Pass 0 agenda: due timers plus the legacy polled processes.
+        agenda: List[int] = []
+        while timers and timers[0][0] <= now:
+            _, index = heappop(timers)
+            process = processes[index]
+            process.queued = True
+            agenda.append(index)
+            self.timer_pops += 1
+        if self._polled:
+            self._queue_polled(agenda)
+        if not agenda:
+            return
+        heapify(agenda)
+
+        passes = 0
+        while agenda:
+            self._agenda = agenda
+            next_agenda: List[int] = []
+            self._next_agenda = next_agenda
+            ran_any = 0
+            while agenda:
+                index = heappop(agenda)
+                process = processes[index]
+                process.queued = False
+                if process.finished:
+                    continue
+                if process.delta or process.wake_time is not None:
+                    runnable = True
+                else:
+                    predicate = process.predicate
+                    if predicate is None:  # pragma: no cover - defensive
+                        continue
+                    self.predicate_evals += 1
+                    runnable = bool(predicate())
+                if runnable:
+                    self._current_index = index
                     self._step(process)
-                    ran_any = True
-            if not ran_any:
-                return
-            if self._metrics is not None:
-                self._metrics.on_pass()
-        raise SimulationError(
-            f"exceeded {self.max_passes_per_clock} passes at clock "
-            f"{self._now}; processes are likely delta-cycling forever"
-        )
+                    ran_any += 1
+                    if self.events.pending:
+                        self._triage_events(index)
+            if ran_any:
+                passes += 1
+                if metrics is not None:
+                    metrics.on_pass()
+                if passes >= self.max_passes_per_clock:
+                    raise SimulationError(
+                        f"exceeded {self.max_passes_per_clock} passes at "
+                        f"clock {now}; processes are likely delta-cycling "
+                        "forever"
+                    )
+                if self._polled:
+                    self._queue_polled(next_agenda)
+            agenda = next_agenda
+            if agenda:
+                heapify(agenda)
+
+    def _queue_polled(self, agenda: List[int]) -> None:
+        """Add live polled (WaitUntil) processes to an agenda; drops
+        stale entries along the way."""
+        live: List[_Process] = []
+        for process in self._polled:
+            if process.polled and not process.finished:
+                live.append(process)
+                if not process.queued:
+                    process.queued = True
+                    agenda.append(process.index)
+        self._polled = live
+
+    def _triage_events(self, current_index: int) -> None:
+        """Place event-notified processes into the current or the next
+        pass, preserving the registration-order sweep discipline."""
+        pending = self.events.pending
+        self.events.pending = []
+        current_agenda = self._agenda
+        next_agenda = self._next_agenda
+        for process in pending:
+            process.notified = False
+            if process.finished or process.queued or not process.watched:
+                continue
+            self.signal_wakeups += 1
+            process.queued = True
+            if process.index > current_index:
+                heappush(current_agenda, process.index)
+            else:
+                next_agenda.append(process.index)
 
     def _step(self, process: _Process) -> None:
         """Advance one process to its next wait request."""
@@ -246,11 +487,16 @@ class Simulator:
         process.delta = False
         process.predicate = None
         process.wake_time = None
+        process.polled = False
+        if process.watched:
+            self.events.unwatch(process)
         try:
             request = next(process.body)
         except StopIteration:
             process.finished = True
             process.finish_time = self._now
+            if not process.daemon:
+                self._active_workers -= 1
             return
         except Exception as error:
             raise SimulationError(
@@ -259,22 +505,74 @@ class Simulator:
             ) from error
 
         if isinstance(request, Wait):
-            process.wake_time = self._now + request.clocks
+            wake = self._now + request.clocks
+            process.wake_time = wake
+            heappush(self._timers, (wake, process.index))
+        elif isinstance(request, WaitOn):
+            events = self.events
+            for signal in request.signals:
+                events.watch(signal, process)
+            predicate = request.predicate
+            if predicate is None:
+                process.predicate = _any_change
+            else:
+                process.predicate = predicate
+                # WaitUntil compatibility: a predicate that is already
+                # true fires next pass even if no signal changes again.
+                self.predicate_evals += 1
+                if predicate() and not process.queued:
+                    process.queued = True
+                    self._next_agenda.append(process.index)
         elif isinstance(request, Delta):
             process.delta = True
+            process.queued = True
+            self._next_agenda.append(process.index)
         elif isinstance(request, WaitUntil):
             process.predicate = request.predicate
+            process.polled = True
+            self._polled.append(process)
         else:
             raise SimulationError(
                 f"process {process.name} yielded {request!r}; expected "
-                "Wait, Delta or WaitUntil"
+                "Wait, Delta, WaitOn or WaitUntil"
             )
 
     def _all_workers_done(self) -> bool:
-        return all(p.finished or p.daemon for p in self._processes)
+        return self._active_workers == 0
 
     def _next_wake_time(self) -> Optional[int]:
         """Earliest pending Wait among unfinished processes."""
-        times = [p.wake_time for p in self._processes
-                 if not p.finished and p.wake_time is not None]
-        return min(times) if times else None
+        return self._timers[0][0] if self._timers else None
+
+    # ------------------------------------------------------------------
+
+    def _blocked_reason(self, process: _Process) -> str:
+        if process.watched:
+            names = ", ".join(getattr(s, "name", "?")
+                              for s in process.watched)
+            return f"waiting on signals [{names}] (WaitOn predicate pending)"
+        if process.polled:
+            return "waiting on a WaitUntil predicate that never became true"
+        if process.predicate is not None:
+            return "waiting on a predicate that never became true"
+        if process.wake_time is None:
+            return "has no pending wait request"
+        return f"sleeping until clock {process.wake_time}"  # pragma: no cover
+
+    def _deadlock_error(self) -> DeadlockError:
+        workers = [p for p in self._processes
+                   if not p.finished and not p.daemon]
+        daemons = [p for p in self._processes
+                   if not p.finished and p.daemon]
+        lines = [f"deadlock at clock {self._now}: "
+                 f"{len(workers)} process(es) are blocked and no timer "
+                 "is pending"]
+        for process in workers:
+            lines.append(f"  - {process.name}: "
+                         f"{self._blocked_reason(process)}")
+        if daemons:
+            lines.append("  daemons (do not keep the simulation alive):")
+            for process in daemons:
+                lines.append(f"  - {process.name}: "
+                             f"{self._blocked_reason(process)}")
+        return DeadlockError("\n".join(lines))

@@ -37,7 +37,8 @@ from repro.protogen.procedures import CommProcedure
 from repro.protogen.refine import RefinedSpec
 from repro.sim.arbiter import Arbiter
 from repro.sim.bus import SimBus, StorageAdapter, Transaction
-from repro.sim.kernel import SimStats, Simulator, Wait, WaitUntil
+from repro.sim.kernel import SimStats, Simulator, Wait, WaitOn
+from repro.sim.signals import Signal
 from repro.spec.behavior import Behavior
 from repro.spec.expr import Environment
 from repro.spec.stmt import (
@@ -57,6 +58,11 @@ from repro.spec.variable import Variable
 #: One stage of a schedule: a behavior name or several run concurrently.
 Stage = Union[str, Sequence[str]]
 ArbiterFactory = Callable[[Simulator, List[str]], Arbiter]
+
+#: Shared 1-clock wait request.  Wait instances are immutable and the
+#: kernel never retains them past the yield, so the single-statement
+#: cost (one per Assign/If/For/While step) need not allocate.
+_WAIT_ONE = Wait(1)
 
 
 @dataclass
@@ -131,6 +137,11 @@ class RefinedSimulation:
 
         self._stages = self._normalize_schedule(schedule)
         self._done: Dict[str, bool] = {b.name: False for b in spec.behaviors}
+        #: One event wire per behavior, set at completion; schedule
+        #: successors sleep on these instead of polling the dict.
+        self._done_signal: Dict[str, Signal] = {
+            b.name: Signal(f"done.{b.name}") for b in spec.behaviors
+        }
         self._start: Dict[str, int] = {}
         self._finish: Dict[str, int] = {}
 
@@ -246,39 +257,58 @@ class RefinedSimulation:
 
         predecessors = self._predecessors(behavior.name)
         if predecessors:
-            yield WaitUntil(
-                lambda: all(self._done[p] for p in predecessors)
+            done = self._done
+            yield WaitOn(
+                tuple(self._done_signal[p] for p in predecessors),
+                lambda: all(done[p] for p in predecessors),
             )
         self._start[behavior.name] = self.sim.now
         yield from self._exec_body(behavior, behavior.body)
         self._finish[behavior.name] = self.sim.now
         self._done[behavior.name] = True
+        self._done_signal[behavior.name].set(1)
 
     def _exec_body(self, behavior: Behavior,
                    body: Sequence[Stmt]) -> Generator:
+        # The straight-line statements (Assign dominates every workload)
+        # are dispatched inline on exact type to avoid one generator
+        # object plus a delegation frame per statement; compound
+        # statements fall through to _exec_stmt.
         for stmt in body:
-            yield from self._exec_stmt(behavior, stmt)
+            kind = type(stmt)
+            if kind is Assign:
+                self._do_assign(stmt)
+                yield _WAIT_ONE
+            elif kind is WaitClocks:
+                if stmt.clocks:
+                    yield Wait(stmt.clocks)
+            elif kind is Nop:
+                pass
+            else:
+                yield from self._exec_stmt(behavior, stmt)
 
     def _exec_stmt(self, behavior: Behavior, stmt: Stmt) -> Generator:
         if isinstance(stmt, Assign):
             self._do_assign(stmt)
-            yield Wait(1)
+            yield _WAIT_ONE
         elif isinstance(stmt, If):
             taken = bool(stmt.cond.evaluate(self.env))
-            yield Wait(1)
+            yield _WAIT_ONE
             yield from self._exec_body(
                 behavior, stmt.then_body if taken else stmt.else_body)
         elif isinstance(stmt, For):
             if not self.env.is_declared(stmt.var):
                 self.env.declare(stmt.var)
+            body = stmt.body
+            var = stmt.var
             for i in range(stmt.lo, stmt.hi + 1):
-                self.env.write(stmt.var, self._wrap(stmt.var, i))
-                yield Wait(1)
-                yield from self._exec_body(behavior, stmt.body)
+                self.env.write(var, self._wrap(var, i))
+                yield _WAIT_ONE
+                yield from self._exec_body(behavior, body)
         elif isinstance(stmt, While):
             while True:
                 condition = bool(stmt.cond.evaluate(self.env))
-                yield Wait(1)
+                yield _WAIT_ONE
                 if not condition:
                     break
                 yield from self._exec_body(behavior, stmt.body)

@@ -6,13 +6,21 @@ trace (enough to export a VCD-style waveform from
 provides the ordering guarantees a full resolved-signal/delta
 implementation would; what remains is bookkeeping.
 
+Both :class:`Signal` and :class:`DataLines` are *watchable*: when a
+process sleeps on them with :class:`~repro.sim.kernel.WaitOn`, the
+kernel subscribes it via the ``_watchers`` slot and every value change
+notifies the kernel's :class:`~repro.sim.kernel.EventBus`.  Unwatched
+signals pay a single ``None`` test per change.
+
 ``DataLines`` models the one physically interesting wrinkle: during a
 *read* transaction, the accessor drives the address portion of a bus
 word while the variable process drives the data portion -- two drivers
 on disjoint wires of the same DATA field.  It therefore keeps one
 contribution (value, mask) per driver role and resolves them with OR,
 raising on overlapping masks (a genuine drive conflict, which protocol
-generation must never produce).
+generation must never produce).  The resolved word is cached and
+invalidated by ``drive``/``release`` -- it is read inside every
+receive-side word handler, so recomputing it per read was measurable.
 """
 
 from __future__ import annotations
@@ -33,7 +41,7 @@ class Signal:
     """
 
     __slots__ = ("name", "value", "width", "_clock", "changes",
-                 "trace_enabled")
+                 "trace_enabled", "_watchers", "_event_bus")
 
     def __init__(self, name: str, init: int = 0,
                  clock: Optional[Callable[[], int]] = None,
@@ -49,6 +57,9 @@ class Signal:
         self.trace_enabled = trace
         #: (time, value) pairs, recorded when tracing is on.
         self.changes: List[Tuple[int, int]] = [(0, init)] if trace else []
+        #: Sensitivity list, managed by the kernel's EventBus.
+        self._watchers: Optional[list] = None
+        self._event_bus = None
 
     def set(self, value: int) -> None:
         if value == self.value:
@@ -56,6 +67,8 @@ class Signal:
         self.value = value
         if self.trace_enabled and self._clock is not None:
             self.changes.append((self._clock(), value))
+        if self._watchers:
+            self._event_bus.notify(self)
 
     def __repr__(self) -> str:
         return f"Signal({self.name}={self.value})"
@@ -69,6 +82,10 @@ class DataLines:
     of simultaneous drivers must be disjoint.
     """
 
+    __slots__ = ("name", "width", "_full_mask", "_contributions",
+                 "_clock", "trace_enabled", "changes", "_resolved",
+                 "_watchers", "_event_bus")
+
     def __init__(self, name: str, width: int,
                  clock: Optional[Callable[[], int]] = None,
                  trace: bool = False):
@@ -81,7 +98,12 @@ class DataLines:
         self._clock = clock
         self.trace_enabled = trace
         self.changes: List[Tuple[int, int]] = [(0, 0)] if trace else []
-        self._last_value = 0
+        #: Cached OR-resolution of the contributions; kept current by
+        #: drive/release so reads are O(1).
+        self._resolved = 0
+        #: Sensitivity list, managed by the kernel's EventBus.
+        self._watchers: Optional[list] = None
+        self._event_bus = None
 
     def drive(self, role: str, value: int, mask: int) -> None:
         """Set one role's contribution; ``mask`` selects the wires it
@@ -105,28 +127,31 @@ class DataLines:
             self._contributions.pop(role, None)
         else:
             self._contributions[role] = (value, mask)
-        self._record()
+        self._resolve()
 
     def release(self, role: str) -> None:
         """Stop driving (high-impedance) for one role."""
         self._contributions.pop(role, None)
-        self._record()
+        self._resolve()
 
     @property
     def value(self) -> int:
         """The resolved bus word (undriven wires read 0)."""
+        return self._resolved
+
+    def _resolve(self) -> None:
+        """Recompute the cached resolution after a contribution change;
+        record and notify only when the resolved word changed."""
         resolved = 0
         for value, _ in self._contributions.values():
             resolved |= value
-        return resolved
-
-    def _record(self) -> None:
-        if not self.trace_enabled or self._clock is None:
+        if resolved == self._resolved:
             return
-        value = self.value
-        if value != self._last_value:
-            self._last_value = value
-            self.changes.append((self._clock(), value))
+        self._resolved = resolved
+        if self.trace_enabled and self._clock is not None:
+            self.changes.append((self._clock(), resolved))
+        if self._watchers:
+            self._event_bus.notify(self)
 
     def __repr__(self) -> str:
         return f"DataLines({self.name}={self.value:#x}, width={self.width})"

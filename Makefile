@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint profile bench bench-kernel bench-only reports examples verify-all clean
+.PHONY: install test lint lint-examples absint-check profile bench bench-kernel bench-only reports examples verify-all clean
 
 install:
 	pip install -e .
@@ -14,6 +14,15 @@ lint:             ## static protocol analysis on the built-in systems
 	PYTHONPATH=src $(PYTHON) -m repro.cli lint flc
 	PYTHONPATH=src $(PYTHON) -m repro.cli lint answering-machine
 	PYTHONPATH=src $(PYTHON) -m repro.cli lint ethernet
+
+lint-examples:    ## static protocol analysis on the example .spec files
+	@for spec in examples/specs/*.spec; do \
+		echo "== $$spec"; \
+		PYTHONPATH=src $(PYTHON) -m repro.cli lint $$spec || exit 1; \
+	done
+
+absint-check:     ## soundness gate: static bounds vs simulated counts
+	PYTHONPATH=src $(PYTHON) tools/absint_check.py
 
 profile:          ## instrumented synth+sim sweep with stage breakdown
 	PYTHONPATH=src $(PYTHON) -m repro.cli profile

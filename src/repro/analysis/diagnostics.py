@@ -170,6 +170,40 @@ class DiagnosticSet:
         return out
 
     # ------------------------------------------------------------------
+    # Normalization
+    # ------------------------------------------------------------------
+
+    def dedupe(self) -> int:
+        """Drop findings repeating an earlier (code, location) pair.
+
+        Independent passes can rediscover the same defect (e.g. a width
+        pass and a value-flow pass both flagging one channel).  The
+        first report wins -- passes run cheapest-first, and the keep-
+        first rule makes output independent of later pass additions.
+        Returns the number of diagnostics removed.
+        """
+        seen = set()
+        kept: List[Diagnostic] = []
+        for diagnostic in self.diagnostics:
+            key = (diagnostic.code, str(diagnostic.location)
+                   if diagnostic.location else "")
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append(diagnostic)
+        removed = len(self.diagnostics) - len(kept)
+        self.diagnostics = kept
+        return removed
+
+    def sorted(self) -> List[Diagnostic]:
+        """Diagnostics in a stable, pass-order-independent order."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (d.code, str(d.location) if d.location else "",
+                           -int(d.severity), d.message),
+        )
+
+    # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
 
@@ -185,9 +219,11 @@ class DiagnosticSet:
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, Any]:
+        # Machine-readable output is sorted so CI diffs are stable no
+        # matter which pass found what first.
         return {
             "system": self.system,
-            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "diagnostics": [d.to_dict() for d in self.sorted()],
             "counts": self.counts(),
             "clean": self.clean,
         }

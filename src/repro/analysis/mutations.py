@@ -31,8 +31,9 @@ from repro.protogen.procedures import FieldKind, Role
 from repro.protogen.refine import RefinedSpec, refine_system
 from repro.protogen.varproc import VariableProcess
 from repro.spec.behavior import Behavior
-from repro.spec.stmt import Nop
-from repro.spec.types import BitType
+from repro.spec.expr import BinOp, Const, Ref
+from repro.spec.stmt import Assign, If, Nop, While
+from repro.spec.types import BitType, IntType
 from repro.spec.variable import Variable
 
 
@@ -275,6 +276,96 @@ def _uncalled_procedure() -> MutatedDesign:
     return MutatedDesign(spec)
 
 
+# ----------------------------------------------------------------------
+# Value-flow mutations (P5xx, abstract interpretation)
+# ----------------------------------------------------------------------
+
+def _original_vars(spec: RefinedSpec):
+    return {v.name: v for v in spec.original.variables}
+
+
+def _behavior(spec: RefinedSpec, name: str) -> Behavior:
+    return next(b for b in spec.behaviors if b.name == name)
+
+
+def _const_overflow() -> MutatedDesign:
+    # 70000 is disjoint from int16's [-32768, 32767]: a *proven*
+    # overflow, not a declared-width mismatch.
+    spec = build_target()
+    ctrl_out = _original_vars(spec)["ctrl_out"]
+    old = _behavior(spec, "CONVERT_CTRL")
+    _swap_behavior(spec, Behavior(
+        old.name,
+        list(old.body) + [Assign(ctrl_out, Const(70000))],
+        local_variables=list(old.local_variables)))
+    return MutatedDesign(spec)
+
+
+def _false_guard() -> MutatedDesign:
+    # 0 > 1 is constant-false, so the then-arm is provably dead.
+    spec = build_target()
+    crisp_out = _original_vars(spec)["crisp_out"]
+    old = _behavior(spec, "CENTROID")
+    _swap_behavior(spec, Behavior(
+        old.name,
+        [If(BinOp(">", Const(0), Const(1)),
+            [Assign(crisp_out, Const(1))], [])] + list(old.body),
+        local_variables=list(old.local_variables)))
+    return MutatedDesign(spec)
+
+
+def _while_never_runs() -> MutatedDesign:
+    # flag is 0 and never written, so the loop guard is constant-false.
+    spec = build_target()
+    ctrl_out = _original_vars(spec)["ctrl_out"]
+    flag = Variable("flag", IntType(16), init=0)
+    old = _behavior(spec, "CONVERT_CTRL")
+    _swap_behavior(spec, Behavior(
+        old.name,
+        list(old.body) + [While(BinOp("/=", Ref(flag), Const(0)),
+                                [Assign(ctrl_out, Const(1))])],
+        local_variables=list(old.local_variables) + [flag]))
+    return MutatedDesign(spec)
+
+
+def _unbounded_send_loop() -> MutatedDesign:
+    # spin stays 1 forever, so the rewritten accessor body -- channel
+    # sends included -- repeats without any provable trip bound.
+    spec = build_target()
+    spin = Variable("spin", IntType(16), init=1)
+    old = _behavior(spec, "EVAL_R3")
+    _swap_behavior(spec, Behavior(
+        old.name,
+        [While(BinOp("/=", Ref(spin), Const(0)), list(old.body))],
+        local_variables=list(old.local_variables) + [spin]))
+    return MutatedDesign(spec)
+
+
+def _div_by_zero() -> MutatedDesign:
+    # den2 is exactly [0, 0]: a certain division by zero.
+    spec = build_target()
+    crisp_out = _original_vars(spec)["crisp_out"]
+    num2 = Variable("num2", IntType(16), init=5)
+    den2 = Variable("den2", IntType(16), init=0)
+    old = _behavior(spec, "CENTROID")
+    _swap_behavior(spec, Behavior(
+        old.name,
+        [Assign(crisp_out, BinOp("/", Ref(num2), Ref(den2)))]
+        + list(old.body),
+        local_variables=list(old.local_variables) + [num2, den2]))
+    return MutatedDesign(spec)
+
+
+def _infeasible_width() -> MutatedDesign:
+    # A 1-line bus moves 0.5 bits/clock; the proven lower demand bound
+    # of the FLC accessors already exceeds that, so Equation 1 is
+    # violated on *every* execution.
+    spec = build_target()
+    bus = _first_bus(spec)
+    bus.structure = _patch(bus.structure, width=1)
+    return MutatedDesign(spec)
+
+
 CORPUS: List[SeededDefect] = [
     SeededDefect(
         "server_never_done", "P101",
@@ -357,4 +448,30 @@ CORPUS: List[SeededDefect] = [
         "the accessor behavior is emptied so the generated procedure "
         "is never called",
         _uncalled_procedure),
+    SeededDefect(
+        "const_overflow", "P501",
+        "a 16-bit signed output is assigned the constant 70000",
+        _const_overflow),
+    SeededDefect(
+        "false_guard", "P502",
+        "an if-arm guarded by the constant-false comparison 0 > 1",
+        _false_guard),
+    SeededDefect(
+        "while_never_runs", "P502",
+        "a while loop whose guard tests a flag proven to stay zero",
+        _while_never_runs),
+    SeededDefect(
+        "unbounded_send_loop", "P503",
+        "the channel-sending accessor body is wrapped in a loop with "
+        "no provable trip bound",
+        _unbounded_send_loop),
+    SeededDefect(
+        "div_by_zero", "P504",
+        "a division whose divisor is the constant zero",
+        _div_by_zero),
+    SeededDefect(
+        "infeasible_width", "P505",
+        "the bus is narrowed to one line, below the proven worst-case "
+        "channel demand",
+        _infeasible_width),
 ]

@@ -4,12 +4,20 @@
 :class:`~repro.protogen.refine.RefinedSpec` and returns the combined
 :class:`~repro.analysis.diagnostics.DiagnosticSet`.  Passes are pure
 readers: none of them simulates, and none of them mutates the spec.
+
+The abstract-interpretation pass runs first: its inferred value ranges
+feed the width pass (proven P301 truncation instead of declared-size
+pattern matching), and its trip bounds feed the P505 rate check.  After
+all passes, identical (code, location) findings are deduplicated --
+first report wins -- and JSON output is emitted in a stable sort order.
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
+from repro.analysis.absint.engine import analyze_refined_values
+from repro.analysis.absint.passes import check_value_flow
 from repro.analysis.contention import check_contention
 from repro.analysis.deadcode import check_dead_code
 from repro.analysis.deadlock import FsmTransform, check_handshakes
@@ -20,10 +28,12 @@ from repro.protogen.refine import RefinedSpec
 
 Pass = Callable[[RefinedSpec, DiagnosticSet], None]
 
-#: (name, pass) pairs in execution order.  Cheap arithmetic passes run
-#: before the product-automaton exploration so a broken structure is
-#: reported even when FSM synthesis itself would choke on it.
+#: (name, pass) pairs in execution order.  The value-flow pass leads so
+#: later passes can consume its analysis; the remaining cheap arithmetic
+#: passes run before the product-automaton exploration so a broken
+#: structure is reported even when FSM synthesis itself would choke.
 PASSES: List[Tuple[str, Pass]] = [
+    ("absint", check_value_flow),
     ("width", check_widths),
     ("contention", check_contention),
     ("deadcode", check_dead_code),
@@ -40,13 +50,28 @@ def analyze_refined(spec: RefinedSpec,
     corpus uses it to seed controller-level defects.
     """
     diagnostics = DiagnosticSet(system=spec.name)
+    analysis = None
     with obs_span("analysis.analyze_refined", system=spec.name) as sp:
         for name, check in PASSES:
             with obs_span(f"analysis.pass.{name}", system=spec.name):
-                if check is check_handshakes:
+                if check is check_value_flow:
+                    analysis = analyze_refined_values(spec)
+                    check_value_flow(spec, diagnostics, analysis)
+                elif check is check_widths:
+                    ranges = None
+                    if analysis is not None:
+                        ranges = {
+                            channel: finite
+                            for channel in analysis.sent_ranges
+                            if (finite := analysis.sent_range(channel))
+                            is not None
+                        }
+                    check_widths(spec, diagnostics, value_ranges=ranges)
+                elif check is check_handshakes:
                     check_handshakes(spec, diagnostics,
                                      fsm_transform=fsm_transform)
                 else:
                     check(spec, diagnostics)
-        sp.set(diagnostics=len(diagnostics))
+        deduped = diagnostics.dedupe()
+        sp.set(diagnostics=len(diagnostics), deduplicated=deduped)
     return diagnostics

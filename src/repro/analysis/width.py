@@ -22,6 +22,7 @@ structure:
 from __future__ import annotations
 
 import math
+from typing import Dict, Optional, Tuple
 
 from repro.analysis.diagnostics import (
     DiagnosticSet,
@@ -32,8 +33,15 @@ from repro.protogen.procedures import FieldKind, MessageLayout
 from repro.protogen.refine import RefinedBus, RefinedSpec
 from repro.spec.types import address_bits, clog2, data_bits
 
+ValueRanges = Dict[str, Tuple[int, int]]
 
-def check_widths(spec: RefinedSpec, diagnostics: DiagnosticSet) -> None:
+
+def check_widths(spec: RefinedSpec, diagnostics: DiagnosticSet,
+                 value_ranges: Optional[ValueRanges] = None) -> None:
+    """``value_ranges`` optionally maps channel names to statically
+    proven data-value intervals (from the abstract-interpretation
+    pass); with them, P301 truncation becomes a *proof* about the
+    values that actually flow rather than a declared-size comparison."""
     for bus in spec.buses:
         _check_id_capacity(bus, diagnostics)
         _check_protocol_width(bus, diagnostics)
@@ -41,29 +49,58 @@ def check_widths(spec: RefinedSpec, diagnostics: DiagnosticSet) -> None:
             layout = bus.procedures[channel.name].layout
             location = SourceLocation("channel", channel.name,
                                       detail=f"bus {bus.name}")
-            _check_field_widths(channel, layout, location, diagnostics)
+            _check_field_widths(channel, layout, location, diagnostics,
+                                (value_ranges or {}).get(channel.name))
             _check_slice_coverage(layout, bus.structure.width, location,
                                   diagnostics)
 
 
+def _bits_for_range(value_range: Tuple[int, int]) -> Optional[int]:
+    """Unsigned bits needed for a proven non-negative range."""
+    lo, hi = value_range
+    if lo < 0 or hi < lo:
+        return None
+    return max(1, int(hi).bit_length())
+
+
 def _check_field_widths(channel, layout: MessageLayout,
                         location: SourceLocation,
-                        diagnostics: DiagnosticSet) -> None:
+                        diagnostics: DiagnosticSet,
+                        value_range: Optional[Tuple[int, int]] = None,
+                        ) -> None:
     expected = {
         FieldKind.DATA: data_bits(channel.variable.dtype),
         FieldKind.ADDRESS: address_bits(channel.variable.dtype),
     }
+    proven = getattr(layout, "proven_range", None)
+    if proven is not None:
+        # The layout was deliberately tightened from a proven value
+        # range: the data field is correct iff it holds that range.
+        needed = _bits_for_range(proven)
+        if needed is not None:
+            expected[FieldKind.DATA] = needed
     for kind, want in expected.items():
         field = layout.field(kind)
         have = field.bits if field else 0
         if have == want:
             continue
         fate = "truncated" if have < want else "padded"
+        proof = ""
+        if kind is FieldKind.DATA and value_range is not None:
+            lo, hi = value_range
+            needed = _bits_for_range(value_range)
+            if needed is not None and have < needed:
+                proof = (f"; proven: values reach {hi}, needing "
+                         f"{needed} bit(s)")
+            elif needed is not None:
+                proof = (f"; note: proven values [{lo}, {hi}] fit "
+                         f"{have} bit(s), only the declared type "
+                         "overflows")
         diagnostics.add(
             "P301", Severity.ERROR,
             f"{kind} field carries {have} bit(s) but variable "
             f"{channel.variable.name} needs {want}: values are "
-            f"{fate} on the bus",
+            f"{fate} on the bus{proof}",
             location,
             hint="the message layout must be regenerated from the "
                  "variable's type",

@@ -48,6 +48,11 @@ class WidthEvaluation:
     #: for all so benches can plot the full landscape.
     cost: float
     rates: Dict[str, ChannelRates]
+    #: Statically proven worst-case demand (``--rates static`` mode);
+    #: ``None`` when static bounds were not computed or are unbounded.
+    demand_static: Optional[float] = None
+    #: Equation 1 under the proven demand; ``None`` outside static mode.
+    feasible_static: Optional[bool] = None
 
 
 @dataclass
@@ -63,6 +68,9 @@ class BusDesign:
     rates: Dict[str, ChannelRates]
     evaluations: List[WidthEvaluation] = field(default_factory=list)
     constraints: ConstraintSet = field(default_factory=ConstraintSet)
+    #: ``measured`` (simulation-calibrated estimator rates) or
+    #: ``static`` (abstract-interpretation proven upper bounds).
+    rate_mode: str = "measured"
 
     @property
     def feasible_widths(self) -> List[int]:
@@ -99,6 +107,7 @@ def generate_bus(group: ChannelGroup,
                  constraints: Optional[ConstraintSet] = None,
                  widths: Optional[Sequence[int]] = None,
                  estimator: Optional[PerformanceEstimator] = None,
+                 rates: str = "measured",
                  ) -> BusDesign:
     """Run the five-step bus generation algorithm on a channel group.
 
@@ -118,13 +127,27 @@ def generate_bus(group: ChannelGroup,
         algorithm or they can be specified by the system designer"
         (Section 4) -- passing a single-element sequence implements the
         designer-specified case.
+    rates:
+        ``"measured"`` (default) checks Equation 1 against the
+        estimator's channel rates.  ``"static"`` additionally requires
+        the *statically proven* worst-case demand (abstract
+        interpretation over the accessor behaviors) to fit the bus
+        rate: a width feasible under measured rates but not under the
+        proven bound is rejected, because its feasibility rests on
+        optimistic measurements the program text does not guarantee.
 
     Raises
     ------
     InfeasibleBusError
-        When no candidate width satisfies Equation 1.  Callers should
-        split the group (:func:`repro.busgen.split.split_group`).
+        When no candidate width satisfies Equation 1 (under the proven
+        bounds in static mode -- the message then reports the gap
+        between measured and proven demand).  Callers should split the
+        group (:func:`repro.busgen.split.split_group`).
     """
+    if rates not in ("measured", "static"):
+        raise BusGenError(
+            f"unknown rate mode {rates!r}; choose 'measured' or 'static'"
+        )
     if not protocol.shareable and len(group) > 1:
         raise BusGenError(
             f"protocol {protocol.name} is not shareable; group "
@@ -140,33 +163,68 @@ def generate_bus(group: ChannelGroup,
             f"candidate buswidths must be >= 1, got {candidate_widths}"
         )
 
+    static_model = None
+    if rates == "static":
+        # Imported lazily: repro.analysis.absint imports this module's
+        # downstream consumers during package init.
+        from repro.analysis.absint.rates import StaticRateModel
+        static_model = StaticRateModel(group, protocol, estimator)
+
     with obs_span("busgen.generate_bus", group=group.name,
-                  protocol=protocol.name,
+                  protocol=protocol.name, rate_mode=rates,
                   candidates=len(candidate_widths)) as sp:
         obs_count("busgen.widths_examined", len(candidate_widths))
         model = GroupRateModel(group, protocol, estimator)
         evaluations: List[WidthEvaluation] = []
         for width in candidate_widths:
-            rates = model.rates_at(width)                      # step 3
+            channel_rates = model.rates_at(width)              # step 3
             bus_rate = model.bus_rate_at(width)                # step 2
-            demand = sum(r.average_rate for r in rates.values())
+            demand = sum(r.average_rate for r in channel_rates.values())
             feasible = bus_rate >= demand                      # Equation 1
-            cost = constraints.cost(width, rates)              # step 4
+            cost = constraints.cost(width, channel_rates)      # step 4
+            demand_static = None
+            feasible_static = None
+            if static_model is not None:
+                demand_static = static_model.demand_bounds(width)[1]
+                feasible_static = bus_rate >= demand_static
             evaluations.append(WidthEvaluation(
                 width=width, bus_rate=bus_rate, demand=demand,
-                feasible=feasible, cost=cost, rates=rates,
+                feasible=feasible, cost=cost, rates=channel_rates,
+                demand_static=demand_static,
+                feasible_static=feasible_static,
             ))
 
-        feasible_evals = [e for e in evaluations if e.feasible]
+        if static_model is not None:
+            feasible_evals = [e for e in evaluations
+                              if e.feasible and e.feasible_static]
+        else:
+            feasible_evals = [e for e in evaluations if e.feasible]
         if not feasible_evals:
             widest = max(evaluations, key=lambda e: e.width)
-            raise InfeasibleBusError(
+            message = (
                 f"group {group.name}: no feasible buswidth in "
                 f"[{min(candidate_widths)}, {max(candidate_widths)}]; at "
                 f"width {widest.width} the bus rate {widest.bus_rate:g} is "
-                f"below the demand {widest.demand:g}. Split the group "
-                "across several buses (repro.busgen.split).",
-                demand=widest.demand,
+                f"below the demand {widest.demand:g}."
+            )
+            if static_model is not None \
+                    and widest.demand_static is not None:
+                gap = widest.demand_static - widest.demand
+                message = (
+                    f"group {group.name}: no buswidth in "
+                    f"[{min(candidate_widths)}, {max(candidate_widths)}] "
+                    "is feasible under the statically proven demand; at "
+                    f"width {widest.width} the proven bound is "
+                    f"{widest.demand_static:g} vs measured demand "
+                    f"{widest.demand:g} (bound gap {gap:g}) against bus "
+                    f"rate {widest.bus_rate:g}."
+                )
+            raise InfeasibleBusError(
+                message + " Split the group across several buses "
+                "(repro.busgen.split).",
+                demand=widest.demand_static
+                if static_model is not None
+                and widest.demand_static is not None else widest.demand,
                 best_rate=widest.bus_rate,
             )
 
@@ -186,4 +244,5 @@ def generate_bus(group: ChannelGroup,
         rates=selected.rates,
         evaluations=evaluations,
         constraints=constraints,
+        rate_mode=rates,
     )

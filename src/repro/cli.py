@@ -180,10 +180,33 @@ def _synth_flow(args: argparse.Namespace, sim_metrics, captured) -> int:
             widths: Optional[List[int]] = [args.width]
         else:
             widths = None
+        rate_mode = getattr(args, "rates", "measured")
         try:
-            design = generate_bus(group, protocol=protocol,
-                                  constraints=constraints, widths=widths)
+            if rate_mode == "static":
+                try:
+                    design = generate_bus(group, protocol=protocol,
+                                          constraints=constraints,
+                                          widths=widths, rates="static")
+                except InfeasibleBusError as error:
+                    # The proven bounds are too loose (or genuinely
+                    # infeasible): report the gap and retry measured.
+                    print(f"\nstatic rates: {error}")
+                    print("falling back to measured rates")
+                    design = generate_bus(group, protocol=protocol,
+                                          constraints=constraints,
+                                          widths=widths)
+            else:
+                design = generate_bus(group, protocol=protocol,
+                                      constraints=constraints,
+                                      widths=widths)
             print(f"\n{design.describe()}")
+            if design.rate_mode == "static":
+                chosen = next(e for e in design.evaluations
+                              if e.width == design.width)
+                print(f"  statically proven demand bound "
+                      f"{chosen.demand_static:g} <= bus rate "
+                      f"{chosen.bus_rate:g} (width {design.width} "
+                      "feasible for every execution)")
             plans.append(design)
         except InfeasibleBusError as error:
             print(f"\n{error}")
@@ -203,6 +226,35 @@ def _synth_flow(args: argparse.Namespace, sim_metrics, captured) -> int:
                 plans.extend(result.designs)
 
     refined = refine_system(system, plans)
+
+    if getattr(args, "tighten_fields", False):
+        from repro.analysis.absint import analyze_refined_values
+        from repro.protogen.procedures import FieldKind
+
+        analysis = analyze_refined_values(refined)
+        ranges = {name: bounds
+                  for name in analysis.sent_ranges
+                  if (bounds := analysis.sent_range(name)) is not None}
+        if ranges:
+            before = {
+                name: pair.layout.field(FieldKind.DATA).bits
+                for bus in refined.buses
+                for name, pair in bus.procedures.items()
+            }
+            refined = refine_system(system, plans, value_ranges=ranges)
+            for bus in refined.buses:
+                for name, pair in bus.procedures.items():
+                    field = pair.layout.field(FieldKind.DATA)
+                    if pair.layout.proven_range is None:
+                        continue
+                    lo, hi = pair.layout.proven_range
+                    print(f"tightened {name}: data field "
+                          f"{before[name]} -> {field.bits} bit(s) "
+                          f"(proven values [{lo}, {hi}])")
+        else:
+            print("tighten-fields: no finite value ranges proven; "
+                  "layouts unchanged")
+
     for bus in refined.buses:
         print(bus.structure.describe())
         area = estimate_bus_area(bus)
@@ -268,7 +320,20 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     plans = []
     for group in groups:
-        plans.append(generate_bus(group, protocol=protocol, widths=widths))
+        try:
+            plans.append(generate_bus(group, protocol=protocol,
+                                      widths=widths))
+        except InfeasibleBusError:
+            if widths is not None:
+                # A designer-specified width that violates Equation 1
+                # is the designer's problem to resolve; keep the error.
+                raise
+            # Lint the design the flow would actually build: an
+            # infeasible group is split across several buses, exactly
+            # as `synth` does (Section 3 step 5).
+            result = split_group(group, protocol=protocol)
+            print(f"note: {result.describe()}")
+            plans.extend(result.designs)
     refined = refine_system(system, plans)
 
     diagnostics = analyze_refined(refined)
@@ -458,6 +523,16 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--force", action="store_true",
                        help="with --width: refine at the designer "
                             "width even if Equation 1 is infeasible")
+    synth.add_argument("--rates", default="measured",
+                       choices=["measured", "static"],
+                       help="Equation-1 feasibility inputs: estimator "
+                            "rates (measured) or statically proven "
+                            "worst-case bounds (static); static falls "
+                            "back to measured with a bound-gap report "
+                            "when nothing is provably feasible")
+    synth.add_argument("--tighten-fields", action="store_true",
+                       help="re-refine with statically proven value "
+                            "ranges to narrow message data fields")
     synth.add_argument("--simulate", action="store_true",
                        help="simulate the refined spec and check "
                             "oracle values")

@@ -119,8 +119,9 @@ class AnalysisError(ReproError):
 
 #: Registry of every diagnostic code the static analyzer may emit.
 #: Families: P1xx handshake deadlock/livelock, P2xx bus contention,
-#: P3xx width/capacity, P4xx dead code.  Codes are stable: once
-#: published they are never renumbered or reused.
+#: P3xx width/capacity, P4xx dead code, P5xx value-flow (abstract
+#: interpretation).  Codes are stable: once published they are never
+#: renumbered or reused.
 DIAGNOSTIC_CODES: Dict[str, str] = {
     "P101": "handshake deadlock: sender/receiver product automaton "
             "reaches a state with no enabled transition",
@@ -149,6 +150,17 @@ DIAGNOSTIC_CODES: Dict[str, str] = {
             "served by no variable process",
     "P403": "constant bus data line: driven by no word of any channel",
     "P404": "generated procedure never called by the refined behaviors",
+    "P501": "proven range overflow: an expression's inferred value "
+            "interval cannot fit the assignment target's declared type",
+    "P502": "statically unsatisfiable guard: a branch or loop condition "
+            "is proven constant, leaving a dead body or dead else arm",
+    "P503": "unbounded loop feeding a channel: no finite trip-count "
+            "bound could be proven for a loop performing bus transfers",
+    "P504": "division or mod by zero: the divisor's inferred value "
+            "interval contains zero",
+    "P505": "statically proven rate-bound violation: the proven minimum "
+            "channel demand exceeds the bus data rate (Equation 1 "
+            "cannot hold)",
 }
 
 

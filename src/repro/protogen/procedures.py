@@ -141,10 +141,18 @@ class WordSpec:
 
 
 class MessageLayout:
-    """Field layout and word slicing of one channel's messages."""
+    """Field layout and word slicing of one channel's messages.
 
-    def __init__(self, channel: Channel):
+    ``data_bits`` overrides the declared data width when static analysis
+    proved a tighter value range; ``proven_range`` records the interval
+    justifying the override so the width checker can verify the field is
+    still wide enough *for the values that actually flow* (proven P301
+    instead of declared-size pattern matching)."""
+
+    def __init__(self, channel: Channel, data_bits: Optional[int] = None,
+                 proven_range: Optional[Tuple[int, int]] = None):
         self.channel = channel
+        self.proven_range = proven_range
         fields: List[MessageField] = []
         offset = 0
         if channel.address_bits:
@@ -160,7 +168,7 @@ class MessageLayout:
         data_driver = Role.ACCESSOR if channel.is_write else Role.SERVER
         fields.append(MessageField(
             kind=FieldKind.DATA,
-            bits=channel.data_bits,
+            bits=channel.data_bits if data_bits is None else data_bits,
             offset=offset,
             driver=data_driver,
         ))
@@ -316,9 +324,40 @@ class ChannelProcedures:
     server: CommProcedure
 
 
-def make_procedures(channel: Channel, protocol: Protocol) -> ChannelProcedures:
-    """Generate the procedure pair for one channel (step 3)."""
-    layout = MessageLayout(channel)
+def _tightened_data_bits(channel: Channel,
+                         value_range: Optional[Tuple[int, int]],
+                         ) -> Optional[int]:
+    """Data-field width justified by a proven value range, or ``None``.
+
+    Only proven *non-negative* ranges tighten the field (negative values
+    need the full two's-complement width), and only when they actually
+    save bits.  The tightened field still round-trips through the type's
+    decode: an unsigned value below ``2**bits`` keeps its sign bit clear.
+    """
+    if value_range is None:
+        return None
+    lo, hi = value_range
+    if lo < 0 or hi < lo:
+        return None
+    needed = max(1, int(hi).bit_length())
+    if needed >= channel.data_bits:
+        return None
+    return needed
+
+
+def make_procedures(channel: Channel, protocol: Protocol,
+                    value_range: Optional[Tuple[int, int]] = None,
+                    ) -> ChannelProcedures:
+    """Generate the procedure pair for one channel (step 3).
+
+    ``value_range`` is an optional statically proven ``(lo, hi)`` bound
+    on the data values crossing the channel; when it allows a narrower
+    data field than the declared type, the message layout is tightened
+    and carries the proof (``layout.proven_range``)."""
+    tightened = _tightened_data_bits(channel, value_range)
+    layout = MessageLayout(channel, data_bits=tightened,
+                           proven_range=value_range
+                           if tightened is not None else None)
     suffix = channel.name.upper()
     if channel.is_write:
         accessor_name, server_name = f"Send{suffix}", f"Receive{suffix}"

@@ -319,6 +319,8 @@ def generate_protocol(system: SystemSpec, group: ChannelGroup, width: int,
                       bus_name: Optional[str] = None,
                       design: Optional[BusDesign] = None,
                       behaviors: Optional[Sequence[Behavior]] = None,
+                      value_ranges: Optional[Dict[str, Tuple[int, int]]]
+                      = None,
                       ) -> RefinedSpec:
     """Run protocol generation (steps 1-5) for one channel group.
 
@@ -340,6 +342,10 @@ def generate_protocol(system: SystemSpec, group: ChannelGroup, width: int,
     behaviors:
         Current behavior bodies (used when chaining multi-bus
         refinement); defaults to the system's behaviors.
+    value_ranges:
+        Optional statically proven data-value ranges per channel name
+        (from :func:`repro.analysis.absint.analyze_refined_values`);
+        proven ranges tighten the message data fields.
     """
     base_behaviors = list(behaviors) if behaviors is not None \
         else list(system.behaviors)
@@ -363,10 +369,15 @@ def generate_protocol(system: SystemSpec, group: ChannelGroup, width: int,
         structure = make_structure(bus_label, group, width, protocol,
                                    ids=ids)
         procedures = {
-            channel.name: make_procedures(channel, protocol)
+            channel.name: make_procedures(
+                channel, protocol,
+                value_range=(value_ranges or {}).get(channel.name))
             for channel in group
         }
-        sp.set(pins=structure.total_pins)
+        sp.set(pins=structure.total_pins,
+               tightened=sum(
+                   1 for pair in procedures.values()
+                   if pair.layout.proven_range is not None))
 
     # Step 4: rewrite every accessor behavior.
     with obs_span("protogen.step4_update_variable_references",
@@ -404,11 +415,15 @@ BusPlan = Union[BusDesign, Tuple[ChannelGroup, int], Tuple[ChannelGroup, int, Pr
 
 
 def refine_system(system: SystemSpec, plans: Sequence[BusPlan],
-                  protocol: Protocol = FULL_HANDSHAKE) -> RefinedSpec:
+                  protocol: Protocol = FULL_HANDSHAKE,
+                  value_ranges: Optional[Dict[str, Tuple[int, int]]] = None,
+                  ) -> RefinedSpec:
     """Refine a system with one or more buses.
 
     Each plan is a :class:`BusDesign` (group, width and protocol come
     from bus generation) or a ``(group, width[, protocol])`` tuple.
+    ``value_ranges`` optionally maps channel names to proven data-value
+    ranges, tightening message fields (see :func:`generate_protocol`).
     """
     if not plans:
         raise RefinementError("refine_system needs at least one bus plan")
@@ -418,13 +433,15 @@ def refine_system(system: SystemSpec, plans: Sequence[BusPlan],
     with obs_span("protogen.refine_system", system=system.name,
                   buses=len(plans)):
         return _refine_system_buses(system, plans, protocol, behaviors,
-                                    buses, rewritten_names)
+                                    buses, rewritten_names, value_ranges)
 
 
 def _refine_system_buses(system: SystemSpec, plans: Sequence[BusPlan],
                          protocol: Protocol, behaviors: List[Behavior],
                          buses: List[RefinedBus],
-                         rewritten_names: List[str]) -> RefinedSpec:
+                         rewritten_names: List[str],
+                         value_ranges: Optional[Dict[str, Tuple[int, int]]]
+                         = None) -> RefinedSpec:
     for plan in plans:
         if isinstance(plan, BusDesign):
             group, width, proto, design = (plan.group, plan.width,
@@ -436,6 +453,7 @@ def _refine_system_buses(system: SystemSpec, plans: Sequence[BusPlan],
         partial = generate_protocol(
             system, group, width, proto,
             design=design, behaviors=behaviors,
+            value_ranges=value_ranges,
         )
         behaviors = partial.behaviors
         buses.extend(partial.buses)

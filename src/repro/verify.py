@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from repro.estimate.perf import PerformanceEstimator
+from repro.estimate.perf import PerformanceEstimator, transfer_clocks
 from repro.protogen.refine import RefinedSpec
 from repro.sim.runtime import SimResult, Stage, simulate
 from repro.spec.interp import InterpResult, run_reference
@@ -165,9 +165,17 @@ def _compare_clocks(spec: RefinedSpec, refined: SimResult,
         comp = estimator.comp_clocks(behavior, all_channels)
         comm = 0
         for bus in spec.buses:
-            comm += estimator.comm_clocks(
-                behavior, bus.group.channels, bus.structure.width,
-                bus.structure.protocol)
+            for channel in bus.group:
+                if channel.accessor is not behavior:
+                    continue
+                # Estimate the design *as built*: a tightened message
+                # layout (--tighten-fields) moves fewer bits than the
+                # channel's declared message size.
+                pair = bus.procedures.get(channel.name)
+                bits = (pair.layout.total_bits if pair is not None
+                        else channel.message_bits)
+                comm += channel.accesses * transfer_clocks(
+                    bits, bus.structure.width, bus.structure.protocol)
         estimated = comp + comm
         measured = refined.clocks.get(behavior.name)
         if measured is not None and measured != estimated:

@@ -1,0 +1,143 @@
+"""Static channel-rate bounds: exactness, soundness vs. the simulator,
+``--rates static`` bus generation, and proven field tightening."""
+
+import pytest
+
+from repro.analysis.absint import (
+    StaticRateModel,
+    analyze_refined_values,
+    refined_channel_bounds,
+)
+from repro.analysis.diagnostics import (
+    DiagnosticSet,
+    Severity,
+    SourceLocation,
+)
+from repro.apps.answering_machine import build_answering_machine
+from repro.apps.ethernet import build_ethernet
+from repro.apps.flc import build_flc, reference_ctrl_output
+from repro.busgen.algorithm import generate_bus
+from repro.errors import InfeasibleBusError
+from repro.protogen.procedures import FieldKind
+from repro.protogen.refine import refine_system
+from repro.sim.analysis import analyze_bus
+from repro.sim.runtime import simulate
+
+SYSTEMS = ["flc", "answering-machine", "ethernet"]
+
+
+def _build_refined(name):
+    if name == "flc":
+        model = build_flc()
+        group = model.bus_b
+    elif name == "answering-machine":
+        model = build_answering_machine()
+        group = model.bus
+    else:
+        model = build_ethernet()
+        group = model.bus
+    design = generate_bus(group)
+    refined = refine_system(model.system, [design])
+    return refined, model.schedule
+
+
+def test_flc_bounds_are_exact():
+    refined, _ = _build_refined("flc")
+    analysis = analyze_refined_values(refined)
+    bounds = refined_channel_bounds(refined, analysis)
+    for name in ("ch1", "ch2"):
+        assert (bounds[name].accesses_lo,
+                bounds[name].accesses_hi) == (128, 128), name
+
+
+@pytest.mark.parametrize("name", SYSTEMS)
+def test_static_bounds_are_sound_against_the_simulator(name):
+    """Soundness gate: simulated transaction counts and bit volumes
+    must fall inside the statically proven bounds on every system."""
+    refined, schedule = _build_refined(name)
+    analysis = analyze_refined_values(refined)
+    bounds = refined_channel_bounds(refined, analysis)
+    result = simulate(refined, schedule=schedule)
+    checked = 0
+    for transactions in result.transactions.values():
+        stats = analyze_bus(transactions)
+        for channel_name, channel_stats in stats.per_channel.items():
+            bound = bounds[channel_name]
+            assert bound.contains_accesses(channel_stats.count), (
+                f"{name}/{channel_name}: simulated "
+                f"{channel_stats.count} accesses outside {bound}")
+            assert bound.contains_bits(
+                channel_stats.count * bound.message_bits), (
+                f"{name}/{channel_name}: bit volume outside {bound}")
+            checked += 1
+    assert checked > 0
+
+
+@pytest.mark.parametrize("name", SYSTEMS)
+def test_every_system_is_provably_feasible_at_its_chosen_width(name):
+    refined, _ = _build_refined(name)
+    for bus in refined.buses:
+        model = StaticRateModel(bus.group, bus.structure.protocol)
+        assert model.is_provably_feasible(bus.structure.width), bus.name
+
+
+def test_static_busgen_selects_the_measured_width_on_flc():
+    """The FLC accessors are loop-bound-exact, so the proven demand
+    equals the measured demand and static mode picks the same width
+    (the paper's Figure 7 result)."""
+    model = build_flc()
+    measured = generate_bus(model.bus_b)
+    static = generate_bus(model.bus_b, rates="static")
+    assert static.rate_mode == "static"
+    assert static.width == measured.width
+    chosen = next(e for e in static.evaluations
+                  if e.width == static.width)
+    assert chosen.feasible_static
+    assert chosen.demand_static == pytest.approx(chosen.demand)
+
+
+def test_static_infeasible_width_reports_the_bound_gap():
+    model = build_flc()
+    with pytest.raises(InfeasibleBusError) as excinfo:
+        generate_bus(model.bus_b, widths=[1], rates="static")
+    assert "statically proven demand" in str(excinfo.value)
+
+
+def test_tightened_fields_still_simulate_correctly():
+    """Proven-range tightening (16 -> 8 data bits on the FLC) must not
+    change the computed control output."""
+    model = build_flc()
+    design = generate_bus(model.bus_b)
+    refined = refine_system(model.system, [design])
+    analysis = analyze_refined_values(refined)
+    ranges = {name: bounds
+              for name in analysis.sent_ranges
+              if (bounds := analysis.sent_range(name)) is not None}
+    assert ranges, "FLC channel values should have finite proven ranges"
+    tightened = refine_system(model.system, [design],
+                              value_ranges=ranges)
+    for bus in tightened.buses:
+        for name, pair in bus.procedures.items():
+            assert pair.layout.proven_range is not None, name
+            assert pair.layout.field(FieldKind.DATA).bits == 8, name
+    result = simulate(tightened, schedule=model.schedule)
+    assert result.final_values["ctrl_out"] == reference_ctrl_output(
+        250, 180)
+
+
+def test_diagnostics_dedupe_and_stable_json_order():
+    ds = DiagnosticSet(system="t")
+    loc = SourceLocation("channel", "ch1")
+    ds.add("P301", Severity.ERROR, "found by width pass", loc)
+    ds.add("P301", Severity.ERROR, "found again by value pass", loc)
+    ds.add("P101", Severity.ERROR, "other", SourceLocation("fsm", "X"))
+    assert ds.dedupe() == 1
+    assert len(ds.diagnostics) == 2
+    # Re-running is idempotent.
+    assert ds.dedupe() == 0
+    # JSON output is sorted by code regardless of emission order.
+    codes = [d["code"] for d in ds.to_dict()["diagnostics"]]
+    assert codes == sorted(codes) == ["P101", "P301"]
+    # The survivor of a duplicate pair is the *first* emission.
+    kept = [d for d in ds.diagnostics if d.code == "P301"]
+    assert kept[0].message == "found by width pass"

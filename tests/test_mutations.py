@@ -7,11 +7,25 @@ from repro.analysis.mutations import CORPUS, build_target
 from repro.errors import DIAGNOSTIC_CODES
 
 
+@pytest.fixture(scope="module")
+def corpus_results():
+    """Analysis of every mutated design, computed once per module.
+
+    Both the per-defect assertions and the drift test below walk the
+    full corpus; caching keeps the suite from re-refining and
+    re-analyzing ~25 FLC designs twice.
+    """
+    results = {}
+    for defect in CORPUS:
+        design = defect.build()
+        results[defect.name] = analyze_refined(
+            design.spec, fsm_transform=design.fsm_transform)
+    return results
+
+
 @pytest.mark.parametrize("defect", CORPUS, ids=lambda d: d.name)
-def test_seeded_defect_is_caught(defect):
-    design = defect.build()
-    ds = analyze_refined(design.spec,
-                         fsm_transform=design.fsm_transform)
+def test_seeded_defect_is_caught(defect, corpus_results):
+    ds = corpus_results[defect.name]
     assert defect.code in ds.codes(), (
         f"{defect.name}: expected {defect.code} "
         f"({defect.description}), got {sorted(set(ds.codes()))}\n"
@@ -27,6 +41,26 @@ def test_corpus_covers_every_registered_code():
     expected = set(DIAGNOSTIC_CODES)
     seeded = {defect.code for defect in CORPUS}
     assert seeded == expected
+
+
+def test_no_registry_drift(corpus_results):
+    """The corpus and the code registry must not drift apart.
+
+    Every registered diagnostic code is actually *emitted* by at least
+    one mutation (not merely claimed by a corpus entry), and every code
+    the analyzer emits is registered in ``repro.errors``.
+    """
+    emitted = set()
+    for ds in corpus_results.values():
+        emitted.update(ds.codes())
+    registered = set(DIAGNOSTIC_CODES)
+    never_emitted = registered - emitted
+    assert not never_emitted, (
+        f"registered codes no mutation triggers: {sorted(never_emitted)}")
+    unregistered = emitted - registered
+    assert not unregistered, (
+        f"emitted codes missing from DIAGNOSTIC_CODES: "
+        f"{sorted(unregistered)}")
 
 
 def test_corpus_has_at_least_ten_distinct_defects():

@@ -2,13 +2,26 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-examples absint-check profile bench bench-kernel bench-only reports examples verify-all clean
+.PHONY: install test coverage lint lint-examples absint-check profile bench bench-kernel bench-only reports examples verify-all clean
+
+#: Line-coverage floor (percent) for the simulator and protocol
+#: generator packages, enforced by `make coverage` and CI.
+COV_FAIL_UNDER ?= 85
 
 install:
 	pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+coverage:         ## coverage gate on repro.sim + repro.protogen
+	@$(PYTHON) -c "import pytest_cov" 2>/dev/null || \
+		{ echo "pytest-cov is not installed; pip install -e .[dev]"; \
+		  exit 1; }
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/ \
+		--cov=repro.sim --cov=repro.protogen \
+		--cov-report=term-missing \
+		--cov-fail-under=$(COV_FAIL_UNDER)
 
 lint:             ## static protocol analysis on the built-in systems
 	PYTHONPATH=src $(PYTHON) -m repro.cli lint flc

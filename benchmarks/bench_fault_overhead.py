@@ -1,0 +1,153 @@
+"""Fault-tolerance overhead: protection modes and injector hooks.
+
+The protection layer's cost claims, measured on the FLC system
+(256 messages over bus B) and recorded as a table:
+
+* **zero-cost when disabled**: an unprotected run with no fault plan
+  and one with an *empty* plan attach no hooks and take the same
+  simulated clocks; parity protection fits the existing message word,
+  so even the parity run finishes on the identical end clock.
+* **protection overhead**: crc8 widens the message by one word; the
+  table records clocks and wall time for none/parity/crc8 so the cost
+  of each mode is a committed, diffable number.
+* **recovery overhead**: a single injected fault costs one bounded
+  retry, not a schedule-wide slowdown.
+
+Writes ``benchmarks/reports/fault_overhead.txt`` and
+``BENCH_fault_overhead.json``.
+"""
+
+import time
+
+from benchmarks._report import format_table, write_json_report, write_report
+from repro.apps.flc import build_flc, reference_ctrl_output
+from repro.busgen.algorithm import generate_bus
+from repro.protogen.refine import refine_system
+from repro.sim.faults import Fault, FaultKind, FaultPlan
+from repro.sim.runtime import simulate
+
+#: Protection modes swept by the overhead table.
+MODES = (None, "parity", "crc8")
+REPEATS = 3
+
+
+def _run_flc(protection=None, faults=None):
+    model = build_flc(250, 180)
+    design = generate_bus(model.bus_b)
+    refined = refine_system(model.system, [design],
+                            protection=protection)
+    if faults is not None:
+        faults.reset()
+    started = time.perf_counter()
+    result = simulate(refined, schedule=model.schedule, faults=faults)
+    wall = time.perf_counter() - started
+    assert result.final_values["ctrl_out"] == reference_ctrl_output(
+        250, 180)
+    retries = sum(t.retries for t in result.transactions["B"])
+    return wall, result, retries
+
+
+def _best_of(protection=None, fault_plan_factory=None):
+    best = None
+    for _ in range(REPEATS):
+        faults = (fault_plan_factory()
+                  if fault_plan_factory is not None else None)
+        row = _run_flc(protection, faults)
+        if best is None or row[0] < best[0]:
+            best = row
+    return best
+
+
+def _single_flip_plan():
+    return FaultPlan([Fault(kind=FaultKind.BIT_FLIP, bus="B",
+                            flip_mask=0b100, transaction=3, word=0)])
+
+
+_SECTIONS = {}
+
+
+def test_protection_mode_overhead_table():
+    """Clocks and wall time for none/parity/crc8, fault-free."""
+    sweep = {}
+    for mode in MODES:
+        wall, result, retries = _best_of(mode)
+        assert retries == 0
+        sweep[mode or "none"] = {
+            "wall_seconds": round(wall, 4),
+            "sim_clocks": result.end_time,
+            "retries": retries,
+        }
+
+    base = sweep["none"]
+    # Parity rides in the existing message word: identical end clock.
+    assert sweep["parity"]["sim_clocks"] == base["sim_clocks"]
+    # CRC-8 pays one extra word per message, bounded at +10% clocks.
+    assert sweep["crc8"]["sim_clocks"] < base["sim_clocks"] * 1.10
+
+    rows = []
+    for mode in ("none", "parity", "crc8"):
+        entry = sweep[mode]
+        rows.append([mode, entry["sim_clocks"],
+                     round(entry["sim_clocks"] / base["sim_clocks"], 3),
+                     entry["wall_seconds"]])
+    lines = ["Fault-tolerance overhead: FLC, 256 messages, fault-free",
+             ""]
+    lines += format_table(
+        ["protection", "clocks", "vs none", "wall s"], rows)
+    _SECTIONS["protection_modes"] = sweep
+    _SECTIONS.setdefault("_lines", []).extend(lines + [""])
+
+
+def test_disabled_injection_is_free():
+    """No plan and an empty plan take identical simulated schedules."""
+    _, bare, _ = _best_of()
+    _, empty, _ = _best_of(fault_plan_factory=FaultPlan)
+    assert empty.end_time == bare.end_time
+    assert len(empty.fault_records) == 0
+    logs_bare = [(t.start_time, t.end_time, t.channel, t.data)
+                 for t in bare.transactions["B"]]
+    logs_empty = [(t.start_time, t.end_time, t.channel, t.data)
+                  for t in empty.transactions["B"]]
+    assert logs_bare == logs_empty
+    _SECTIONS["disabled_injection"] = {
+        "sim_clocks": bare.end_time,
+        "identical_logs": True,
+    }
+
+
+def test_single_fault_costs_one_retry():
+    """A single-word fault perturbs the tail, not the schedule."""
+    sweep = {}
+    for mode in ("parity", "crc8"):
+        _, clean, _ = _best_of(mode)
+        wall, faulty, retries = _best_of(mode, _single_flip_plan)
+        assert retries == 1
+        assert len(faulty.fault_records) == 1
+        extra = faulty.end_time - clean.end_time
+        assert 0 < extra < 100, (
+            f"{mode}: one retry should cost a few dozen clocks, "
+            f"measured {extra}"
+        )
+        sweep[mode] = {
+            "clean_clocks": clean.end_time,
+            "faulty_clocks": faulty.end_time,
+            "recovery_clocks": extra,
+            "retries": retries,
+            "wall_seconds": round(wall, 4),
+        }
+
+    rows = [[mode, sweep[mode]["clean_clocks"],
+             sweep[mode]["faulty_clocks"],
+             sweep[mode]["recovery_clocks"]]
+            for mode in ("parity", "crc8")]
+    lines = ["Recovery cost: one injected DATA-bit flip (txn 3)", ""]
+    lines += format_table(
+        ["protection", "clean clk", "faulty clk", "recovery clk"], rows)
+    _SECTIONS["single_fault_recovery"] = sweep
+    _SECTIONS.setdefault("_lines", []).extend(lines)
+
+
+def test_zz_write_reports():
+    lines = _SECTIONS.pop("_lines", [])
+    write_report("fault_overhead", lines)
+    write_json_report("fault_overhead", _SECTIONS)

@@ -24,7 +24,13 @@ from typing import Callable, List, Optional
 
 from repro.analysis.deadlock import FsmTransform
 from repro.busgen.algorithm import generate_bus
-from repro.protocols import FULL_HANDSHAKE, HARDWIRED, Protocol, get_protocol
+from repro.protocols import (
+    FULL_HANDSHAKE,
+    HARDWIRED,
+    Protocol,
+    ProtectionLike,
+    get_protocol,
+)
 from repro.protogen.fsm import FsmState, FsmTransition, ProtocolFsm
 from repro.protogen.idassign import IdAssignment
 from repro.protogen.procedures import FieldKind, Role
@@ -54,13 +60,15 @@ class SeededDefect:
     build: Callable[[], MutatedDesign]
 
 
-def build_target(protocol: Protocol = FULL_HANDSHAKE) -> RefinedSpec:
+def build_target(protocol: Protocol = FULL_HANDSHAKE,
+                 protection: ProtectionLike = None) -> RefinedSpec:
     """A fresh, defect-free FLC refinement to mutate."""
     from repro.apps.flc import build_flc
 
     model = build_flc()
     design = generate_bus(model.bus_b, protocol=protocol)
-    return refine_system(model.system, [design], protocol=protocol)
+    return refine_system(model.system, [design], protocol=protocol,
+                         protection=protection)
 
 
 # ----------------------------------------------------------------------
@@ -277,6 +285,57 @@ def _uncalled_procedure() -> MutatedDesign:
 
 
 # ----------------------------------------------------------------------
+# Protection mutations (P6xx, fault tolerance)
+# ----------------------------------------------------------------------
+
+def _protection_plan(spec: RefinedSpec):
+    plan = _first_bus(spec).structure.protection
+    assert plan is not None
+    return plan
+
+
+def _patch_plan(spec: RefinedSpec, **fields) -> None:
+    bus = _first_bus(spec)
+    bus.structure = _patch(bus.structure,
+                           protection=_patch(_protection_plan(spec),
+                                             **fields))
+
+
+def _check_field_ignored() -> MutatedDesign:
+    # The plan promises parity, but the layout carries no check field:
+    # the receiver has nothing to verify, so corruption sails through.
+    spec = build_target(protection="parity")
+    bus = _first_bus(spec)
+    for pair in bus.procedures.values():
+        layout = pair.layout
+        layout.fields = tuple(f for f in layout.fields
+                              if f.kind is not FieldKind.CHECK)
+    return MutatedDesign(spec)
+
+
+def _retry_never_decrements() -> MutatedDesign:
+    # A zero retry step leaves the budget untouched on every failure.
+    spec = build_target(protection="crc8")
+    _patch_plan(spec, retry_step=0)
+    return MutatedDesign(spec)
+
+
+def _nack_on_done() -> MutatedDesign:
+    # NACK wired onto DONE: the reject signal and the acknowledge are
+    # one physical wire.
+    spec = build_target(protection="parity")
+    _patch_plan(spec, nack_line="DONE")
+    return MutatedDesign(spec)
+
+
+def _zero_timeout() -> MutatedDesign:
+    # Every bounded wait expires on the spot.
+    spec = build_target(protection="crc8")
+    _patch_plan(spec, timeout_clocks=0)
+    return MutatedDesign(spec)
+
+
+# ----------------------------------------------------------------------
 # Value-flow mutations (P5xx, abstract interpretation)
 # ----------------------------------------------------------------------
 
@@ -474,4 +533,22 @@ CORPUS: List[SeededDefect] = [
         "the bus is narrowed to one line, below the proven worst-case "
         "channel demand",
         _infeasible_width),
+    SeededDefect(
+        "check_field_ignored", "P601",
+        "a parity-protected bus whose message layouts carry no check "
+        "field",
+        _check_field_ignored),
+    SeededDefect(
+        "retry_never_decrements", "P602",
+        "the protection plan's retry step is zeroed, so the retry "
+        "budget never shrinks",
+        _retry_never_decrements),
+    SeededDefect(
+        "nack_on_done", "P603",
+        "the NACK line is wired onto the DONE control line",
+        _nack_on_done),
+    SeededDefect(
+        "zero_timeout", "P604",
+        "the protection timeout constant is zeroed",
+        _zero_timeout),
 ]

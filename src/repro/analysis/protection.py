@@ -1,0 +1,94 @@
+"""Fault-tolerance (protection-plan) consistency checks (P6xx).
+
+A protected bus is only as good as the agreement between its three
+artifacts: the :class:`~repro.protocols.ProtectionPlan` policy, the
+message layouts carrying the check field, and the bus structure's wire
+inventory.  Constructors validate each piece locally; this pass
+re-checks the *assembled* refined spec, because the mutation corpus
+(and, in principle, hand-built specs) can disagree after the fact:
+
+* **P601** -- a protected channel's message layout carries no check
+  field, or one of the wrong width: corrupted words sail through
+  verification.
+* **P602** -- the plan's retry step is below 1: the retry budget never
+  shrinks, so a persistent fault retries forever instead of failing.
+* **P603** -- the NACK line shadows a protocol control line: the
+  server's reject signal and the protocol handshake fight over one
+  wire.
+* **P604** -- the timeout is below 1 clock: every wait expires
+  immediately and even a fault-free handshake is aborted.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import (
+    DiagnosticSet,
+    Severity,
+    SourceLocation,
+)
+from repro.protogen.procedures import FieldKind
+from repro.protogen.refine import RefinedSpec
+
+
+def check_protection(spec: RefinedSpec,
+                     diagnostics: DiagnosticSet) -> None:
+    for bus in spec.buses:
+        plan = bus.structure.protection
+        if plan is None:
+            continue
+        location = SourceLocation(
+            "bus", bus.name, detail=f"protection {plan.protection.name}")
+        if plan.retry_step < 1:
+            diagnostics.add(
+                "P602", Severity.ERROR,
+                f"protection retry step is {plan.retry_step}: the retry "
+                f"budget ({plan.max_retries}) never decreases, so a "
+                "persistent fault loops forever",
+                location,
+                hint="retry_step must be >= 1",
+            )
+        if plan.timeout_clocks < 1:
+            diagnostics.add(
+                "P604", Severity.ERROR,
+                f"protection timeout is {plan.timeout_clocks} clock(s): "
+                "every bounded wait expires immediately, aborting even "
+                "fault-free handshakes",
+                location,
+                hint="timeout_clocks must cover at least one handshake "
+                     "phase (>= 1)",
+            )
+        if plan.nack_line in bus.structure.protocol.control_lines:
+            diagnostics.add(
+                "P603", Severity.ERROR,
+                f"NACK line {plan.nack_line!r} shadows a "
+                f"{bus.structure.protocol.name} control line: the "
+                "reject signal and the handshake fight over one wire",
+                location,
+                hint="pick a NACK line name outside the protocol's "
+                     "control lines",
+            )
+        expected = plan.protection.check_bits
+        for channel_name, pair in bus.procedures.items():
+            check_field = pair.layout.field(FieldKind.CHECK)
+            if check_field is None:
+                diagnostics.add(
+                    "P601", Severity.ERROR,
+                    f"channel {channel_name} is on protected bus "
+                    f"{bus.name} but its message layout carries no "
+                    "check field: corruption is undetectable",
+                    SourceLocation("channel", channel_name,
+                                   detail=f"bus {bus.name}"),
+                    hint="regenerate procedures with the bus's "
+                         "protection plan",
+                )
+            elif check_field.bits != expected:
+                diagnostics.add(
+                    "P601", Severity.ERROR,
+                    f"channel {channel_name}: check field is "
+                    f"{check_field.bits} bit(s) but "
+                    f"{plan.protection.name} needs {expected}",
+                    SourceLocation("channel", channel_name,
+                                   detail=f"bus {bus.name}"),
+                    hint="layout and protection plan disagree; "
+                         "regenerate procedures",
+                )

@@ -22,6 +22,7 @@ from repro.analysis.contention import check_contention
 from repro.analysis.deadcode import check_dead_code
 from repro.analysis.deadlock import FsmTransform, check_handshakes
 from repro.analysis.diagnostics import DiagnosticSet
+from repro.analysis.protection import check_protection
 from repro.analysis.width import check_widths
 from repro.obs.tracer import span as obs_span
 from repro.protogen.refine import RefinedSpec
@@ -36,6 +37,7 @@ PASSES: List[Tuple[str, Pass]] = [
     ("absint", check_value_flow),
     ("width", check_widths),
     ("contention", check_contention),
+    ("protection", check_protection),
     ("deadcode", check_dead_code),
     ("handshake", check_handshakes),
 ]

@@ -31,7 +31,7 @@ from repro.busgen.constraints import (
     min_peak_rate,
 )
 from repro.busgen.split import split_group
-from repro.errors import InfeasibleBusError, ReproError
+from repro.errors import InfeasibleBusError, ReproError, SimulationError
 from repro.estimate.area import estimate_bus_area
 from repro.estimate.perf import PerformanceEstimator
 from repro.hdl.validate import validate_vhdl
@@ -150,7 +150,8 @@ def cmd_synth(args: argparse.Namespace) -> int:
         if "result" in captured:
             simulations.append(obs_report.sim_section(
                 args.system, captured["result"], sim_metrics))
-            sim_runs.append((args.system, captured["result"].transactions))
+            sim_runs.append((args.system, captured["result"].transactions,
+                             captured["result"].fault_records))
         _write_observability(args, tracer, simulations, sim_runs)
     return code
 
@@ -225,7 +226,13 @@ def _synth_flow(args: argparse.Namespace, sim_metrics, captured) -> int:
                 print(result.describe())
                 plans.extend(result.designs)
 
-    refined = refine_system(system, plans)
+    protection = getattr(args, "protection", "none")
+    if protection == "none":
+        protection = None
+    elif protection is not None:
+        print(f"protection: {protection} (check field + "
+              "NACK/timeout/retry)")
+    refined = refine_system(system, plans, protection=protection)
 
     if getattr(args, "tighten_fields", False):
         from repro.analysis.absint import analyze_refined_values
@@ -241,7 +248,8 @@ def _synth_flow(args: argparse.Namespace, sim_metrics, captured) -> int:
                 for bus in refined.buses
                 for name, pair in bus.procedures.items()
             }
-            refined = refine_system(system, plans, value_ranges=ranges)
+            refined = refine_system(system, plans, value_ranges=ranges,
+                                    protection=protection)
             for bus in refined.buses:
                 for name, pair in bus.procedures.items():
                     field = pair.layout.field(FieldKind.DATA)
@@ -262,12 +270,36 @@ def _synth_flow(args: argparse.Namespace, sim_metrics, captured) -> int:
               f"{area.total_gates} gate-equivalents")
 
     if args.simulate:
-        result = simulate(refined, schedule=schedule, metrics=sim_metrics)
+        sim_kwargs = {}
+        faults_path = getattr(args, "faults", None)
+        if faults_path:
+            from repro.sim.faults import FaultPlan
+            plan = FaultPlan.load(faults_path)
+            print(plan.describe())
+            sim_kwargs["faults"] = plan
+        timeout_clocks = getattr(args, "sim_timeout_clocks", None)
+        if timeout_clocks is not None:
+            if timeout_clocks < 1:
+                raise SimulationError(
+                    f"--sim-timeout-clocks must be >= 1, got "
+                    f"{timeout_clocks}")
+            sim_kwargs["max_clocks"] = timeout_clocks
+        result = simulate(refined, schedule=schedule, metrics=sim_metrics,
+                          **sim_kwargs)
         if captured is not None:
             captured["result"] = result
         print(f"\nsimulated {result.end_time} clocks; "
               f"{sum(len(t) for t in result.transactions.values())} "
               "bus transactions")
+        if result.fault_records:
+            retries = sum(t.retries
+                          for log in result.transactions.values()
+                          for t in log)
+            print(f"faults injected: {len(result.fault_records)}; "
+                  f"message retries: {retries}")
+            for record in result.fault_records:
+                print(f"  clock {record.clock}: {record.bus}."
+                      f"{record.line} {record.detail}")
         if oracle:
             ok = all(result.final_values[k] == v
                      for k, v in oracle.items())
@@ -533,6 +565,18 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--tighten-fields", action="store_true",
                        help="re-refine with statically proven value "
                             "ranges to narrow message data fields")
+    synth.add_argument("--protection", default="none",
+                       choices=["none", "parity", "crc8"],
+                       help="fault-tolerant protocol variant: add a "
+                            "check field plus NACK/timeout/retry to "
+                            "every full-handshake bus")
+    synth.add_argument("--faults", metavar="PLAN.json",
+                       help="inject wire faults from a JSON fault plan "
+                            "during --simulate")
+    synth.add_argument("--sim-timeout-clocks", type=int, metavar="N",
+                       help="abort --simulate with an error after N "
+                            "clocks instead of spinning (guards "
+                            "against faulty designs that hang)")
     synth.add_argument("--simulate", action="store_true",
                        help="simulate the refined spec and check "
                             "oracle values")

@@ -120,8 +120,8 @@ class AnalysisError(ReproError):
 #: Registry of every diagnostic code the static analyzer may emit.
 #: Families: P1xx handshake deadlock/livelock, P2xx bus contention,
 #: P3xx width/capacity, P4xx dead code, P5xx value-flow (abstract
-#: interpretation).  Codes are stable: once published they are never
-#: renumbered or reused.
+#: interpretation), P6xx fault-tolerance (protection plans).  Codes
+#: are stable: once published they are never renumbered or reused.
 DIAGNOSTIC_CODES: Dict[str, str] = {
     "P101": "handshake deadlock: sender/receiver product automaton "
             "reaches a state with no enabled transition",
@@ -161,6 +161,14 @@ DIAGNOSTIC_CODES: Dict[str, str] = {
     "P505": "statically proven rate-bound violation: the proven minimum "
             "channel demand exceeds the bus data rate (Equation 1 "
             "cannot hold)",
+    "P601": "protection check field missing or mis-sized: a protected "
+            "bus message layout does not carry the plan's check bits",
+    "P602": "retry budget never shrinks: the protection plan's retry "
+            "step is below 1, so a persistent fault loops forever",
+    "P603": "NACK line collision: the protection plan's NACK line "
+            "shadows a protocol control line of the same bus",
+    "P604": "timeout too short: the protection plan's timeout cannot "
+            "cover even a single handshake phase",
 }
 
 

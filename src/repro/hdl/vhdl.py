@@ -637,6 +637,14 @@ def emit_refined_spec(spec: RefinedSpec,
 
 def _emit_refined_spec(spec: RefinedSpec,
                        entity_name: Optional[str] = None) -> str:
+    for bus in spec.buses:
+        if getattr(bus.structure, "protection", None) is not None:
+            raise HdlError(
+                f"bus {bus.structure.name}: protected protocols "
+                f"({bus.structure.protection.protection.name} check field "
+                "+ NACK/retry) have no VHDL emitter yet; re-run without "
+                "--protection to emit HDL"
+            )
     w = SourceWriter()
     name = entity_name or spec.name
     w.line(f"-- Generated by repro.hdl.vhdl from refined spec {spec.name}")

@@ -22,6 +22,9 @@ from repro.obs.tracer import Tracer
 #: One simulated run for the chrome exporter: (run label, {bus name ->
 #: transaction list}).  Transactions only need ``start_time``,
 #: ``end_time``, ``channel``, ``initiator``, ``address`` and ``data``.
+#: A run may carry an optional third element: the fault records of the
+#: run (see :class:`repro.sim.faults.FaultRecord`), rendered as
+#: instant events.
 SimRun = Tuple[str, Mapping[str, Sequence[Any]]]
 
 
@@ -67,12 +70,30 @@ def to_chrome_trace(tracer: Tracer,
             "args": dict(tracer.counters),
         })
 
-    for run_index, (label, buses) in enumerate(sim_runs):
+    for run_index, run in enumerate(sim_runs):
+        label, buses = run[0], run[1]
+        fault_records = run[2] if len(run) > 2 else ()
         pid = 100 + run_index
         events.append({
             "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
             "args": {"name": f"simulation {label} (1 clock = 1 us)"},
         })
+        for record in fault_records:
+            kind = getattr(record.kind, "value", str(record.kind))
+            events.append({
+                "name": f"fault:{kind}",
+                "cat": "fault",
+                "ph": "I",
+                "ts": float(record.clock),
+                "pid": pid,
+                "tid": 0,
+                "s": "p",
+                "args": {
+                    "bus": record.bus,
+                    "line": record.line,
+                    "detail": record.detail,
+                },
+            })
         for tid, (bus_name, transactions) in enumerate(
                 sorted(buses.items()), start=1):
             events.append({
@@ -161,6 +182,10 @@ def to_prometheus(payload: Mapping[str, Any]) -> str:
             emit("bus_busy_clocks", bus["busy_clocks"], system=system,
                  bus=bus_name)
             emit("bus_utilization", float(bus["utilization"]),
+                 system=system, bus=bus_name)
+            emit("bus_retries_total", bus.get("retries"),
+                 system=system, bus=bus_name)
+            emit("bus_faults_injected_total", bus.get("faults_injected"),
                  system=system, bus=bus_name)
             for row in bus["latency_clocks"]["buckets"]:
                 emit("bus_latency_clocks_bucket", row["count"],

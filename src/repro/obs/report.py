@@ -66,6 +66,11 @@ def sim_section(system: str, result: Any,
             bus: bus_stats_dict(analyze_bus(log))
             for bus, log in sorted(result.transactions.items())
         },
+        "faults": {
+            "injected": len(getattr(result, "fault_records", []) or []),
+            "records": [record.to_dict() for record in
+                        getattr(result, "fault_records", []) or []],
+        },
         "live": metrics.to_dict() if metrics is not None else None,
     }
 

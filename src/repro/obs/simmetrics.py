@@ -178,12 +178,17 @@ class BusMetrics:
         self.per_channel: Dict[str, int] = {}
         self.reads = 0
         self.writes = 0
+        #: Message retransmissions on protected buses.
+        self.retries = 0
+        #: Faults the injector actually fired on this bus.
+        self.faults_injected = 0
 
     def on_transaction(self, transaction: Any, words: int,
                        busy_clocks: int) -> None:
         self.transactions += 1
         self.words += words
         self.busy_clocks += busy_clocks
+        self.retries += getattr(transaction, "retries", 0)
         self.latency.observe(transaction.clocks)
         channel = transaction.channel
         self.per_channel[channel] = self.per_channel.get(channel, 0) + 1
@@ -205,6 +210,8 @@ class BusMetrics:
             "utilization": self.utilization(end_clock),
             "reads": self.reads,
             "writes": self.writes,
+            "retries": self.retries,
+            "faults_injected": self.faults_injected,
             "per_channel": dict(sorted(self.per_channel.items())),
             "latency_clocks": self.latency.to_dict(),
         }

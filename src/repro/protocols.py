@@ -31,7 +31,7 @@ estimation, and the simulator need.  The structural/behavioral details
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from repro.errors import ProtocolError
 
@@ -175,3 +175,171 @@ def get_protocol(name: str) -> Protocol:
         raise ProtocolError(
             f"unknown protocol {name!r}; known protocols: {known}"
         ) from None
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerant protection variants
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Protection:
+    """An error-detecting code appended to every bus message.
+
+    The check value is computed over the message payload (ADDRESS and
+    DATA fields, low bits first) and carried in a CHECK field above
+    them.  The receiver recomputes it; a mismatch triggers the NACK /
+    retry loop of :class:`ProtectionPlan`.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports, the CLI and golden logs.
+    check_bits:
+        Width of the CHECK field the code adds to the message layout.
+    """
+
+    name: str
+    check_bits: int
+
+    def __post_init__(self) -> None:
+        if self.check_bits < 1:
+            raise ProtocolError(
+                f"protection {self.name}: check_bits must be >= 1 "
+                f"(got {self.check_bits})"
+            )
+
+    def compute(self, payload: int, payload_bits: int) -> int:
+        """Check value for ``payload`` (``payload_bits`` wide)."""
+        if payload < 0:
+            raise ProtocolError(
+                f"protection {self.name}: payload must be >= 0"
+            )
+        if self.name == "parity":
+            parity = 0
+            value = payload
+            while value:
+                parity ^= value & 1
+                value >>= 1
+            return parity
+        if self.name == "crc8":
+            crc = 0
+            for bit_index in range(payload_bits - 1, -1, -1):
+                bit = (payload >> bit_index) & 1
+                crc ^= bit << 7
+                crc <<= 1
+                if crc & 0x100:
+                    crc ^= 0x107        # x^8 + x^2 + x + 1 (poly 0x07)
+            return crc & 0xFF
+        raise ProtocolError(
+            f"protection {self.name}: no check function registered"
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Single even-parity bit over the message payload.
+PARITY = Protection(name="parity", check_bits=1)
+
+#: CRC-8 (polynomial 0x07, MSB first, init 0) over the message payload.
+CRC8 = Protection(name="crc8", check_bits=8)
+
+#: Protection modes keyed by CLI name; ``"none"`` maps to ``None``.
+PROTECTIONS: Dict[str, Optional[Protection]] = {
+    "none": None,
+    "parity": PARITY,
+    "crc8": CRC8,
+}
+
+
+def get_protection(name: str) -> Optional[Protection]:
+    """Look a protection mode up by name, with a helpful error."""
+    try:
+        return PROTECTIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(PROTECTIONS))
+        raise ProtocolError(
+            f"unknown protection {name!r}; known protections: {known}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ProtectionPlan:
+    """Policy for a protected (fault-tolerant) full handshake.
+
+    Combines an error-detecting code with the recovery loop the
+    generated procedures implement: if the accessor sees no handshake
+    progress within ``timeout_clocks``, or the receiver reports a check
+    mismatch on the ``nack_line``, the whole message is retransmitted,
+    up to ``max_retries`` attempts beyond the first.
+
+    Kept as plain data (not code) so static analysis can validate it
+    and the mutation corpus can corrupt it.
+    """
+
+    protection: Protection
+    timeout_clocks: int = 8
+    max_retries: int = 4
+    retry_step: int = 1
+    nack_line: str = "NACK"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.protection, Protection):
+            raise ProtocolError(
+                "ProtectionPlan needs a Protection instance "
+                f"(got {self.protection!r})"
+            )
+        if self.timeout_clocks < 1:
+            raise ProtocolError(
+                f"protection plan: timeout_clocks must be >= 1 "
+                f"(got {self.timeout_clocks}); a zero timeout would "
+                "abort every transfer before DONE can rise"
+            )
+        if self.max_retries < 1:
+            raise ProtocolError(
+                f"protection plan: max_retries must be >= 1 "
+                f"(got {self.max_retries})"
+            )
+        if self.retry_step < 1:
+            raise ProtocolError(
+                f"protection plan: retry_step must be >= 1 "
+                f"(got {self.retry_step}); the retry budget would "
+                "never shrink"
+            )
+        if not self.nack_line:
+            raise ProtocolError(
+                "protection plan: nack_line must be a non-empty name"
+            )
+
+    def __str__(self) -> str:
+        return (f"{self.protection.name} (timeout {self.timeout_clocks} "
+                f"clk, {self.max_retries} retries)")
+
+
+#: What callers may pass as a ``protection=`` argument.
+ProtectionLike = Union[None, str, Protection, ProtectionPlan]
+
+
+def as_protection_plan(
+        protection: ProtectionLike) -> Optional[ProtectionPlan]:
+    """Normalize a ``protection=`` argument to a plan (or ``None``).
+
+    Accepts ``None`` / ``"none"`` (unprotected), a mode name
+    (``"parity"``, ``"crc8"``), a :class:`Protection`, or a full
+    :class:`ProtectionPlan` with custom timeout/retry policy.
+    """
+    if protection is None:
+        return None
+    if isinstance(protection, ProtectionPlan):
+        return protection
+    if isinstance(protection, Protection):
+        return ProtectionPlan(protection=protection)
+    if isinstance(protection, str):
+        mode = get_protection(protection)
+        if mode is None:
+            return None
+        return ProtectionPlan(protection=mode)
+    raise ProtocolError(
+        f"cannot interpret {protection!r} as a protection mode; pass "
+        "None, a mode name, a Protection or a ProtectionPlan"
+    )

@@ -219,7 +219,8 @@ def synthesize_fsm(procedure: CommProcedure,
     id_guard = f'ID = "{id_bits}"' if id_bits else None
 
     if protocol.name == "full_handshake":
-        _synth_handshake(fsm, procedure, words, id_guard)
+        _synth_handshake(fsm, procedure, words, id_guard,
+                         protection=structure.protection)
     elif protocol.name == "burst_handshake":
         _synth_burst(fsm, procedure, words, id_guard)
     elif protocol.name in ("half_handshake", "fixed_delay", "hardwired"):
@@ -235,10 +236,22 @@ def synthesize_fsm(procedure: CommProcedure,
 
 def _synth_handshake(fsm: ProtocolFsm, procedure: CommProcedure,
                      words: List[WordSpec],
-                     id_guard: Optional[str]) -> None:
-    """Two states per word: assert+wait-ack, then deassert+wait-idle."""
+                     id_guard: Optional[str],
+                     protection=None) -> None:
+    """Two states per word: assert+wait-ack, then deassert+wait-idle.
+
+    With ``protection`` (a :class:`~repro.protocols.ProtectionPlan`)
+    the controller grows the NACK/retry discipline: a write accessor
+    samples the NACK line with the final acknowledge and loops back
+    through a RETRY state; a read accessor passes through a VERIFY
+    state whose check-field comparison nondeterministically accepts or
+    retransmits; a write server splits its final serve state into an
+    accept and a NACK variant.
+    """
     accessor = procedure.role is Role.ACCESSOR
     last = len(words) - 1
+    is_write = procedure.channel.is_write
+    nack = protection.nack_line if protection is not None else None
     if accessor:
         fsm.states.append(FsmState("IDLE", is_initial=True, is_final=True))
         fsm.transitions.append(FsmTransition("IDLE", "W0_REQ",
@@ -254,32 +267,77 @@ def _synth_handshake(fsm: ProtocolFsm, procedure: CommProcedure,
             ack_actions.append("START <= '0'")
             fsm.states.append(FsmState(f"W{k}_ACK",
                                        actions=tuple(ack_actions)))
-            fsm.transitions.append(FsmTransition(
-                f"W{k}_REQ", f"W{k}_ACK", guard="DONE = '1'"))
-            target = "IDLE" if k == last else f"W{k + 1}_REQ"
+            if nack is not None and is_write and k == last:
+                fsm.transitions.append(FsmTransition(
+                    f"W{k}_REQ", f"W{k}_ACK",
+                    guard=f"DONE = '1' and {nack} = '0'"))
+                fsm.transitions.append(FsmTransition(
+                    f"W{k}_REQ", "RETRY",
+                    guard=f"DONE = '1' and {nack} = '1'"))
+            else:
+                fsm.transitions.append(FsmTransition(
+                    f"W{k}_REQ", f"W{k}_ACK", guard="DONE = '1'"))
+            if k == last:
+                target = "VERIFY" if nack is not None and not is_write \
+                    else "IDLE"
+            else:
+                target = f"W{k + 1}_REQ"
             fsm.transitions.append(FsmTransition(
                 f"W{k}_ACK", target, guard="DONE = '0'"))
+        if nack is not None and is_write:
+            fsm.states.append(FsmState("RETRY", actions=("START <= '0'",)))
+            fsm.transitions.append(FsmTransition("RETRY", "W0_REQ",
+                                                 guard="DONE = '0'"))
+        if nack is not None and not is_write:
+            # The check-field comparison is internal, so the two exits
+            # are nondeterministic ticks at this abstraction level.
+            fsm.states.append(FsmState("VERIFY"))
+            fsm.transitions.append(FsmTransition("VERIFY", "IDLE"))
+            fsm.transitions.append(FsmTransition("VERIFY", "W0_REQ"))
     else:
         fsm.states.append(FsmState("WAIT", is_initial=True, is_final=True))
         guard = "START = '1'"
         if id_guard:
             guard += f" and {id_guard}"
-        fsm.transitions.append(FsmTransition("WAIT", "W0_SRV", guard=guard))
+        #: Transitions entering the next word's serve state(s).
+        entries = [("WAIT", guard)]
         for k, word in enumerate(words):
             serve_actions = _slice_actions(procedure, word, drive=False)
             serve_actions += _slice_actions(procedure, word, drive=True)
-            serve_actions.append("DONE <= '1'")
-            fsm.states.append(FsmState(f"W{k}_SRV",
-                                       actions=tuple(serve_actions)))
-            drop = FsmState(f"W{k}_DROP", actions=("DONE <= '0'",))
-            fsm.states.append(drop)
+            split = nack is not None and is_write and k == last
+            if split:
+                fsm.states.append(FsmState(
+                    f"W{k}_SRV",
+                    actions=tuple(serve_actions
+                                  + ["DONE <= '1'", f"{nack} <= '0'"])))
+                fsm.states.append(FsmState(
+                    f"W{k}_NAK",
+                    actions=tuple(serve_actions
+                                  + ["DONE <= '1'", f"{nack} <= '1'"])))
+            else:
+                fsm.states.append(FsmState(
+                    f"W{k}_SRV",
+                    actions=tuple(serve_actions + ["DONE <= '1'"])))
+            for source, entry_guard in entries:
+                fsm.transitions.append(FsmTransition(
+                    source, f"W{k}_SRV", guard=entry_guard))
+                if split:
+                    # Same guard both ways: accept vs NACK is decided
+                    # by the internal check comparison.
+                    fsm.transitions.append(FsmTransition(
+                        source, f"W{k}_NAK", guard=entry_guard))
+            drop_actions = ("DONE <= '0'", f"{nack} <= '0'") if split \
+                else ("DONE <= '0'",)
+            fsm.states.append(FsmState(f"W{k}_DROP", actions=drop_actions))
             fsm.transitions.append(FsmTransition(
                 f"W{k}_SRV", f"W{k}_DROP", guard="START = '0'"))
+            if split:
+                fsm.transitions.append(FsmTransition(
+                    f"W{k}_NAK", f"W{k}_DROP", guard="START = '0'"))
             if k == last:
                 fsm.transitions.append(FsmTransition(f"W{k}_DROP", "WAIT"))
             else:
-                fsm.transitions.append(FsmTransition(
-                    f"W{k}_DROP", f"W{k + 1}_SRV", guard=guard))
+                entries = [(f"W{k}_DROP", guard)]
 
 
 def _synth_strobed(fsm: ProtocolFsm, procedure: CommProcedure,

@@ -45,7 +45,7 @@ from typing import List, Optional, Tuple
 
 from repro.channels.channel import Channel
 from repro.errors import ProtocolError
-from repro.protocols import Protocol
+from repro.protocols import Protocol, ProtectionPlan
 
 
 class Role(enum.Enum):
@@ -65,6 +65,8 @@ class FieldKind(enum.Enum):
 
     ADDRESS = "addr"
     DATA = "data"
+    #: Error-detecting check value (parity / CRC) of a protected bus.
+    CHECK = "check"
 
     def __str__(self) -> str:
         return self.value
@@ -150,9 +152,11 @@ class MessageLayout:
     instead of declared-size pattern matching)."""
 
     def __init__(self, channel: Channel, data_bits: Optional[int] = None,
-                 proven_range: Optional[Tuple[int, int]] = None):
+                 proven_range: Optional[Tuple[int, int]] = None,
+                 protection: Optional[ProtectionPlan] = None):
         self.channel = channel
         self.proven_range = proven_range
+        self.protection = protection
         fields: List[MessageField] = []
         offset = 0
         if channel.address_bits:
@@ -172,6 +176,21 @@ class MessageLayout:
             offset=offset,
             driver=data_driver,
         ))
+        offset += fields[-1].bits
+        if protection is not None:
+            # The check rides above the payload, driven by whichever
+            # side drives the data: the data sender is the only side
+            # that knows the complete payload before the last word.
+            # (On reads the server latched the address during the first
+            # words, so it can fold it into the check; the accessor
+            # verifies against the address it *sent*, catching address
+            # corruption too.)
+            fields.append(MessageField(
+                kind=FieldKind.CHECK,
+                bits=protection.protection.check_bits,
+                offset=offset,
+                driver=data_driver,
+            ))
         self.fields: Tuple[MessageField, ...] = tuple(fields)
         self._words_cache: dict = {}
 
@@ -233,7 +252,10 @@ class MessageLayout:
     # ------------------------------------------------------------------
 
     def pack(self, address: Optional[int], data: int) -> int:
-        """Pack field values into a message integer."""
+        """Pack field values into a message integer.
+
+        On a protected layout the CHECK field is filled in
+        automatically from the packed payload."""
         message = 0
         for field in self.fields:
             if field.kind is FieldKind.ADDRESS:
@@ -243,14 +265,26 @@ class MessageLayout:
                         "address"
                     )
                 value = address
-            else:
+            elif field.kind is FieldKind.DATA:
                 value = data
+            else:
+                continue        # CHECK: computed below, over the payload
             mask = (1 << field.bits) - 1
             message |= (value & mask) << field.offset
+        check_field = self.field(FieldKind.CHECK)
+        if check_field is not None and check_field.driver is Role.ACCESSOR:
+            # Reads leave CHECK zero here: the field belongs to the
+            # server, which computes it over the latched address plus
+            # the returned data.
+            check = self.compute_check(message)
+            message |= check << check_field.offset
         return message
 
     def unpack(self, message: int) -> Tuple[Optional[int], int]:
-        """Inverse of :meth:`pack`: returns ``(address_or_None, data)``."""
+        """Inverse of :meth:`pack`: returns ``(address_or_None, data)``.
+
+        The CHECK field, if any, is *not* interpreted here; use
+        :meth:`check_ok` to validate it."""
         address: Optional[int] = None
         data = 0
         for field in self.fields:
@@ -258,9 +292,38 @@ class MessageLayout:
             value = (message >> field.offset) & mask
             if field.kind is FieldKind.ADDRESS:
                 address = value
-            else:
+            elif field.kind is FieldKind.DATA:
                 data = value
         return address, data
+
+    # ------------------------------------------------------------------
+    # Protection checks
+    # ------------------------------------------------------------------
+
+    @property
+    def payload_bits(self) -> int:
+        """Bits of the message below the CHECK field."""
+        return sum(f.bits for f in self.fields
+                   if f.kind is not FieldKind.CHECK)
+
+    def compute_check(self, message: int) -> int:
+        """Check value the payload portion of ``message`` should carry."""
+        if self.protection is None:
+            raise ProtocolError(
+                f"channel {self.channel.name}: layout has no protection"
+            )
+        payload_bits = self.payload_bits
+        payload = message & ((1 << payload_bits) - 1)
+        return self.protection.protection.compute(payload, payload_bits)
+
+    def check_ok(self, message: int) -> bool:
+        """True when the CHECK field matches the payload."""
+        check_field = self.field(FieldKind.CHECK)
+        if check_field is None:
+            return True
+        carried = (message >> check_field.offset) \
+            & ((1 << check_field.bits) - 1)
+        return carried == self.compute_check(message)
 
 
 @dataclass(frozen=True)
@@ -347,17 +410,21 @@ def _tightened_data_bits(channel: Channel,
 
 def make_procedures(channel: Channel, protocol: Protocol,
                     value_range: Optional[Tuple[int, int]] = None,
+                    protection: Optional[ProtectionPlan] = None,
                     ) -> ChannelProcedures:
     """Generate the procedure pair for one channel (step 3).
 
     ``value_range`` is an optional statically proven ``(lo, hi)`` bound
     on the data values crossing the channel; when it allows a narrower
     data field than the declared type, the message layout is tightened
-    and carries the proof (``layout.proven_range``)."""
+    and carries the proof (``layout.proven_range``).  ``protection``
+    appends a CHECK field to the layout (see
+    :class:`~repro.protocols.ProtectionPlan`)."""
     tightened = _tightened_data_bits(channel, value_range)
     layout = MessageLayout(channel, data_bits=tightened,
                            proven_range=value_range
-                           if tightened is not None else None)
+                           if tightened is not None else None,
+                           protection=protection)
     suffix = channel.name.upper()
     if channel.is_write:
         accessor_name, server_name = f"Send{suffix}", f"Receive{suffix}"

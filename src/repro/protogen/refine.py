@@ -35,7 +35,13 @@ from repro.busgen.algorithm import BusDesign
 from repro.channels.group import ChannelGroup
 from repro.errors import RefinementError
 from repro.obs.tracer import span as obs_span
-from repro.protocols import FULL_HANDSHAKE, Protocol
+from repro.protocols import (
+    FULL_HANDSHAKE,
+    Protocol,
+    ProtectionLike,
+    ProtectionPlan,
+    as_protection_plan,
+)
 from repro.protogen.idassign import assign_ids
 from repro.protogen.procedures import ChannelProcedures, make_procedures
 from repro.protogen.structure import BusStructure, make_structure
@@ -321,6 +327,7 @@ def generate_protocol(system: SystemSpec, group: ChannelGroup, width: int,
                       behaviors: Optional[Sequence[Behavior]] = None,
                       value_ranges: Optional[Dict[str, Tuple[int, int]]]
                       = None,
+                      protection: ProtectionLike = None,
                       ) -> RefinedSpec:
     """Run protocol generation (steps 1-5) for one channel group.
 
@@ -346,10 +353,18 @@ def generate_protocol(system: SystemSpec, group: ChannelGroup, width: int,
         Optional statically proven data-value ranges per channel name
         (from :func:`repro.analysis.absint.analyze_refined_values`);
         proven ranges tighten the message data fields.
+    protection:
+        Fault-tolerance policy for the bus: ``None`` (the paper's plain
+        protocol), a mode name (``"parity"``/``"crc8"``), a
+        :class:`~repro.protocols.Protection`, or a full
+        :class:`~repro.protocols.ProtectionPlan`.  Adds a check field
+        to every message and a NACK/timeout/retry discipline to the
+        generated procedures.
     """
     base_behaviors = list(behaviors) if behaviors is not None \
         else list(system.behaviors)
     bus_label = bus_name or group.name
+    plan = as_protection_plan(protection)
 
     # Step 1: protocol selection.  The choice is the caller's (or the
     # full-handshake default); the span records which discipline this
@@ -367,11 +382,12 @@ def generate_protocol(system: SystemSpec, group: ChannelGroup, width: int,
     with obs_span("protogen.step3_structure_and_procedures",
                   bus=bus_label, width=width) as sp:
         structure = make_structure(bus_label, group, width, protocol,
-                                   ids=ids)
+                                   ids=ids, protection=plan)
         procedures = {
             channel.name: make_procedures(
                 channel, protocol,
-                value_range=(value_ranges or {}).get(channel.name))
+                value_range=(value_ranges or {}).get(channel.name),
+                protection=plan)
             for channel in group
         }
         sp.set(pins=structure.total_pins,
@@ -417,6 +433,7 @@ BusPlan = Union[BusDesign, Tuple[ChannelGroup, int], Tuple[ChannelGroup, int, Pr
 def refine_system(system: SystemSpec, plans: Sequence[BusPlan],
                   protocol: Protocol = FULL_HANDSHAKE,
                   value_ranges: Optional[Dict[str, Tuple[int, int]]] = None,
+                  protection: ProtectionLike = None,
                   ) -> RefinedSpec:
     """Refine a system with one or more buses.
 
@@ -424,6 +441,7 @@ def refine_system(system: SystemSpec, plans: Sequence[BusPlan],
     from bus generation) or a ``(group, width[, protocol])`` tuple.
     ``value_ranges`` optionally maps channel names to proven data-value
     ranges, tightening message fields (see :func:`generate_protocol`).
+    ``protection`` applies one fault-tolerance policy to every bus.
     """
     if not plans:
         raise RefinementError("refine_system needs at least one bus plan")
@@ -433,7 +451,8 @@ def refine_system(system: SystemSpec, plans: Sequence[BusPlan],
     with obs_span("protogen.refine_system", system=system.name,
                   buses=len(plans)):
         return _refine_system_buses(system, plans, protocol, behaviors,
-                                    buses, rewritten_names, value_ranges)
+                                    buses, rewritten_names, value_ranges,
+                                    as_protection_plan(protection))
 
 
 def _refine_system_buses(system: SystemSpec, plans: Sequence[BusPlan],
@@ -441,7 +460,9 @@ def _refine_system_buses(system: SystemSpec, plans: Sequence[BusPlan],
                          buses: List[RefinedBus],
                          rewritten_names: List[str],
                          value_ranges: Optional[Dict[str, Tuple[int, int]]]
-                         = None) -> RefinedSpec:
+                         = None,
+                         protection: Optional[ProtectionPlan] = None,
+                         ) -> RefinedSpec:
     for plan in plans:
         if isinstance(plan, BusDesign):
             group, width, proto, design = (plan.group, plan.width,
@@ -454,6 +475,7 @@ def _refine_system_buses(system: SystemSpec, plans: Sequence[BusPlan],
             system, group, width, proto,
             design=design, behaviors=behaviors,
             value_ranges=value_ranges,
+            protection=protection,
         )
         behaviors = partial.behaviors
         buses.extend(partial.buses)

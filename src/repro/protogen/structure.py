@@ -25,7 +25,7 @@ from typing import List, Optional
 from repro.channels.group import ChannelGroup
 from repro.errors import ProtocolError
 from repro.protogen.idassign import IdAssignment, assign_ids
-from repro.protocols import Protocol
+from repro.protocols import Protocol, ProtectionPlan
 
 
 @dataclass(frozen=True)
@@ -37,6 +37,8 @@ class BusStructure:
     width: int
     protocol: Protocol
     ids: IdAssignment
+    #: Fault-tolerance policy; ``None`` keeps the paper's plain bus.
+    protection: Optional[ProtectionPlan] = None
 
     def __post_init__(self) -> None:
         if self.width < 1:
@@ -53,6 +55,20 @@ class BusStructure:
                 f"bus {self.name}: hardwired ports need the full message "
                 f"width ({self.group.max_message_bits} bits), got {self.width}"
             )
+        if self.protection is not None:
+            if self.protocol.name != "full_handshake":
+                raise ProtocolError(
+                    f"bus {self.name}: protection "
+                    f"({self.protection.protection.name}) requires the "
+                    f"full_handshake protocol; {self.protocol.name} has "
+                    "no per-word acknowledge to carry a NACK"
+                )
+            if self.protection.nack_line in self.protocol.control_lines:
+                raise ProtocolError(
+                    f"bus {self.name}: NACK line "
+                    f"{self.protection.nack_line!r} collides with a "
+                    "protocol control line"
+                )
 
     # ------------------------------------------------------------------
     # Wire inventory
@@ -70,7 +86,10 @@ class BusStructure:
 
     @property
     def control_lines(self) -> List[str]:
-        return list(self.protocol.control_lines)
+        lines = list(self.protocol.control_lines)
+        if self.protection is not None:
+            lines.append(self.protection.nack_line)
+        return lines
 
     @property
     def total_pins(self) -> int:
@@ -87,14 +106,19 @@ class BusStructure:
 
     def describe(self) -> str:
         controls = ", ".join(self.control_lines) or "none"
-        return (f"bus {self.name}: {self.width} data + {self.id_lines} id + "
+        text = (f"bus {self.name}: {self.width} data + {self.id_lines} id + "
                 f"{len(self.control_lines)} control ({controls}) = "
                 f"{self.total_pins} pins, protocol {self.protocol.name}")
+        if self.protection is not None:
+            text += f", protection {self.protection}"
+        return text
 
 
 def make_structure(name: str, group: ChannelGroup, width: int,
                    protocol: Protocol,
-                   ids: Optional[IdAssignment] = None) -> BusStructure:
+                   ids: Optional[IdAssignment] = None,
+                   protection: Optional[ProtectionPlan] = None,
+                   ) -> BusStructure:
     """Build the bus structure for a group at a selected width.
 
     ``ids`` accepts a precomputed assignment (protocol generation runs
@@ -104,4 +128,5 @@ def make_structure(name: str, group: ChannelGroup, width: int,
     return BusStructure(
         name=name, group=group, width=width, protocol=protocol,
         ids=ids if ids is not None else assign_ids(group),
+        protection=protection,
     )

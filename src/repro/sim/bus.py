@@ -55,6 +55,8 @@ class Transaction:
     #: Raw (encoded) data bits moved.
     data: int
     initiator: str
+    #: Retransmissions a protected transfer needed (0 when clean).
+    retries: int = 0
 
     @property
     def clocks(self) -> int:
@@ -111,13 +113,16 @@ class SimBus:
                  arbiter: Optional[Arbiter] = None, trace: bool = False,
                  metrics: Optional[object] = None):
         self.structure = structure
+        self.name = structure.name
         self.sim = sim
         self.arbiter = arbiter or ImmediateArbiter(sim)
         clock = lambda: sim.now  # noqa: E731 - tiny closure is clearest
+        # structure.control_lines appends the NACK wire on protected
+        # buses; the protocol's own lines come first either way.
         self.controls: Dict[str, Signal] = {
             name: Signal(f"{structure.name}.{name}", clock=clock,
                          trace=trace, width=1)
-            for name in structure.protocol.control_lines
+            for name in structure.control_lines
         }
         self.id_lines = Signal(f"{structure.name}.ID", clock=clock,
                                trace=trace,
@@ -136,6 +141,12 @@ class SimBus:
         self.busy_clocks = 0
         #: Optional :class:`repro.obs.BusMetrics`-shaped live collector.
         self.metrics = metrics
+        #: Optional :class:`repro.sim.faults.FaultInjector`; attached by
+        #: the runtime when a fault plan targets this bus.
+        self.injector = None
+        #: Fault-tolerance policy of the generated structure (None for
+        #: the paper's plain buses).
+        self.protection = structure.protection
 
     # ------------------------------------------------------------------
 
@@ -195,7 +206,13 @@ class SimBus:
         words = layout.words(self.width)
         start_time = self.sim.now
 
-        if self.uses_burst:
+        retries = 0
+        if self.injector is not None:
+            self.injector.begin_attempt(self.name)
+        if self.protection is not None:
+            received, retries = yield from self._accessor_protected(
+                procs, code, words, message)
+        elif self.uses_burst:
             received = yield from self._accessor_burst(
                 code, words, message)
         elif self.uses_handshake:
@@ -206,6 +223,7 @@ class SimBus:
                 code, words, message)
 
         message_clocks = self.structure.protocol.message_clocks(len(words))
+        message_clocks *= 1 + retries
         self.busy_clocks += message_clocks
 
         if channel.is_write:
@@ -221,6 +239,7 @@ class SimBus:
             start_time=start_time, end_time=self.sim.now,
             channel=channel.name, direction=channel.direction,
             address=address, data=logged_data or 0, initiator=initiator,
+            retries=retries,
         )
         self.transactions.append(transaction)
         if self.metrics is not None:
@@ -233,8 +252,11 @@ class SimBus:
         """Full handshake: 2 clocks per word (Figure 4's SendCHx body)."""
         start = self.controls["START"]
         done = self.controls["DONE"]
+        injector = self.injector
         received = 0
         for word in words:
+            if injector is not None:
+                injector.begin_word(self.name, word.index)
             value, mask = _word_parts(word, Role.ACCESSOR, message)
             self._clear_word()
             self.id_lines.set(code)
@@ -274,8 +296,11 @@ class SimBus:
                 f"(ID {code}); is the variable process running?"
             )
         # Stream phase: one word per clock.
+        injector = self.injector
         received = 0
         for word in words:
+            if injector is not None:
+                injector.begin_word(self.name, word.index)
             value, mask = _word_parts(word, Role.ACCESSOR, message)
             self._clear_word()
             self.data.drive("accessor", value, mask)
@@ -297,8 +322,11 @@ class SimBus:
                           message: int) -> Generator:
         """Two-phase strobe: 1 clock per word (half handshake /
         fixed delay / hardwired)."""
+        injector = self.injector
         received = 0
         for word in words:
+            if injector is not None:
+                injector.begin_word(self.name, word.index)
             value, mask = _word_parts(word, Role.ACCESSOR, message)
             self._clear_word()
             self.id_lines.set(code)
@@ -309,6 +337,92 @@ class SimBus:
             received |= _gather(word, Role.SERVER, self.data.value)
             yield Wait(1)
         return received
+
+    def _accessor_protected(self, procs: ChannelProcedures, code: int,
+                            words: List[WordSpec],
+                            message: int) -> Generator:
+        """Protected full handshake: timeout-bounded waits, a NACK
+        sample on writes, check-field verification on reads, and
+        bounded whole-message retransmission.
+
+        Returns ``(received, retries)``.  Raises
+        :class:`SimulationError` when the retry budget runs dry -- a
+        fault is *never* absorbed silently.
+        """
+        plan = self.protection
+        layout = procs.layout
+        is_write = procs.channel.is_write
+        start = self.controls["START"]
+        done = self.controls["DONE"]
+        nack = self.controls[plan.nack_line]
+        injector = self.injector
+        timeout = plan.timeout_clocks
+        if plan.retry_step < 1:
+            raise SimulationError(
+                f"bus {self.structure.name}: protection retry_step must "
+                f"be >= 1, got {plan.retry_step} (the retry budget "
+                "would never shrink)"
+            )
+        budget = plan.max_retries
+        retries = 0
+        while True:
+            if retries and injector is not None:
+                injector.begin_attempt(self.name)
+            failure: Optional[str] = None
+            received = 0
+            nacked = False
+            for word in words:
+                if injector is not None:
+                    injector.begin_word(self.name, word.index)
+                value, mask = _word_parts(word, Role.ACCESSOR, message)
+                self._clear_word()
+                self.id_lines.set(code)
+                self.data.drive("accessor", value, mask)
+                start.set(1)
+                yield Wait(1)
+                if done.value != 1:
+                    yield WaitOn((done,), lambda: done.value == 1,
+                                 timeout=timeout)
+                if done.value != 1:
+                    failure = (f"DONE never rose (word {word.index}, "
+                               f"ID {code})")
+                    break
+                received |= _gather(word, Role.SERVER, self.data.value)
+                if nack.value == 1:
+                    nacked = True
+                start.set(0)
+                yield Wait(1)
+                if done.value != 0:
+                    yield WaitOn((done,), lambda: done.value == 0,
+                                 timeout=timeout)
+                if done.value != 0:
+                    failure = (f"DONE never fell (word {word.index}, "
+                               f"ID {code})")
+                    break
+            if failure is None:
+                if is_write and nacked:
+                    failure = "server NACKed the message (check mismatch)"
+                elif not is_write \
+                        and not layout.check_ok(message | received):
+                    failure = "response check mismatch"
+                else:
+                    return received, retries
+            # Abort the attempt and resynchronize: the server's timed
+            # mid-message wait (timeout + 1) expires inside our idle
+            # window (timeout + 2), so it discards any partial transfer
+            # before the retransmission begins.
+            start.set(0)
+            self._clear_word()
+            budget -= plan.retry_step
+            retries += 1
+            if budget < 0:
+                raise SimulationError(
+                    f"bus {self.structure.name}: channel "
+                    f"{procs.channel.name} gave up after {retries} "
+                    f"failed attempt(s): {failure} (retry budget "
+                    f"{plan.max_retries} exhausted)"
+                )
+            yield Wait(timeout + 2)
 
     # ------------------------------------------------------------------
     # Server side (variable processes)
@@ -322,7 +436,10 @@ class SimBus:
             self.structure.ids.code(s.channel.name): s
             for s in process.services
         }
-        if self.uses_burst:
+        if self.protection is not None:
+            yield from self._server_protected(process.name, services,
+                                              storage)
+        elif self.uses_burst:
             yield from self._server_burst(process.name, services, storage)
         elif self.uses_handshake:
             yield from self._server_handshake(process.name, services,
@@ -354,6 +471,73 @@ class SimBus:
             done.set(0)
             if transfer.complete:
                 transfer.commit()
+                del in_progress[code]
+
+    def _server_protected(self, name: str,
+                          services: Dict[int, ChannelProcedures],
+                          storage: StorageAdapter) -> Generator:
+        """Protected full-handshake server: verifies the check field on
+        writes (raising NACK before DONE so both land in one delta),
+        commits only clean messages, and recovers from stuck or
+        abandoned handshakes via timeout-bounded mid-message waits.
+
+        Between messages the wait is untimed, so an idle protected bus
+        schedules no timers -- protection is zero-cost when nothing is
+        in flight.
+        """
+        plan = self.protection
+        start = self.controls["START"]
+        done = self.controls["DONE"]
+        nack = self.controls[plan.nack_line]
+        id_lines = self.id_lines
+        timeout = plan.timeout_clocks
+        in_progress: Dict[int, _ServerTransfer] = {}
+
+        def ready() -> bool:
+            return start.value == 1 and id_lines.value in services
+
+        while True:
+            if in_progress:
+                yield WaitOn((start, id_lines), ready, timeout=timeout + 1)
+                if not ready():
+                    # The accessor abandoned the message (its own
+                    # timeout fired); drop the partial transfer.
+                    in_progress.clear()
+                    nack.set(0)
+                    continue
+            else:
+                yield WaitOn((start, id_lines), ready)
+            code = id_lines.value
+            transfer = in_progress.get(code)
+            if transfer is None:
+                transfer = _ServerTransfer(services[code], self.width,
+                                           storage)
+                in_progress[code] = transfer
+            # A dropped or delayed fall can leave DONE wedged high;
+            # clear it so the acknowledge below is a real edge.  This
+            # is a no-op on a clean handshake.
+            done.set(0)
+            transfer.handle_word(self.data)
+            if transfer.complete and not transfer.check_ok():
+                nack.set(1)
+            done.set(1)
+            yield WaitOn((start,), lambda: start.value == 0,
+                         timeout=timeout + 1)
+            if start.value != 0:
+                # START wedged high (stuck-at fault or lost fall):
+                # abort the message and wait out the accessor's abort
+                # window before accepting a retransmission.
+                done.set(0)
+                nack.set(0)
+                in_progress.pop(code, None)
+                yield WaitOn((start,), lambda: start.value == 0,
+                             timeout=timeout + 1)
+                continue
+            done.set(0)
+            if transfer.complete:
+                if transfer.check_ok():
+                    transfer.commit()
+                nack.set(0)
                 del in_progress[code]
 
     def _server_burst(self, name: str,
@@ -438,6 +622,15 @@ class _ServerTransfer:
             data_lines.drive("server", value, mask)
         self.next_word += 1
 
+    def check_ok(self) -> bool:
+        """True when the gathered message's check field matches (or no
+        verification applies: unprotected layout, or a read -- the
+        accessor verifies the response end-to-end on its side)."""
+        layout = self.procs.layout
+        if layout.protection is None or not self.procs.channel.is_write:
+            return True
+        return layout.check_ok(self.accessor_message)
+
     def _server_message(self) -> int:
         """Message value of server-driven fields (read data), fetched
         once the address is complete."""
@@ -449,8 +642,22 @@ class _ServerTransfer:
             raw = self.storage.read(address)
             data_field = layout.field(FieldKind.DATA)
             assert data_field is not None
-            self._data_value = (raw & ((1 << data_field.bits) - 1)) \
+            value = (raw & ((1 << data_field.bits) - 1)) \
                 << data_field.offset
+            check_field = layout.field(FieldKind.CHECK)
+            if check_field is not None and check_field.driver is Role.SERVER:
+                # The response check covers the address the server
+                # *latched* plus the data it returns, so an address
+                # corrupted in flight surfaces as a check mismatch on
+                # the accessor side.
+                payload = value
+                addr_field = layout.field(FieldKind.ADDRESS)
+                if addr_field is not None:
+                    addr_mask = ((1 << addr_field.bits) - 1) \
+                        << addr_field.offset
+                    payload |= self.accessor_message & addr_mask
+                value |= layout.compute_check(payload) << check_field.offset
+            self._data_value = value
         return self._data_value
 
     def commit(self) -> None:

@@ -109,12 +109,20 @@ class WaitOn:
     change.  With a predicate, it also fires if the predicate is
     already true at yield time (matching ``WaitUntil``'s semantics).
 
+    ``timeout`` (clocks, >= 1) bounds the sleep: the process resumes
+    ``timeout`` clocks from now even if no watched signal changed.  The
+    resumed coroutine distinguishes the cases by re-reading the signals
+    itself -- the kernel does not say *why* it woke.  Timed waits are
+    what the fault-tolerant bus procedures use to survive lost
+    handshake transitions.
+
     The predicate must depend only on the watched signals.
     """
 
-    __slots__ = ("signals", "predicate")
+    __slots__ = ("signals", "predicate", "timeout")
 
-    def __init__(self, signals, predicate: Optional[Callable[[], bool]] = None):
+    def __init__(self, signals, predicate: Optional[Callable[[], bool]] = None,
+                 timeout: Optional[int] = None):
         if not isinstance(signals, (tuple, list)):
             signals = (signals,)
         if not signals:
@@ -127,11 +135,20 @@ class WaitOn:
                 )
         if predicate is not None and not callable(predicate):
             raise SimulationError("WaitOn predicate must be callable")
+        if timeout is not None and (not isinstance(timeout, int)
+                                    or timeout < 1):
+            raise SimulationError(
+                f"WaitOn timeout must be a positive integer clock "
+                f"count, got {timeout!r}"
+            )
         self.signals: Tuple = tuple(signals)
         self.predicate = predicate
+        self.timeout = timeout
 
     def __repr__(self) -> str:
         names = ",".join(getattr(s, "name", "?") for s in self.signals)
+        if self.timeout is not None:
+            return f"WaitOn([{names}], timeout={self.timeout})"
         return f"WaitOn([{names}])"
 
 
@@ -149,7 +166,8 @@ class _Process:
 
     __slots__ = ("name", "body", "daemon", "index", "wake_time",
                  "predicate", "delta", "finished", "start_time",
-                 "finish_time", "polled", "queued", "notified", "watched")
+                 "finish_time", "polled", "queued", "notified", "watched",
+                 "timer_deadline")
 
     def __init__(self, name: str, body: ProcessBody, daemon: bool,
                  index: int):
@@ -176,6 +194,11 @@ class _Process:
         self.notified = False
         #: Signals this process is subscribed to (WaitOn).
         self.watched: List = []
+        #: Clock at which a timed WaitOn gives up, else None.  The heap
+        #: entry pushed for it may outlive the wait (the process can be
+        #: woken by an event first); the pop loop validates against
+        #: this field and drops stale entries.
+        self.timer_deadline: Optional[int] = None
 
     def runnable(self, now: int) -> bool:
         if self.finished:
@@ -297,9 +320,13 @@ class Simulator:
         self._now = 0
         self._metrics = metrics
         self.events = EventBus()
-        #: (wake_time, registration index) min-heap.  An entry is live
-        #: for exactly one outstanding Wait, so no stale entries occur.
+        #: (wake_time, registration index) min-heap.  A ``Wait`` entry
+        #: is live for exactly one outstanding wait; timed ``WaitOn``
+        #: entries may go stale (event won the race) and index ``-1``
+        #: marks a scheduled-callback slot -- the pop loop validates.
         self._timers: List[Tuple[int, int]] = []
+        #: clock -> callbacks registered via :meth:`call_at`.
+        self._callbacks: Dict[int, List[Callable[[], None]]] = {}
         #: Processes blocked on bare WaitUntil (legacy polling).
         self._polled: List[_Process] = []
         #: Current-pass agenda (registration-index heap) and the next
@@ -334,6 +361,25 @@ class Simulator:
         if not daemon:
             self._active_workers += 1
         heappush(self._timers, (0, index))
+
+    def call_at(self, clock: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` when the simulation reaches ``clock``.
+
+        Callbacks run at the start of that clock's pass 0, before any
+        process wakes (the sentinel index ``-1`` sorts ahead of every
+        registration index).  They may set signals; woken watchers join
+        the same pass 0.  Used by the fault injector for DELAY and
+        STUCK windows.
+        """
+        if clock <= self._now:
+            raise SimulationError(
+                f"call_at: clock {clock} is not in the future of "
+                f"{self._now}"
+            )
+        entries = self._callbacks.setdefault(clock, [])
+        entries.append(callback)
+        if len(entries) == 1:
+            heappush(self._timers, (clock, -1))
 
     # ------------------------------------------------------------------
 
@@ -395,11 +441,40 @@ class Simulator:
         # Pass 0 agenda: due timers plus the legacy polled processes.
         agenda: List[int] = []
         while timers and timers[0][0] <= now:
-            _, index = heappop(timers)
+            due, index = heappop(timers)
+            if index < 0:
+                for callback in self._callbacks.pop(due, ()):
+                    callback()
+                continue
             process = processes[index]
+            if process.finished or process.queued:
+                continue
+            if process.wake_time is not None and process.wake_time <= now:
+                pass                              # a genuine Wait is due
+            elif (process.timer_deadline is not None
+                  and process.timer_deadline <= now):
+                # A timed WaitOn expired: make the process runnable and
+                # let the coroutine discover the timeout by re-reading
+                # its signals.
+                process.timer_deadline = None
+                process.wake_time = now
+            else:
+                continue                          # stale entry, drop it
             process.queued = True
             agenda.append(index)
             self.timer_pops += 1
+        if self.events.pending:
+            # Callbacks may have set signals; their watchers join pass 0.
+            pending = self.events.pending
+            self.events.pending = []
+            for process in pending:
+                process.notified = False
+                if (process.finished or process.queued
+                        or not process.watched):
+                    continue
+                self.signal_wakeups += 1
+                process.queued = True
+                agenda.append(process.index)
         if self._polled:
             self._queue_polled(agenda)
         if not agenda:
@@ -488,6 +563,7 @@ class Simulator:
         process.predicate = None
         process.wake_time = None
         process.polled = False
+        process.timer_deadline = None
         if process.watched:
             self.events.unwatch(process)
         try:
@@ -512,6 +588,10 @@ class Simulator:
             events = self.events
             for signal in request.signals:
                 events.watch(signal, process)
+            if request.timeout is not None:
+                deadline = self._now + request.timeout
+                process.timer_deadline = deadline
+                heappush(self._timers, (deadline, process.index))
             predicate = request.predicate
             if predicate is None:
                 process.predicate = _any_change

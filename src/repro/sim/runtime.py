@@ -27,7 +27,7 @@ contention (the arbitration ablation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Union
 
 from repro.errors import SimulationError
@@ -37,6 +37,7 @@ from repro.protogen.procedures import CommProcedure
 from repro.protogen.refine import RefinedSpec
 from repro.sim.arbiter import Arbiter
 from repro.sim.bus import SimBus, StorageAdapter, Transaction
+from repro.sim.faults import FaultInjector, FaultPlan, FaultRecord
 from repro.sim.kernel import SimStats, Simulator, Wait, WaitOn
 from repro.sim.signals import Signal
 from repro.spec.behavior import Behavior
@@ -80,6 +81,9 @@ class SimResult:
     utilization: Dict[str, float]
     #: Per-bus total clocks spent waiting for bus grants.
     arbitration_wait: Dict[str, int]
+    #: Every fault the injector actually fired, in injection order
+    #: (empty when the run had no fault plan).
+    fault_records: List[FaultRecord] = field(default_factory=list)
 
     @property
     def end_time(self) -> int:
@@ -126,11 +130,16 @@ class RefinedSimulation:
                  arbiter_factories: Optional[Dict[str, ArbiterFactory]] = None,
                  trace: bool = False,
                  max_clocks: int = 10_000_000,
-                 metrics: Optional[SimMetrics] = None):
+                 metrics: Optional[SimMetrics] = None,
+                 faults: Optional[FaultPlan] = None):
         self.spec = spec
         self.metrics = metrics
         self.sim = Simulator(max_clocks=max_clocks,
                              metrics=metrics.kernel if metrics else None)
+        self.injector: Optional[FaultInjector] = (
+            FaultInjector(faults, self.sim) if faults is not None
+            and len(faults) else None
+        )
         self.env = Environment()
         for variable in spec.original.variables:
             self.env.declare(variable)
@@ -160,9 +169,13 @@ class RefinedSimulation:
             )
             if metrics is not None:
                 sim_bus.arbiter.metrics = metrics.arbiter(refined_bus.name)
+            if self.injector is not None:
+                self.injector.attach_bus(sim_bus)
             self.buses[refined_bus.name] = sim_bus
             for pair in refined_bus.procedures.values():
                 self._proc_map[id(pair.accessor)] = (sim_bus, pair)
+        if self.injector is not None:
+            self.injector.verify_attached()
 
         self._register_processes(spec)
 
@@ -423,6 +436,9 @@ class RefinedSimulation:
                       system=self.spec.name) as sp:
             stats = self.sim.run()
             sp.set(end_clock=stats.end_time)
+        if self.injector is not None and self.metrics is not None:
+            for record in self.injector.records:
+                self.metrics.bus(record.bus).faults_injected += 1
         final_values: Dict[str, Value] = {}
         for variable in self.spec.original.variables:
             value = self.env.read(variable)
@@ -443,6 +459,8 @@ class RefinedSimulation:
                          for name, bus in self.buses.items()},
             arbitration_wait={name: bus.arbiter.wait_clocks
                               for name, bus in self.buses.items()},
+            fault_records=(list(self.injector.records)
+                           if self.injector is not None else []),
         )
 
 
@@ -451,15 +469,19 @@ def simulate(spec: RefinedSpec,
              arbiter_factories: Optional[Dict[str, ArbiterFactory]] = None,
              trace: bool = False,
              max_clocks: int = 10_000_000,
-             metrics: Optional[SimMetrics] = None) -> SimResult:
+             metrics: Optional[SimMetrics] = None,
+             faults: Optional[FaultPlan] = None) -> SimResult:
     """Elaborate and run a refined specification in one call.
 
     Pass a :class:`repro.obs.SimMetrics` as ``metrics`` to collect live
-    kernel/bus/arbiter counters for the run.
+    kernel/bus/arbiter counters for the run, and a
+    :class:`repro.sim.faults.FaultPlan` as ``faults`` to inject wire
+    faults (every fired fault lands in ``SimResult.fault_records``).
     """
     with obs_span("sim.elaborate", category="sim", system=spec.name):
         simulation = RefinedSimulation(
             spec, schedule=schedule, arbiter_factories=arbiter_factories,
             trace=trace, max_clocks=max_clocks, metrics=metrics,
+            faults=faults,
         )
     return simulation.run()

@@ -41,7 +41,7 @@ class Signal:
     """
 
     __slots__ = ("name", "value", "width", "_clock", "changes",
-                 "trace_enabled", "_watchers", "_event_bus")
+                 "trace_enabled", "_watchers", "_event_bus", "faults")
 
     def __init__(self, name: str, init: int = 0,
                  clock: Optional[Callable[[], int]] = None,
@@ -60,8 +60,23 @@ class Signal:
         #: Sensitivity list, managed by the kernel's EventBus.
         self._watchers: Optional[list] = None
         self._event_bus = None
+        #: Fault-injection hook; attached by the injector only to
+        #: targeted signals, so unfaulted runs pay one None test.
+        self.faults = None
 
     def set(self, value: int) -> None:
+        if self.faults is not None:
+            value = self.faults.filter_set(self, value)
+        if value == self.value:
+            return
+        self.value = value
+        if self.trace_enabled and self._clock is not None:
+            self.changes.append((self._clock(), value))
+        if self._watchers:
+            self._event_bus.notify(self)
+
+    def force(self, value: int) -> None:
+        """Set the wire bypassing the fault hook (injector internal)."""
         if value == self.value:
             return
         self.value = value
@@ -84,7 +99,7 @@ class DataLines:
 
     __slots__ = ("name", "width", "_full_mask", "_contributions",
                  "_clock", "trace_enabled", "changes", "_resolved",
-                 "_watchers", "_event_bus")
+                 "_watchers", "_event_bus", "faults")
 
     def __init__(self, name: str, width: int,
                  clock: Optional[Callable[[], int]] = None,
@@ -104,10 +119,15 @@ class DataLines:
         #: Sensitivity list, managed by the kernel's EventBus.
         self._watchers: Optional[list] = None
         self._event_bus = None
+        #: Fault-injection hook; attached by the injector only to
+        #: targeted buses, so unfaulted runs pay one None test.
+        self.faults = None
 
     def drive(self, role: str, value: int, mask: int) -> None:
         """Set one role's contribution; ``mask`` selects the wires it
         drives (0 mask releases them)."""
+        if self.faults is not None and mask:
+            value = self.faults.filter_drive(self, role, value, mask)
         if mask & ~self._full_mask:
             raise SimulationError(
                 f"{self.name}: drive mask {mask:#x} exceeds width "

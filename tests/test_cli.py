@@ -175,3 +175,62 @@ class TestVerifyExitCodes:
         out = capsys.readouterr().out
         assert "P101" in out
         assert "static analysis failed" in out
+
+
+class TestFaultTolerance:
+    def test_protection_selection(self, capsys):
+        assert main(["synth", "flc", "--protection", "crc8",
+                     "--simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "protection: crc8" in out
+        assert "NACK" in out
+        assert "oracle check: OK" in out
+
+    def test_protection_none_is_default_path(self, capsys):
+        assert main(["synth", "flc", "--protection", "none",
+                     "--simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "protection:" not in out
+        assert "oracle check: OK" in out
+
+    def test_fault_plan_drives_retries(self, tmp_path, capsys):
+        from repro.sim.faults import Fault, FaultKind, FaultPlan
+        plan_path = str(tmp_path / "plan.json")
+        FaultPlan([Fault(kind=FaultKind.BIT_FLIP, bus="B",
+                         flip_mask=0b100, transaction=3,
+                         word=0)]).save(plan_path)
+        assert main(["synth", "flc", "--protection", "parity",
+                     "--simulate", "--faults", plan_path]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan: 1 fault(s)" in out
+        assert "faults injected: 1; message retries: 1" in out
+        assert "oracle check: OK" in out
+
+    def test_missing_fault_plan_file_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["synth", "flc", "--simulate",
+                  "--faults", str(tmp_path / "absent.json")])
+
+    def test_sim_timeout_clocks_guard(self, capsys):
+        assert main(["synth", "flc", "--simulate",
+                     "--sim-timeout-clocks", "10"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "max_clocks=10" in err
+
+    def test_sim_timeout_clocks_generous_passes(self, capsys):
+        assert main(["synth", "flc", "--simulate",
+                     "--sim-timeout-clocks", "50000"]) == 0
+        assert "oracle check: OK" in capsys.readouterr().out
+
+    def test_sim_timeout_clocks_must_be_positive(self, capsys):
+        assert main(["synth", "flc", "--simulate",
+                     "--sim-timeout-clocks", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_protected_vhdl_emission_rejected(self, tmp_path, capsys):
+        target = str(tmp_path / "out.vhd")
+        assert main(["synth", "flc", "--protection", "parity",
+                     "--vhdl", target]) == 2
+        assert "no VHDL emitter" in capsys.readouterr().err
+        assert not os.path.exists(target)

@@ -1,0 +1,245 @@
+"""Property-based robustness suite for the fault-tolerant protocols.
+
+The headline guarantee of the protection layer, stated as hypothesis
+properties over random FLC instances and random single-fault plans:
+
+* **Protected recovery** -- under any single-word fault (a one-bit
+  DATA flip, a dropped or delayed control edge), a parity- or
+  crc8-protected design retransmits and converges to the
+  oracle-identical final values within the bounded retry budget.
+* **Unprotected detection** -- the same faults on the unprotected
+  design are *detected*, never silent: a DATA flip surfaces as a
+  corrupted final value, a dropped control edge hangs the handshake
+  and raises :class:`~repro.errors.SimulationError`.
+* **Plan determinism** -- seeded random plans and the JSON round trip
+  are stable, so every faulty run is reproducible.
+
+FLC schedule layout (see ``tests/data/golden_sim_flc.json``): message
+attempts 0..127 are writes (ch1), 128..255 reads (ch2); the write
+message is ADDRESS bits 0..6 then DATA bits 7..22 on a 7-bit bus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.apps.flc import build_flc, reference_ctrl_output
+from repro.busgen.algorithm import generate_bus
+from repro.errors import SimulationError
+from repro.protocols import get_protection
+from repro.protogen.procedures import FieldKind
+from repro.protogen.refine import refine_system
+from repro.sim.faults import Fault, FaultKind, FaultPlan
+from repro.sim.runtime import simulate
+
+#: FLC bus geometry (asserted against the refined layout below).
+BUS = "B"
+WORD_BITS = 7
+WRITE_TXNS = 128
+
+_SETTINGS = dict(deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+def _flc_case(temperature, humidity, protection=None):
+    model = build_flc(temperature, humidity)
+    design = generate_bus(model.bus_b)
+    refined = refine_system(model.system, [design], protection=protection)
+    return model, refined
+
+
+def test_layout_assumptions_hold():
+    """Pin the geometry the strategies below rely on."""
+    model, refined = _flc_case(250, 180)
+    bus = refined.buses[0]
+    assert bus.structure.name == BUS
+    assert bus.structure.width == WORD_BITS
+    write = bus.procedures["ch1"]
+    data = write.layout.field(FieldKind.DATA)
+    assert (data.offset, data.bits) == (7, 16)
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+def _single_fault(draw):
+    """One single-word fault: flip, drop or delay."""
+    kind = draw(st.sampled_from(["flip_write", "flip_read", "drop",
+                                 "delay"]))
+    if kind == "flip_write":
+        # Any bit of the accessor-driven write message (address, data
+        # or, on protected layouts, the check field -- all must be
+        # covered by the check).
+        bit = draw(st.integers(min_value=0, max_value=22))
+        return Fault(kind=FaultKind.BIT_FLIP, bus=BUS,
+                     flip_mask=1 << (bit % WORD_BITS),
+                     transaction=draw(st.integers(0, WRITE_TXNS - 1)),
+                     word=bit // WORD_BITS)
+    if kind == "flip_read":
+        # A bit of the server-driven DATA field of a read response.
+        bit = draw(st.integers(min_value=7, max_value=22))
+        return Fault(kind=FaultKind.BIT_FLIP, bus=BUS,
+                     flip_mask=1 << (bit % WORD_BITS),
+                     transaction=draw(st.integers(WRITE_TXNS, 255)),
+                     word=bit // WORD_BITS)
+    line = draw(st.sampled_from(["START", "DONE"]))
+    transaction = draw(st.integers(0, 255))
+    if kind == "drop":
+        return Fault(kind=FaultKind.DROP, bus=BUS, line=line,
+                     transaction=transaction)
+    return Fault(kind=FaultKind.DELAY, bus=BUS, line=line,
+                 delay_clocks=draw(st.integers(1, 3)),
+                 transaction=transaction)
+
+
+single_faults = st.composite(_single_fault)()
+
+
+# ---------------------------------------------------------------------------
+# Protected recovery
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=25, **_SETTINGS)
+@given(temperature=st.integers(0, 319), humidity=st.integers(0, 319),
+       protection=st.sampled_from(["parity", "crc8"]),
+       fault=single_faults)
+def test_protected_design_recovers(temperature, humidity, protection,
+                                   fault):
+    model, refined = _flc_case(temperature, humidity, protection)
+    plan = FaultPlan(faults=[fault])
+    result = simulate(refined, schedule=model.schedule, faults=plan)
+    assert result.final_values["ctrl_out"] == reference_ctrl_output(
+        temperature, humidity)
+    max_retries = refined.buses[0].structure.protection.max_retries
+    for txn in result.transactions[BUS]:
+        assert txn.retries <= max_retries
+    if result.fault_records:
+        # Corruption faults must recover via retransmission; a DELAY
+        # can also be absorbed by the handshake waits.
+        total = sum(t.retries for t in result.transactions[BUS])
+        if fault.kind in (FaultKind.BIT_FLIP, FaultKind.DROP):
+            assert total >= 1
+
+
+@settings(max_examples=10, **_SETTINGS)
+@given(temperature=st.integers(0, 319), humidity=st.integers(0, 319),
+       protection=st.sampled_from(["parity", "crc8"]),
+       start_clock=st.integers(1, 4000),
+       width=st.integers(1, 8))
+def test_protected_design_survives_stuck_start(temperature, humidity,
+                                               protection, start_clock,
+                                               width):
+    """START held low over a short window delays, never corrupts."""
+    model, refined = _flc_case(temperature, humidity, protection)
+    plan = FaultPlan(faults=[Fault(
+        kind=FaultKind.STUCK, bus=BUS, line="START", stuck_value=0,
+        start_clock=start_clock, end_clock=start_clock + width)])
+    result = simulate(refined, schedule=model.schedule, faults=plan)
+    assert result.final_values["ctrl_out"] == reference_ctrl_output(
+        temperature, humidity)
+
+
+# ---------------------------------------------------------------------------
+# Unprotected detection
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def unprotected_baseline():
+    model, refined = _flc_case(250, 180)
+    result = simulate(refined, schedule=model.schedule)
+    return dict(result.final_values)
+
+
+@settings(max_examples=15, **_SETTINGS)
+@given(transaction=st.integers(0, WRITE_TXNS - 1),
+       bit=st.integers(7, 22))
+def test_unprotected_flip_is_never_silent(unprotected_baseline,
+                                          transaction, bit):
+    """A DATA-bit flip on a write corrupts a visible final value."""
+    model, refined = _flc_case(250, 180)
+    plan = FaultPlan(faults=[Fault(
+        kind=FaultKind.BIT_FLIP, bus=BUS,
+        flip_mask=1 << (bit % WORD_BITS),
+        transaction=transaction, word=bit // WORD_BITS)])
+    result = simulate(refined, schedule=model.schedule, faults=plan)
+    assert len(result.fault_records) == 1, "the flip must fire"
+    assert dict(result.final_values) != unprotected_baseline, (
+        "an unprotected corruption must surface in the final values"
+    )
+
+
+@settings(max_examples=10, **_SETTINGS)
+@given(transaction=st.integers(0, 255),
+       line=st.sampled_from(["START", "DONE"]))
+def test_unprotected_drop_hangs_loudly(transaction, line):
+    """A dropped control edge deadlocks the unprotected handshake."""
+    model, refined = _flc_case(250, 180)
+    plan = FaultPlan(faults=[Fault(
+        kind=FaultKind.DROP, bus=BUS, line=line,
+        transaction=transaction)])
+    with pytest.raises(SimulationError):
+        simulate(refined, schedule=model.schedule, faults=plan,
+                 max_clocks=20000)
+
+
+# ---------------------------------------------------------------------------
+# Plan determinism and serialization
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), count=st.integers(1, 5))
+def test_random_plans_are_deterministic(seed, count):
+    first = FaultPlan.random(seed, BUS, width=WORD_BITS, count=count)
+    second = FaultPlan.random(seed, BUS, width=WORD_BITS, count=count)
+    assert first.to_dict() == second.to_dict()
+    assert len(first) == count
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), count=st.integers(1, 5))
+def test_plan_json_round_trip(seed, count):
+    plan = FaultPlan.random(
+        seed, BUS, width=WORD_BITS, count=count,
+        kinds=(FaultKind.BIT_FLIP, FaultKind.DROP, FaultKind.DELAY,
+               FaultKind.STUCK))
+    clone = FaultPlan.from_dict(plan.to_dict())
+    assert clone.to_dict() == plan.to_dict()
+    assert clone.describe() == plan.describe()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_plan_file_round_trip(tmp_path_factory, seed):
+    plan = FaultPlan.random(seed, BUS, width=WORD_BITS, count=3)
+    path = str(tmp_path_factory.mktemp("plans") / "plan.json")
+    plan.save(path)
+    assert FaultPlan.load(path).to_dict() == plan.to_dict()
+
+
+def test_check_algorithms_match_reference():
+    """Parity is popcount; CRC-8 matches the CRC-8/ATM check vector."""
+    parity = get_protection("parity")
+    crc8 = get_protection("crc8")
+    for value in (0, 1, 0b1011, 0x7FFFFF, 0x5A5A5A):
+        assert parity.compute(value, 23) == bin(value).count("1") & 1
+    # The canonical "123456789" check value of CRC-8 (poly 0x07,
+    # init 0, MSB first, no final xor) is 0xF4.
+    payload = int.from_bytes(b"123456789", "big")
+    assert crc8.compute(payload, 72) == 0xF4
+    assert crc8.compute(0, 23) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(payload=st.integers(0, 2**23 - 1),
+       bit=st.integers(0, 22),
+       mode=st.sampled_from(["parity", "crc8"]))
+def test_single_bit_errors_always_detected(payload, bit, mode):
+    """Both codes detect every single-bit payload corruption."""
+    protection = get_protection(mode)
+    assert (protection.compute(payload, 23)
+            != protection.compute(payload ^ (1 << bit), 23))

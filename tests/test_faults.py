@@ -1,0 +1,306 @@
+"""Unit tests for the fault-injection subsystem and the protected
+(fault-tolerant) handshake procedures.
+
+Covers the fault model (validation, matching, serialization), the
+injector wiring (hooks only on targeted signals), the kernel additions
+the protected procedures rely on (``WaitOn`` timeouts, ``call_at``
+callbacks) and the protected full handshake end to end on the small
+Figure 3 system.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.runner import analyze_refined
+from repro.errors import SimulationError
+from repro.protocols import (
+    FULL_HANDSHAKE,
+    HALF_HANDSHAKE,
+    as_protection_plan,
+    get_protection,
+)
+from repro.protogen.refine import generate_protocol
+from repro.sim.faults import (
+    DATA_LINES,
+    Fault,
+    FaultKind,
+    FaultPlan,
+)
+from repro.sim.kernel import Simulator, Wait, WaitOn
+from repro.sim.runtime import simulate
+from repro.sim.signals import Signal
+
+from tests.conftest import assert_fig3_values, make_fig3
+
+
+def refined_fig3(protection=None):
+    fig3 = make_fig3()
+    refined = generate_protocol(fig3.system, fig3.group, width=8,
+                                protocol=FULL_HANDSHAKE,
+                                protection=protection)
+    return fig3, refined
+
+
+# ---------------------------------------------------------------------------
+# Fault model
+# ---------------------------------------------------------------------------
+
+class TestFaultValidation:
+    def test_bit_flip_must_target_data(self):
+        with pytest.raises(SimulationError, match="DATA"):
+            Fault(kind=FaultKind.BIT_FLIP, bus="B", line="DONE")
+
+    def test_control_faults_must_not_target_data(self):
+        for kind in (FaultKind.DROP, FaultKind.DELAY, FaultKind.STUCK):
+            with pytest.raises(SimulationError, match="control line"):
+                Fault(kind=kind, bus="B", line=DATA_LINES)
+
+    def test_flip_mask_must_be_nonzero(self):
+        with pytest.raises(SimulationError, match="flip_mask"):
+            Fault(kind=FaultKind.BIT_FLIP, bus="B", flip_mask=0)
+
+    def test_delay_needs_positive_clocks(self):
+        with pytest.raises(SimulationError, match="delay_clocks"):
+            Fault(kind=FaultKind.DELAY, bus="B", line="DONE",
+                  delay_clocks=0)
+
+    def test_stuck_needs_window_and_binary_value(self):
+        with pytest.raises(SimulationError, match="start_clock"):
+            Fault(kind=FaultKind.STUCK, bus="B", line="START")
+        with pytest.raises(SimulationError, match="stuck_value"):
+            Fault(kind=FaultKind.STUCK, bus="B", line="START",
+                  start_clock=5, stuck_value=2)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(SimulationError, match="precedes"):
+            Fault(kind=FaultKind.DROP, bus="B", line="DONE",
+                  start_clock=10, end_clock=5)
+
+    def test_kind_accepts_string(self):
+        fault = Fault(kind="drop", bus="B", line="DONE")
+        assert fault.kind is FaultKind.DROP
+
+
+class TestFaultMatching:
+    def test_clock_window(self):
+        fault = Fault(kind=FaultKind.DROP, bus="B", line="DONE",
+                      start_clock=10, end_clock=20)
+        assert not fault.matches(9, None, None)
+        assert fault.matches(10, None, None)
+        assert fault.matches(20, None, None)
+        assert not fault.matches(21, None, None)
+
+    def test_transaction_and_word_targeting(self):
+        fault = Fault(kind=FaultKind.BIT_FLIP, bus="B",
+                      transaction=3, word=1)
+        assert fault.matches(100, 3, 1)
+        assert not fault.matches(100, 3, 0)
+        assert not fault.matches(100, 4, 1)
+
+    def test_once_retires_after_consumption(self):
+        fault = Fault(kind=FaultKind.DROP, bus="B", line="DONE")
+        assert fault.matches(1, None, None)
+        fault.consumed = True
+        assert not fault.matches(1, None, None)
+
+    def test_repeating_fault_never_retires(self):
+        fault = Fault(kind=FaultKind.DROP, bus="B", line="DONE",
+                      once=False)
+        fault.consumed = True
+        assert fault.matches(1, None, None)
+
+
+class TestFaultPlan:
+    def test_reset_clears_consumption(self):
+        plan = FaultPlan([Fault(kind=FaultKind.DROP, bus="B",
+                                line="DONE")])
+        plan.faults[0].consumed = True
+        plan.reset()
+        assert plan.faults[0].consumed is False
+
+    def test_buses_lists_targets_once(self):
+        plan = FaultPlan([
+            Fault(kind=FaultKind.DROP, bus="B", line="DONE"),
+            Fault(kind=FaultKind.DROP, bus="B", line="START"),
+            Fault(kind=FaultKind.DROP, bus="C", line="DONE"),
+        ])
+        assert plan.buses() == ["B", "C"]
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(SimulationError, match="unknown fault keys"):
+            FaultPlan.from_dict({"faults": [
+                {"kind": "drop", "bus": "B", "line": "DONE",
+                 "oops": 1}]})
+
+    def test_from_dict_requires_faults_key(self):
+        with pytest.raises(SimulationError, match="faults"):
+            FaultPlan.from_dict({})
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{not json")
+        with pytest.raises(SimulationError, match="invalid JSON"):
+            FaultPlan.load(str(path))
+
+    def test_describe_mentions_every_fault(self):
+        plan = FaultPlan([
+            Fault(kind=FaultKind.BIT_FLIP, bus="B", transaction=3,
+                  word=0),
+            Fault(kind=FaultKind.STUCK, bus="B", line="START",
+                  start_clock=5, end_clock=9),
+        ])
+        text = plan.describe()
+        assert "bit_flip" in text and "txn 3" in text
+        assert "stuck" in text and "[5, 9]" in text
+
+
+class TestInjectorWiring:
+    def test_unknown_bus_detected(self, flc):
+        from repro.busgen.algorithm import generate_bus
+        from repro.protogen.refine import refine_system
+        refined = refine_system(flc.system,
+                                [generate_bus(flc.bus_b)])
+        plan = FaultPlan([Fault(kind=FaultKind.DROP, bus="NOPE",
+                                line="DONE")])
+        with pytest.raises(SimulationError, match="NOPE"):
+            simulate(refined, schedule=flc.schedule, faults=plan)
+
+    def test_unknown_control_line_detected(self, flc):
+        from repro.busgen.algorithm import generate_bus
+        from repro.protogen.refine import refine_system
+        refined = refine_system(flc.system,
+                                [generate_bus(flc.bus_b)])
+        plan = FaultPlan([Fault(kind=FaultKind.DROP, bus="B",
+                                line="NOPE")])
+        with pytest.raises(SimulationError, match="NOPE"):
+            simulate(refined, schedule=flc.schedule, faults=plan)
+
+    def test_empty_plan_attaches_nothing(self, flc):
+        from repro.busgen.algorithm import generate_bus
+        from repro.protogen.refine import refine_system
+        refined = refine_system(flc.system,
+                                [generate_bus(flc.bus_b)])
+        result = simulate(refined, schedule=flc.schedule,
+                          faults=FaultPlan())
+        assert result.fault_records == []
+
+
+# ---------------------------------------------------------------------------
+# Kernel additions
+# ---------------------------------------------------------------------------
+
+class TestWaitOnTimeout:
+    def test_timeout_wakes_without_signal_change(self):
+        flag = Signal("flag")
+        woke_at = []
+
+        def proc():
+            yield WaitOn(flag, lambda: flag.value == 1, timeout=5)
+            woke_at.append(sim.now)
+
+        sim = Simulator()
+        sim.add_process("p", proc())
+        sim.run()
+        assert woke_at == [5]
+        assert flag.value == 0
+
+    def test_signal_change_beats_timeout(self):
+        flag = Signal("flag")
+        woke_at = []
+
+        def setter():
+            yield Wait(2)
+            flag.set(1)
+
+        def waiter():
+            yield WaitOn(flag, lambda: flag.value == 1, timeout=50)
+            woke_at.append(sim.now)
+
+        sim = Simulator()
+        sim.add_process("w", waiter())
+        sim.add_process("s", setter())
+        sim.run()
+        assert woke_at == [2]
+
+    def test_timeout_must_be_positive_int(self):
+        flag = Signal("flag")
+        for bad in (0, -1, 1.5):
+            with pytest.raises(SimulationError, match="timeout"):
+                WaitOn(flag, timeout=bad)
+
+
+class TestCallAt:
+    def test_callback_runs_at_clock(self):
+        flag = Signal("flag")
+        seen = []
+
+        def proc():
+            yield WaitOn(flag, lambda: flag.value == 1, timeout=20)
+            seen.append((sim.now, flag.value))
+
+        sim = Simulator()
+        sim.add_process("p", proc())
+        sim.call_at(7, lambda: flag.force(1))
+        sim.run()
+        assert seen == [(7, 1)]
+
+    def test_past_clock_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_at(-1, lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# Protected handshake on Figure 3
+# ---------------------------------------------------------------------------
+
+class TestProtectedFig3:
+    @pytest.mark.parametrize("mode", ["parity", "crc8"])
+    def test_fault_free_run_matches_plain(self, mode):
+        _, refined = refined_fig3(protection=mode)
+        result = simulate(refined, schedule=["P", "Q"])
+        assert_fig3_values(result.final_values)
+        assert all(t.retries == 0
+                   for log in result.transactions.values()
+                   for t in log)
+
+    @pytest.mark.parametrize("mode", ["parity", "crc8"])
+    def test_flip_on_first_write_recovers(self, mode):
+        _, refined = refined_fig3(protection=mode)
+        bus = refined.buses[0].structure.name
+        plan = FaultPlan([Fault(kind=FaultKind.BIT_FLIP, bus=bus,
+                                flip_mask=0b1, transaction=0, word=0)])
+        result = simulate(refined, schedule=["P", "Q"], faults=plan)
+        assert_fig3_values(result.final_values)
+        assert len(result.fault_records) == 1
+        assert sum(t.retries for log in result.transactions.values()
+                   for t in log) == 1
+
+    def test_protected_half_handshake_rejected(self):
+        fig3 = make_fig3()
+        with pytest.raises(Exception, match="full_handshake"):
+            generate_protocol(fig3.system, fig3.group, width=8,
+                              protocol=HALF_HANDSHAKE,
+                              protection="parity")
+
+    def test_retry_budget_exhausts_on_persistent_fault(self):
+        _, refined = refined_fig3(protection="crc8")
+        bus = refined.buses[0].structure.name
+        # A repeating flip corrupts every attempt including retries.
+        plan = FaultPlan([Fault(kind=FaultKind.BIT_FLIP, bus=bus,
+                                flip_mask=0b1, word=0, once=False)])
+        with pytest.raises(SimulationError, match="gave up"):
+            simulate(refined, schedule=["P", "Q"], faults=plan)
+
+    @pytest.mark.parametrize("mode", ["parity", "crc8"])
+    def test_analysis_pass_clean_on_generated_design(self, mode):
+        _, refined = refined_fig3(protection=mode)
+        ds = analyze_refined(refined)
+        assert not any(code.startswith("P6") for code in ds.codes())
+
+    def test_protection_plan_normalizer(self):
+        assert as_protection_plan(None) is None
+        plan = as_protection_plan("crc8")
+        assert plan.protection is get_protection("crc8")
+        assert as_protection_plan(plan) is plan

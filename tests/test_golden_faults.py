@@ -1,0 +1,70 @@
+"""Golden-log regression for protected and faulty FLC runs.
+
+Four committed goldens pin the fault-tolerant protocol paths:
+
+* ``flc_parity`` / ``flc_crc8`` -- fault-free runs of each protected
+  variant, proving the protected handshakes are deterministic;
+* ``flc_parity_faulty`` / ``flc_crc8_faulty`` -- the same designs
+  under a fixed single fault (a DATA bit flip, a dropped DONE edge),
+  pinning the exact retry/recovery trace clock for clock.
+
+The plain (seed) goldens stay untouched: the parity zero-cost test
+asserts the fault-free parity transaction log is identical, row for
+row, to the unprotected one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests import golden_util
+
+
+@pytest.mark.parametrize("slug", sorted(golden_util.GOLDEN_VARIANTS))
+def test_variant_matches_golden(slug):
+    fresh = golden_util.capture_variant(slug)
+    golden = golden_util.load_golden(slug)
+    assert golden_util.dump(fresh) == golden_util.dump(golden), (
+        f"{slug}: protected/faulty capture drifted from the committed "
+        "golden; regenerate only if the change is intentional "
+        "(PYTHONPATH=src python -m tests.golden_util)"
+    )
+
+
+@pytest.mark.parametrize("slug", ["flc_parity_faulty", "flc_crc8_faulty"])
+def test_faulty_goldens_recover_to_oracle(slug):
+    golden = golden_util.load_golden(slug)
+    assert golden["oracle_ok"] is True
+    assert len(golden["faults"]) == 1, "the planned fault must fire"
+    assert sum(golden["retries"].values()) >= 1, (
+        "recovery must happen via retransmission, not silently"
+    )
+
+
+@pytest.mark.parametrize("slug", ["flc_parity", "flc_crc8"])
+def test_fault_free_goldens_have_no_retries(slug):
+    golden = golden_util.load_golden(slug)
+    assert golden["oracle_ok"] is True
+    assert golden["faults"] == []
+    assert sum(golden["retries"].values()) == 0
+
+
+def test_parity_is_zero_cost_fault_free():
+    """Parity fits the existing word: same clocks, same transactions."""
+    parity = golden_util.load_golden("flc_parity")
+    base = golden_util.load_golden("flc")
+    assert parity["end_time"] == base["end_time"]
+    trimmed = {
+        bus: [row[:7] for row in log]
+        for bus, log in parity["transactions"].items()
+    }
+    assert trimmed == base["transactions"]
+
+
+def test_faulty_runs_cost_only_the_retry():
+    """A single fault perturbs the tail, not the whole schedule."""
+    for mode in ("parity", "crc8"):
+        clean = golden_util.load_golden(f"flc_{mode}")
+        faulty = golden_util.load_golden(f"flc_{mode}_faulty")
+        assert faulty["end_time"] > clean["end_time"]
+        assert faulty["end_time"] - clean["end_time"] < 100

@@ -62,7 +62,7 @@ class TestRegistry:
 
     def test_code_families_present(self):
         families = {code[:2] for code in DIAGNOSTIC_CODES}
-        assert families == {"P1", "P2", "P3", "P4", "P5"}
+        assert families == {"P1", "P2", "P3", "P4", "P5", "P6"}
 
 
 class TestDiagnostics:

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage lint lint-examples absint-check profile bench bench-kernel bench-only reports examples verify-all clean
+.PHONY: install test coverage lint lint-examples absint-check profile bench bench-kernel bench-only reports examples verify-all verify-examples clean
 
 #: Line-coverage floor (percent) for the simulator and protocol
 #: generator packages, enforced by `make coverage` and CI.
@@ -19,7 +19,7 @@ coverage:         ## coverage gate on repro.sim + repro.protogen
 		{ echo "pytest-cov is not installed; pip install -e .[dev]"; \
 		  exit 1; }
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/ \
-		--cov=repro.sim --cov=repro.protogen \
+		--cov=repro.sim --cov=repro.protogen --cov=repro.analysis \
 		--cov-report=term-missing \
 		--cov-fail-under=$(COV_FAIL_UNDER)
 
@@ -47,7 +47,7 @@ bench-kernel:     ## kernel benches + wall-time regression gate
 	rm -rf benchmarks/reports/.baseline
 	mkdir -p benchmarks/reports/.baseline
 	cp benchmarks/reports/BENCH_*.json benchmarks/reports/.baseline/
-	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_kernel_scaling.py benchmarks/bench_three_systems.py
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_kernel_scaling.py benchmarks/bench_three_systems.py benchmarks/bench_analysis.py
 	PYTHONPATH=src $(PYTHON) benchmarks/compare_baselines.py \
 		--baseline benchmarks/reports/.baseline \
 		--fresh benchmarks/reports
@@ -64,6 +64,13 @@ verify-all:       ## verify every built-in system's refinement
 	repro-synth synth flc --verify
 	repro-synth synth answering-machine --verify
 	repro-synth synth ethernet --verify
+
+verify-examples:  ## temporal model checking on the built-in systems
+	PYTHONPATH=src $(PYTHON) -m repro.cli verify flc
+	PYTHONPATH=src $(PYTHON) -m repro.cli verify answering-machine
+	PYTHONPATH=src $(PYTHON) -m repro.cli verify ethernet
+	PYTHONPATH=src $(PYTHON) -m repro.cli verify flc --protection parity
+	PYTHONPATH=src $(PYTHON) -m repro.cli verify flc --protection crc8
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/reports

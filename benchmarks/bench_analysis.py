@@ -1,0 +1,94 @@
+"""Static-analysis and temporal-verification wall time.
+
+The lint runner (every P1xx-P7xx pass, including the model checker)
+and the standalone verifier both promise "seconds, not minutes" on the
+paper's three case studies.  This bench holds that promise to a
+number: per-system lint and verify wall times, plus one sweep of the
+seeded-defect corpus (the analyzer's regression workload), written to
+``benchmarks/reports/BENCH_analysis.json`` for the wall-time
+regression gate (``benchmarks/compare_baselines.py``).
+"""
+
+import time
+
+from benchmarks._report import format_table, write_json_report, write_report
+from repro.analysis import analyze_refined
+from repro.analysis.mc import verify_refined
+from repro.analysis.mutations import CORPUS
+from repro.apps.answering_machine import build_answering_machine
+from repro.apps.ethernet import build_ethernet
+from repro.apps.flc import build_flc
+from repro.busgen.algorithm import generate_bus
+from repro.protogen.refine import refine_system
+
+
+def _cases():
+    flc = build_flc()
+    am = build_answering_machine()
+    eth = build_ethernet()
+    return [
+        ("fuzzy logic controller", flc.system, flc.bus_b),
+        ("answering machine", am.system, am.bus),
+        ("ethernet coprocessor", eth.system, eth.bus),
+    ]
+
+
+def test_analysis_and_verification_walltime():
+    rows = []
+    systems_json = {}
+    for name, system, group in _cases():
+        refined = refine_system(system, [generate_bus(group)])
+
+        started = time.perf_counter()
+        diagnostics = analyze_refined(refined)
+        lint_seconds = time.perf_counter() - started
+        assert diagnostics.clean, (
+            f"{name}: clean build must lint clean\n"
+            + diagnostics.render_text())
+
+        started = time.perf_counter()
+        report = verify_refined(refined)
+        verify_seconds = time.perf_counter() - started
+        assert report.ok, f"{name}: clean build must verify"
+
+        systems_json[name] = {
+            "wall_seconds_lint": round(lint_seconds, 4),
+            "wall_seconds_verify": round(verify_seconds, 4),
+            "properties_proved": report.counts()["PROVED"],
+        }
+        rows.append([name, f"{lint_seconds:.3f}",
+                     f"{verify_seconds:.3f}",
+                     report.counts()["PROVED"]])
+
+    started = time.perf_counter()
+    caught = 0
+    for defect in CORPUS:
+        design = defect.build()
+        diagnostics = analyze_refined(
+            design.spec, fsm_transform=design.fsm_transform)
+        caught += defect.code in diagnostics.codes()
+    corpus_seconds = time.perf_counter() - started
+    assert caught == len(CORPUS)
+
+    lines = [
+        "Static analysis + temporal verification wall time",
+        "",
+    ]
+    lines += format_table(
+        ["system", "lint s", "verify s", "proved"], rows)
+    lines += [
+        "",
+        f"mutation corpus: {len(CORPUS)} defects analyzed in "
+        f"{corpus_seconds:.2f}s, {caught} caught",
+    ]
+    write_report("analysis", lines)
+
+    write_json_report("analysis", {
+        "benchmark": "analysis",
+        "systems": systems_json,
+        "mutation_corpus": {
+            "defects": len(CORPUS),
+            "caught": caught,
+            "wall_seconds_corpus_sweep": round(corpus_seconds, 4),
+        },
+    })

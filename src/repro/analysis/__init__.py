@@ -24,6 +24,13 @@ from repro.analysis.diagnostics import (
     Severity,
     SourceLocation,
 )
+from repro.analysis.mc import (
+    PropertyVerdict,
+    VerificationReport,
+    Witness,
+    check_temporal,
+    verify_refined,
+)
 from repro.analysis.product import ProductResult, explore_product
 from repro.analysis.runner import PASSES, analyze_refined
 from repro.analysis.width import check_widths
@@ -34,13 +41,18 @@ __all__ = [
     "FsmTransform",
     "PASSES",
     "ProductResult",
+    "PropertyVerdict",
     "Severity",
     "SourceLocation",
+    "VerificationReport",
+    "Witness",
     "analyze_refined",
     "check_contention",
     "check_dead_code",
     "check_fsm_pair",
     "check_handshakes",
+    "check_temporal",
     "check_widths",
     "explore_product",
+    "verify_refined",
 ]

@@ -18,7 +18,7 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import AnalysisError, diagnostic_summary
 
@@ -178,19 +178,25 @@ class DiagnosticSet:
 
         Independent passes can rediscover the same defect (e.g. a width
         pass and a value-flow pass both flagging one channel).  The
-        first report wins -- passes run cheapest-first, and the keep-
-        first rule makes output independent of later pass additions.
-        Returns the number of diagnostics removed.
+        *highest-severity* report wins -- an error must never be
+        shadowed by an earlier warning-level sighting of the same
+        (code, location); on equal severity the first report is kept,
+        preserving the cheapest-pass-first output order.  Returns the
+        number of diagnostics removed.
         """
-        seen = set()
+        slots: Dict[Tuple[str, str], int] = {}
         kept: List[Diagnostic] = []
         for diagnostic in self.diagnostics:
             key = (diagnostic.code, str(diagnostic.location)
                    if diagnostic.location else "")
-            if key in seen:
-                continue
-            seen.add(key)
-            kept.append(diagnostic)
+            slot = slots.get(key)
+            if slot is None:
+                slots[key] = len(kept)
+                kept.append(diagnostic)
+            elif diagnostic.severity > kept[slot].severity:
+                # Upgrade in place: position stays first-seen, content
+                # comes from the most severe sighting.
+                kept[slot] = diagnostic
         removed = len(self.diagnostics) - len(kept)
         self.diagnostics = kept
         return removed

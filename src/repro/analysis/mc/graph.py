@@ -1,0 +1,291 @@
+"""Counter-extended product graph: the model checker's Kripke structure.
+
+The product automaton of :mod:`repro.analysis.product` answers
+reachability questions, but the protected controllers of PR 5 contain
+*legitimate* in-flight cycles: the RETRY / VERIFY retransmission loops.
+Naive cycle detection would refute liveness for every protected design.
+
+The classic fix is a **finite counter abstraction**: extend each
+product state with a retry counter ``k`` and let the protection plan's
+budget ``B = ceil(max_retries / retry_step)`` guard the retransmission
+back-edges (the :attr:`~repro.protogen.fsm.FsmTransition.is_retry`
+marks placed by FSM synthesis).  A retry edge fires normally while
+``k < B`` and increments ``k``; once the budget is exhausted the
+controller gives up and returns to rest, exactly like the simulator's
+protected accessor raising after its last attempt.  Reaching the rest
+state resets ``k``.  Under this abstraction every *budgeted* retry loop
+unrolls into an acyclic ladder, so any in-flight cycle that survives in
+the extended graph is a genuine temporal violation.
+
+Edges that re-enter the attempt-start state (the target of the
+``invoke`` transition) from an in-flight state are *retry-shaped* even
+when unmarked; a retry-shaped edge with no plan to budget it means the
+abstraction cannot bound the loop at all (P705).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.analysis.product import (
+    MAX_PRODUCT_STATES,
+    ProductState,
+    _Explorer,
+)
+from repro.errors import AnalysisError
+from repro.protocols import ProtectionPlan
+from repro.protogen.fsm import FsmState, FsmTransition, ProtocolFsm
+
+#: Hard cap on the retry counter: a budget beyond this would blow the
+#: extended state space up instead of abstracting it (P705).
+COUNTER_CAP = 64
+
+#: ``drive DATA(hi:lo) <= field`` actions, at bit granularity.
+_DATA_DRIVE_RE = re.compile(r"^drive DATA\((\d+):(\d+)\)")
+
+#: Word index embedded in synthesized state names (W3_REQ, W3 ...).
+_WORD_RE = re.compile(r"W(\d+)")
+
+#: An extended state: (base product state, retry counter).
+XState = Tuple[ProductState, int]
+
+
+# ---------------------------------------------------------------------------
+# Drive sets (race granularity)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DriveSet:
+    """Everything one FSM state puts on the wires while occupied."""
+
+    #: Control lines driven (START, DONE, NACK ...), regardless of level:
+    #: two simultaneous drivers on one wire conflict even when they
+    #: agree on the value.
+    controls: FrozenSet[str] = frozenset()
+    #: OR of all driven DATA bit ranges, as a wire mask.
+    data_mask: int = 0
+    #: True when the state drives the ID lines.
+    drives_id: bool = False
+    #: Word index the state serves, when the name encodes one.  The
+    #: strobe master clears the shared word before each strobe
+    #: (``_clear_word`` in :mod:`repro.sim.bus`), so DATA drives of
+    #: *different* words are temporally separated and never conflict.
+    word: Optional[int] = None
+
+
+def drive_set(state: FsmState) -> DriveSet:
+    """Parse one state's actions into a :class:`DriveSet`."""
+    controls = set()
+    mask = 0
+    drives_id = False
+    for action in state.actions:
+        match = _DATA_DRIVE_RE.match(action)
+        if match:
+            hi, lo = int(match.group(1)), int(match.group(2))
+            mask |= ((1 << (hi - lo + 1)) - 1) << lo
+        elif action.startswith("drive ID = "):
+            drives_id = True
+        elif " <= '" in action and not action.startswith(("drive ",
+                                                          "latch ")):
+            controls.add(action.split(" <= ", 1)[0].strip())
+    word_match = _WORD_RE.match(state.name)
+    word = int(word_match.group(1)) if word_match else None
+    return DriveSet(controls=frozenset(controls), data_mask=mask,
+                    drives_id=drives_id, word=word)
+
+
+# ---------------------------------------------------------------------------
+# Retry structure
+# ---------------------------------------------------------------------------
+
+def attempt_starts(fsm: ProtocolFsm) -> FrozenSet[str]:
+    """Targets of the environment's ``invoke`` transitions: the states
+    where a fresh message attempt begins (W0_REQ / W0 / GRANT)."""
+    from repro.analysis.product import parse_guard
+
+    initial = fsm.initial_state().name
+    starts = set()
+    for transition in fsm.successors(initial):
+        if parse_guard(transition.guard).invoke:
+            starts.add(transition.target)
+    return frozenset(starts)
+
+
+def retry_shaped(fsm: ProtocolFsm) -> List[FsmTransition]:
+    """In-flight back-edges into an attempt-start state.
+
+    These re-enter the word cycle without passing through rest --
+    the structural signature of a retransmission loop, whether or not
+    synthesis marked them ``is_retry``.
+    """
+    starts = attempt_starts(fsm)
+    initial = fsm.initial_state().name
+    return [t for t in fsm.transitions
+            if t.target in starts and t.source != initial]
+
+
+def retry_budget(plan: Optional[ProtectionPlan]) -> Optional[int]:
+    """Finite retry budget, or None when no finite bound exists."""
+    if plan is None or plan.retry_step < 1:
+        return None
+    return -(-plan.max_retries // plan.retry_step)
+
+
+# ---------------------------------------------------------------------------
+# The extended graph
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EdgeLabel:
+    """Who moved on one product edge, and whether it was a retry."""
+
+    accessor: Optional[FsmTransition]
+    server: Optional[FsmTransition]
+    #: True when the accessor edge is a (marked or retry-shaped)
+    #: retransmission back-edge that fired un-redirected.
+    retry: bool = False
+
+    @property
+    def sides(self) -> FrozenSet[str]:
+        moved = set()
+        if self.accessor is not None:
+            moved.add("accessor")
+        if self.server is not None:
+            moved.add("server")
+        return frozenset(moved)
+
+
+@dataclass
+class TemporalGraph:
+    """The explored counter-extended product graph of one channel."""
+
+    accessor: ProtocolFsm
+    server: ProtocolFsm
+    plan: Optional[ProtectionPlan]
+    budget: Optional[int]
+    #: Reason the counter abstraction could not be built, or None.
+    abstraction_failure: Optional[str]
+    #: True when the accessor has marked or retry-shaped back-edges.
+    has_retry: bool = False
+    initial: XState = None  # type: ignore[assignment]
+    states: List[XState] = field(default_factory=list)
+    edges: Dict[XState, List[Tuple[XState, EdgeLabel]]] = \
+        field(default_factory=dict)
+    #: BFS tree: state -> (parent state, edge label), None at the root.
+    parents: Dict[XState, Optional[Tuple[XState, EdgeLabel]]] = \
+        field(default_factory=dict)
+    a_rest: str = ""
+    s_rest: str = ""
+
+    def is_rest(self, xstate: XState) -> bool:
+        base, _ = xstate
+        return base[0] == self.a_rest and base[1] == self.s_rest
+
+    def path_to(self, xstate: XState) -> List[EdgeLabel]:
+        """Edge labels along the BFS tree from the initial state."""
+        labels: List[EdgeLabel] = []
+        cursor = xstate
+        while True:
+            parent = self.parents[cursor]
+            if parent is None:
+                break
+            cursor, label = parent
+            labels.append(label)
+        labels.reverse()
+        return labels
+
+    def describe_state(self, xstate: XState) -> str:
+        (a_state, s_state, lines, id_code), k = xstate
+        levels = ", ".join(f"{line}={value}"
+                           for line, value in sorted(lines))
+        text = f"accessor@{a_state}, server@{s_state}"
+        if levels:
+            text += f", {levels}"
+        if id_code is not None:
+            text += f', ID="{id_code}"'
+        if k:
+            text += f", retries={k}"
+        return text
+
+
+def build_temporal_graph(accessor: ProtocolFsm, server: ProtocolFsm,
+                         plan: Optional[ProtectionPlan] = None,
+                         ) -> TemporalGraph:
+    """BFS the counter-extended product graph of one channel pair."""
+    explorer = _Explorer(accessor, server)
+    a_rest = accessor.initial_state().name
+    s_rest = server.initial_state().name
+    shaped = {(t.source, t.target, t.guard) for t in retry_shaped(accessor)}
+    marked = any(t.is_retry for t in accessor.transitions)
+    has_retry = marked or bool(shaped)
+
+    budget = retry_budget(plan)
+    failure: Optional[str] = None
+    if has_retry and plan is None:
+        failure = ("controller has retransmission back-edges but the bus "
+                   "carries no protection plan to budget them")
+    elif budget is not None and budget > COUNTER_CAP:
+        failure = (f"retry budget {budget} exceeds the counter "
+                   f"abstraction cap ({COUNTER_CAP})")
+        budget = None
+
+    graph = TemporalGraph(accessor=accessor, server=server, plan=plan,
+                          budget=budget, abstraction_failure=failure,
+                          has_retry=has_retry,
+                          a_rest=a_rest, s_rest=s_rest)
+    initial: XState = (explorer._initial(), 0)
+    graph.initial = initial
+    graph.states.append(initial)
+    graph.parents[initial] = None
+    seen = {initial}
+    frontier = deque([initial])
+    cap = MAX_PRODUCT_STATES
+
+    while frontier:
+        xstate = frontier.popleft()
+        base, counter = xstate
+        out: List[Tuple[XState, EdgeLabel]] = []
+        for move in explorer._moves(base):
+            t_a, t_s = move
+            # Only *marked* retry edges consume budget: synthesis
+            # guarantees the mark, and a retry-shaped edge that lost it
+            # bypasses the counter -- exactly the defect P702 reports.
+            consumes = t_a is not None and t_a.is_retry
+            is_retry_edge = consumes or (
+                t_a is not None
+                and (t_a.source, t_a.target, t_a.guard) in shaped)
+            redirect = False
+            next_counter = counter
+            if consumes and budget is not None:
+                if counter < budget:
+                    next_counter = counter + 1
+                else:
+                    # Budget exhausted: the controller gives up and
+                    # returns to rest (the simulator raises here).
+                    redirect = True
+                    next_counter = 0
+            fired_a = replace(t_a, target=a_rest) if redirect else t_a
+            next_base = explorer._fire(base, (fired_a, t_s))
+            if next_base[0] == a_rest and next_base[1] == s_rest:
+                next_counter = 0
+            target: XState = (next_base, next_counter)
+            # Witness steps record the transition that actually fired:
+            # on give-up redirects that is the rest-bound edge, so a
+            # replay can follow the schedule literally.
+            label = EdgeLabel(accessor=fired_a, server=t_s,
+                              retry=is_retry_edge and not redirect)
+            out.append((target, label))
+            if target not in seen:
+                if len(seen) >= cap:
+                    raise AnalysisError(
+                        f"temporal graph of {accessor.name} x "
+                        f"{server.name} exceeds {cap} states")
+                seen.add(target)
+                graph.states.append(target)
+                graph.parents[target] = (xstate, label)
+                frontier.append(target)
+        graph.edges[xstate] = out
+    return graph

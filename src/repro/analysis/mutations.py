@@ -157,6 +157,105 @@ def _fsm_defect(transform: FsmTransform) -> Callable[[], MutatedDesign]:
     return build
 
 
+def _protected_fsm_defect(transform: FsmTransform,
+                          protection: str = "crc8",
+                          ) -> Callable[[], MutatedDesign]:
+    def build() -> MutatedDesign:
+        return MutatedDesign(build_target(protection=protection),
+                             fsm_transform=transform)
+    return build
+
+
+# ----------------------------------------------------------------------
+# Temporal (P7xx) controller mutations
+# ----------------------------------------------------------------------
+
+def _last_word(fsm: ProtocolFsm, suffix: str) -> Optional[int]:
+    """Highest word index among ``W{k}{suffix}`` state names."""
+    indices = [int(m.group(1)) for s in fsm.states
+               if (m := re.match(rf"W(\d+){re.escape(suffix)}$", s.name))]
+    return max(indices) if indices else None
+
+
+def _ack_never_raised(fsm: ProtocolFsm) -> ProtocolFsm:
+    # Only the *final* serve state forgets DONE: earlier words complete
+    # normally, so the violation is a genuinely temporal "response never
+    # arrives" rather than a wholesale dead handshake.
+    if fsm.role is not Role.SERVER:
+        return fsm
+    last = _last_word(fsm, "_SRV")
+    if last is None:
+        return fsm
+    name = f"W{last}_SRV"
+    states = [replace(s, actions=tuple(a for a in s.actions
+                                       if a != "DONE <= '1'"))
+              if s.name == name else s
+              for s in fsm.states]
+    return replace(fsm, states=states)
+
+
+def _retry_counter_reset(fsm: ProtocolFsm) -> ProtocolFsm:
+    # The retransmission back-edges lose their budget marks, so the
+    # counter abstraction can no longer prove the loop exhausts the
+    # plan's retry allowance.
+    if fsm.role is not Role.ACCESSOR:
+        return fsm
+    return replace(fsm, transitions=[replace(t, is_retry=False)
+                                     for t in fsm.transitions])
+
+
+def _double_driver_on_nack(fsm: ProtocolFsm) -> ProtocolFsm:
+    # The accessor "helpfully" holds the NACK wire low while waiting
+    # for the final acknowledge -- the exact state in which the
+    # protected write server drives its accept/NACK verdict.
+    if fsm.role is not Role.ACCESSOR:
+        return fsm
+    last = _last_word(fsm, "_REQ")
+    if last is None:
+        return fsm
+    name = f"W{last}_REQ"
+    states = [replace(s, actions=s.actions + ("NACK <= '0'",))
+              if s.name == name else s
+              for s in fsm.states]
+    return replace(fsm, states=states)
+
+
+def _server_stutter_loop(fsm: ProtocolFsm) -> ProtocolFsm:
+    # The final serve state oscillates with an echo twin while START
+    # stays high.  Every transition remains fireable and rest remains
+    # reachable, but a scheduler that keeps picking the server spins
+    # forever -- completion now *relies* on fairness.
+    if fsm.role is not Role.SERVER:
+        return fsm
+    last = _last_word(fsm, "_SRV")
+    if last is None:
+        return fsm
+    serve = fsm.state(f"W{last}_SRV")
+    echo = FsmState(f"W{last}_SRV2", actions=serve.actions)
+    transitions = list(fsm.transitions) + [
+        FsmTransition(serve.name, echo.name, guard="START = '1'"),
+        FsmTransition(echo.name, serve.name, guard="START = '1'"),
+        FsmTransition(echo.name, f"W{last}_DROP", guard="START = '0'"),
+    ]
+    return replace(fsm, states=list(fsm.states) + [echo],
+                   transitions=transitions)
+
+
+def _retry_without_plan(fsm: ProtocolFsm) -> ProtocolFsm:
+    # A hand-added retransmission loop on an *unprotected* bus: the
+    # verifier has no plan to budget it, so the counter abstraction
+    # cannot bound the loop at all.
+    if fsm.role is not Role.ACCESSOR:
+        return fsm
+    last = _last_word(fsm, "_ACK")
+    if last is None:
+        return fsm
+    transitions = list(fsm.transitions) + [
+        FsmTransition(f"W{last}_ACK", "W0_REQ", guard="DONE = '1'"),
+    ]
+    return replace(fsm, transitions=transitions)
+
+
 # ----------------------------------------------------------------------
 # Structural mutations
 # ----------------------------------------------------------------------
@@ -551,4 +650,29 @@ CORPUS: List[SeededDefect] = [
         "zero_timeout", "P604",
         "the protection timeout constant is zeroed",
         _zero_timeout),
+    SeededDefect(
+        "ack_never_raised", "P701",
+        "the server's final serve state forgets to raise DONE, so the "
+        "last word's request is never acknowledged",
+        _fsm_defect(_ack_never_raised)),
+    SeededDefect(
+        "retry_counter_reset_in_loop", "P702",
+        "the retransmission edges lose their retry-budget marks, so "
+        "the loop provably never exhausts the plan's allowance",
+        _protected_fsm_defect(_retry_counter_reset)),
+    SeededDefect(
+        "double_driver_on_nack", "P703",
+        "the accessor drives the NACK wire in the same reachable state "
+        "where the protected write server drives its verdict",
+        _protected_fsm_defect(_double_driver_on_nack)),
+    SeededDefect(
+        "server_stutter_loop", "P704",
+        "the final serve state oscillates with an echo twin while "
+        "START is high: completion relies entirely on fair scheduling",
+        _fsm_defect(_server_stutter_loop)),
+    SeededDefect(
+        "retry_without_plan", "P705",
+        "a hand-added retransmission loop on an unprotected bus defeats "
+        "the counter abstraction (no plan to budget it)",
+        _fsm_defect(_retry_without_plan)),
 ]

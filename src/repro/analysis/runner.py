@@ -22,6 +22,7 @@ from repro.analysis.contention import check_contention
 from repro.analysis.deadcode import check_dead_code
 from repro.analysis.deadlock import FsmTransform, check_handshakes
 from repro.analysis.diagnostics import DiagnosticSet
+from repro.analysis.mc.passes import check_temporal
 from repro.analysis.protection import check_protection
 from repro.analysis.width import check_widths
 from repro.obs.tracer import span as obs_span
@@ -40,6 +41,7 @@ PASSES: List[Tuple[str, Pass]] = [
     ("protection", check_protection),
     ("deadcode", check_dead_code),
     ("handshake", check_handshakes),
+    ("temporal", check_temporal),
 ]
 
 
@@ -72,6 +74,10 @@ def analyze_refined(spec: RefinedSpec,
                 elif check is check_handshakes:
                     check_handshakes(spec, diagnostics,
                                      fsm_transform=fsm_transform)
+                elif check is check_temporal:
+                    check_temporal(spec, diagnostics,
+                                   fsm_transform=fsm_transform,
+                                   analysis=analysis)
                 else:
                     check(spec, diagnostics)
         deduped = diagnostics.dedupe()

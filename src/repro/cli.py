@@ -107,7 +107,8 @@ def _observability_requested(args: argparse.Namespace) -> bool:
 
 
 def _write_observability(args: argparse.Namespace, tracer,
-                         simulations, sim_runs) -> None:
+                         simulations, sim_runs,
+                         verification=None) -> None:
     """Write --metrics-out / --trace-out files from a traced run."""
     from repro.obs import export as obs_export
     from repro.obs import report as obs_report
@@ -117,6 +118,7 @@ def _write_observability(args: argparse.Namespace, tracer,
             meta={"command": args.command, "system": args.system,
                   "protocol": args.protocol},
             tracer=tracer, simulations=simulations,
+            verification=verification,
         )
         if args.metrics_format == "prom":
             with open(args.metrics_out, "w", encoding="utf-8") as handle:
@@ -152,7 +154,8 @@ def cmd_synth(args: argparse.Namespace) -> int:
                 args.system, captured["result"], sim_metrics))
             sim_runs.append((args.system, captured["result"].transactions,
                              captured["result"].fault_records))
-        _write_observability(args, tracer, simulations, sim_runs)
+        _write_observability(args, tracer, simulations, sim_runs,
+                             verification=captured.get("verification"))
     return code
 
 
@@ -331,6 +334,21 @@ def _synth_flow(args: argparse.Namespace, sim_metrics, captured) -> int:
         print(synthesis_report(refined))
 
     if args.vhdl:
+        # Temporal proof gate: refuted response/retry/race properties
+        # mean the controllers are wrong -- emitting HDL for them would
+        # hand a provably broken design to logic synthesis.
+        from repro.analysis.mc import verify_refined as mc_verify
+
+        verification = mc_verify(refined)
+        if captured is not None:
+            captured["verification"] = verification.to_dict()
+        print()
+        print("temporal verification:")
+        print(verification.render_text())
+        if _verification_blocks(verification):
+            print("temporal verification refuted a liveness/race "
+                  "property; VHDL emission blocked")
+            return 1
         text = emit_refined_spec(refined)
         structures = [bus.structure for bus in refined.buses]
         validate_vhdl(text, structures=structures).raise_if_failed()
@@ -341,15 +359,29 @@ def _synth_flow(args: argparse.Namespace, sim_metrics, captured) -> int:
     return 0
 
 
-def cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis import Severity, analyze_refined
+def _verification_blocks(report) -> bool:
+    """True when a verdict refutes at error severity (P704 starvation
+    is a warning and does not block emission)."""
+    from repro.analysis.diagnostics import Severity
+    from repro.analysis.mc.passes import SEVERITIES
 
-    system, groups, schedule, oracle = _load_system(args.system)
+    return any(
+        verdict.status != "PROVED" and verdict.code is not None
+        and SEVERITIES.get(verdict.code) is Severity.ERROR
+        for verdict in report.verdicts)
+
+
+def _build_refined(system_name: str, protocol, widths=None,
+                   protection=None):
+    """Build the refined spec the flow would synthesize for a system.
+
+    Shared by ``lint`` and ``verify``: generates one bus per group
+    (splitting infeasible groups exactly as ``synth`` does) and refines
+    at the requested protocol/protection.
+    """
+    system, groups, schedule, oracle = _load_system(system_name)
     if not isinstance(groups, list):
         groups = [groups]
-    protocol = get_protocol(args.protocol)
-    widths = [args.width] if args.width is not None else None
-
     plans = []
     for group in groups:
         try:
@@ -360,13 +392,21 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 # A designer-specified width that violates Equation 1
                 # is the designer's problem to resolve; keep the error.
                 raise
-            # Lint the design the flow would actually build: an
+            # Analyze the design the flow would actually build: an
             # infeasible group is split across several buses, exactly
             # as `synth` does (Section 3 step 5).
             result = split_group(group, protocol=protocol)
             print(f"note: {result.describe()}")
             plans.extend(result.designs)
-    refined = refine_system(system, plans)
+    return refine_system(system, plans, protection=protection)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import Severity, analyze_refined
+
+    protocol = get_protocol(args.protocol)
+    widths = [args.width] if args.width is not None else None
+    refined = _build_refined(args.system, protocol, widths=widths)
 
     diagnostics = analyze_refined(refined)
     if args.json:
@@ -376,6 +416,116 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     threshold = Severity.parse(args.fail_on)
     return 1 if diagnostics.at_least(threshold) else 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Temporal model checking: prove or refute the liveness/race
+    properties of every generated channel, with replayable witnesses."""
+    import json as json_module
+    import os
+
+    from repro.analysis.diagnostics import Severity
+    from repro.analysis.mc import verify_refined
+    from repro.analysis.mc.passes import SEVERITIES
+
+    if args.replay:
+        return _replay_witness_file(args.replay)
+
+    protection = args.protection if args.protection != "none" else None
+    transform = None
+    meta = {}
+    if args.mutate:
+        from repro.analysis.mutations import CORPUS
+
+        defect = next((d for d in CORPUS if d.name == args.mutate), None)
+        if defect is None:
+            names = ", ".join(sorted(d.name for d in CORPUS))
+            raise SystemExit(f"unknown mutation {args.mutate!r}; "
+                             f"choose from: {names}")
+        design = defect.build()
+        refined, transform = design.spec, design.fsm_transform
+        meta["mutation"] = defect.name
+        print(f"seeded defect {defect.name} [{defect.code}]: "
+              f"{defect.description}")
+    else:
+        protocol = get_protocol(args.protocol)
+        widths = [args.width] if args.width is not None else None
+        refined = _build_refined(args.system, protocol, widths=widths,
+                                 protection=protection)
+        # The loadable name (may differ from spec.name): lets --replay
+        # rebuild the exact design later.
+        meta["system_arg"] = args.system
+
+    report = verify_refined(refined, fsm_transform=transform,
+                            witness_meta=meta)
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2,
+                                sort_keys=True))
+    else:
+        print(report.render_text())
+
+    if args.witness_dir:
+        os.makedirs(args.witness_dir, exist_ok=True)
+        for index, witness in enumerate(report.witnesses):
+            path = os.path.join(
+                args.witness_dir,
+                f"witness_{index:02d}_{witness.code}_"
+                f"{witness.channel}.json")
+            witness.save(path)
+            if not args.json:
+                print(f"witness written to {path}")
+
+    blocking = Severity.WARNING if args.fail_on == "warning" \
+        else Severity.ERROR
+    failed = any(
+        v.status != "PROVED" and v.code is not None
+        and SEVERITIES.get(v.code, Severity.ERROR) >= blocking
+        for v in report.verdicts)
+    return 1 if failed else 0
+
+
+def _replay_witness_file(path: str) -> int:
+    """Re-synthesize the witnessed pair and run the schedule through
+    the event kernel.  Exit 0 when the violation reproduces, 2 when
+    the kernel run does not confirm it."""
+    from repro.analysis.mc import Witness
+    from repro.protogen.fsm import synthesize_fsm
+    from repro.sim.replay import replay_witness
+
+    witness = Witness.load(path)
+    transform = None
+    mutation = witness.meta.get("mutation")
+    if mutation:
+        from repro.analysis.mutations import CORPUS
+
+        defect = next((d for d in CORPUS if d.name == mutation), None)
+        if defect is None:
+            raise SystemExit(
+                f"witness references unknown mutation {mutation!r}")
+        design = defect.build()
+        refined, transform = design.spec, design.fsm_transform
+        print(f"rebuilding seeded defect {mutation}")
+    else:
+        name = witness.meta.get("system_arg", witness.system)
+        refined = _build_refined(name, get_protocol(witness.protocol),
+                                 protection=witness.protection)
+    bus = next((b for b in refined.buses if b.name == witness.bus), None)
+    if bus is None or witness.channel not in bus.procedures:
+        raise SystemExit(
+            f"witness names {witness.bus}/{witness.channel}, which the "
+            f"rebuilt {refined.name} does not contain")
+    pair = bus.procedures[witness.channel]
+    accessor = synthesize_fsm(pair.accessor, bus.structure)
+    server = synthesize_fsm(pair.server, bus.structure)
+    if transform is not None:
+        accessor = transform(accessor)
+        server = transform(server)
+    result = replay_witness(witness, accessor, server,
+                            width=bus.structure.width)
+    print(f"replaying {witness.property_id} [{witness.code}] on "
+          f"{witness.bus}/{witness.channel} ({witness.kind})")
+    print(result.render_text())
+    return 0 if result.confirmed else 2
 
 
 #: Systems `repro-synth profile` covers when asked for "all".
@@ -612,6 +762,45 @@ def build_parser() -> argparse.ArgumentParser:
                            "above this severity is reported "
                            "(default: error)")
     lint.set_defaults(func=cmd_lint)
+
+    verify = sub.add_parser(
+        "verify",
+        help="temporal model checking: prove response, retry "
+             "termination, race- and starvation-freedom for every "
+             "generated channel; refutations carry replayable "
+             "witnesses")
+    verify.add_argument("system", nargs="?", default="flc",
+                        help="flc, answering-machine, ethernet, or a "
+                             "path to a .spec file (default: flc)")
+    verify.add_argument("--protocol", default="full_handshake",
+                        choices=sorted(PROTOCOLS))
+    verify.add_argument("--protection", default="none",
+                        choices=["none", "parity", "crc8"],
+                        help="verify the fault-tolerant variant "
+                             "(NACK/timeout/retry controllers)")
+    verify.add_argument("--width", type=int,
+                        help="designer-specified buswidth "
+                             "(default: run bus generation)")
+    verify.add_argument("--json", action="store_true",
+                        help="machine-readable verdicts on stdout")
+    verify.add_argument("--witness-dir", metavar="DIR",
+                        help="write each refutation's witness schedule "
+                             "as replayable JSON into DIR")
+    verify.add_argument("--mutate", metavar="NAME",
+                        help="seed a named defect from the mutation "
+                             "corpus before checking (ignores the "
+                             "system argument; the corpus builds FLC)")
+    verify.add_argument("--replay", metavar="WITNESS.json",
+                        help="re-synthesize the witnessed controller "
+                             "pair and run the schedule through the "
+                             "event kernel; exit 0 iff the violation "
+                             "reproduces concretely (2 otherwise)")
+    verify.add_argument("--fail-on", default="error",
+                        choices=["warning", "error"],
+                        help="exit non-zero when a property refutes at "
+                             "or above this severity (default: error; "
+                             "P704 starvation is a warning)")
+    verify.set_defaults(func=cmd_verify)
 
     profile = sub.add_parser(
         "profile",

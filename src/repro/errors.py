@@ -120,8 +120,10 @@ class AnalysisError(ReproError):
 #: Registry of every diagnostic code the static analyzer may emit.
 #: Families: P1xx handshake deadlock/livelock, P2xx bus contention,
 #: P3xx width/capacity, P4xx dead code, P5xx value-flow (abstract
-#: interpretation), P6xx fault-tolerance (protection plans).  Codes
-#: are stable: once published they are never renumbered or reused.
+#: interpretation), P6xx fault-tolerance (protection plans), P7xx
+#: temporal verification (fair-liveness, retry bounds, drive races).
+#: Codes are stable: once published they are never renumbered or
+#: reused.
 DIAGNOSTIC_CODES: Dict[str, str] = {
     "P101": "handshake deadlock: sender/receiver product automaton "
             "reaches a state with no enabled transition",
@@ -169,6 +171,20 @@ DIAGNOSTIC_CODES: Dict[str, str] = {
             "shadows a protocol control line of the same bus",
     "P604": "timeout too short: the protection plan's timeout cannot "
             "cover even a single handshake phase",
+    "P701": "temporal response violation: an asserted request is never "
+            "acknowledged along some fair schedule, or data is "
+            "committed while the NACK line is asserted",
+    "P702": "unbounded retry: a retransmission loop re-enters the word "
+            "cycle without consuming retry budget, so no clock bound "
+            "on message delivery exists",
+    "P703": "signal drive race: two processes can drive the same "
+            "control or data line in overlapping reachable windows",
+    "P704": "unfair starvation: a transfer only completes because of "
+            "the fairness assumption -- one side can be scheduled "
+            "forever while the other stays enabled but never runs",
+    "P705": "retry/timeout abstraction failure: the controller has "
+            "retry-shaped loops no protection plan bounds, so the "
+            "finite counter abstraction cannot prove termination",
 }
 
 

@@ -78,12 +78,21 @@ def sim_section(system: str, result: Any,
 def run_report(meta: Mapping[str, Any],
                tracer: Optional[Tracer] = None,
                simulations: Optional[List[Dict[str, Any]]] = None,
+               verification: Optional[Dict[str, Any]] = None,
                ) -> Dict[str, Any]:
-    """The unified machine-readable run report."""
-    return {
+    """The unified machine-readable run report.
+
+    ``verification`` is the ``to_dict()`` payload of a temporal
+    :class:`~repro.analysis.mc.checker.VerificationReport` when the run
+    model-checked the design (``synth --vhdl`` / ``verify``).
+    """
+    payload = {
         "schema": "repro.obs/run-report/v1",
         "version": __version__,
         "meta": dict(meta),
         "pipeline": tracer.to_dict() if tracer is not None else None,
         "simulations": simulations or [],
     }
+    if verification is not None:
+        payload["verification"] = verification
+    return payload

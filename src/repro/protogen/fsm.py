@@ -49,6 +49,11 @@ class FsmTransition:
     source: str
     target: str
     guard: Optional[str] = None
+    #: True on retransmission back-edges (RETRY/VERIFY -> first word
+    #: request).  The temporal verifier's finite counter abstraction
+    #: budgets exactly these edges with the protection plan's retry
+    #: allowance; synthesis never sets it on anything else.
+    is_retry: bool = False
 
     def label(self) -> str:
         return self.guard if self.guard else "tick"
@@ -287,13 +292,15 @@ def _synth_handshake(fsm: ProtocolFsm, procedure: CommProcedure,
         if nack is not None and is_write:
             fsm.states.append(FsmState("RETRY", actions=("START <= '0'",)))
             fsm.transitions.append(FsmTransition("RETRY", "W0_REQ",
-                                                 guard="DONE = '0'"))
+                                                 guard="DONE = '0'",
+                                                 is_retry=True))
         if nack is not None and not is_write:
             # The check-field comparison is internal, so the two exits
             # are nondeterministic ticks at this abstraction level.
             fsm.states.append(FsmState("VERIFY"))
             fsm.transitions.append(FsmTransition("VERIFY", "IDLE"))
-            fsm.transitions.append(FsmTransition("VERIFY", "W0_REQ"))
+            fsm.transitions.append(FsmTransition("VERIFY", "W0_REQ",
+                                                 is_retry=True))
     else:
         fsm.states.append(FsmState("WAIT", is_initial=True, is_final=True))
         guard = "START = '1'"

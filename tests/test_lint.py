@@ -1,6 +1,7 @@
 """Tests for the static protocol analyzer (repro.analysis)."""
 
 import json
+import re
 
 import pytest
 
@@ -62,7 +63,25 @@ class TestRegistry:
 
     def test_code_families_present(self):
         families = {code[:2] for code in DIAGNOSTIC_CODES}
-        assert families == {"P1", "P2", "P3", "P4", "P5", "P6"}
+        assert families == {"P1", "P2", "P3", "P4", "P5", "P6", "P7"}
+
+    def test_every_code_documented_in_linting_md(self):
+        """Registry drift vs the docs: each registered code must have
+        its own `### Pxxx` section in docs/linting.md."""
+        from pathlib import Path
+
+        doc = Path(__file__).resolve().parent.parent \
+            / "docs" / "linting.md"
+        text = doc.read_text(encoding="utf-8")
+        documented = set(re.findall(r"^### (P\d{3})", text, re.M))
+        missing = set(DIAGNOSTIC_CODES) - documented
+        assert not missing, (
+            f"codes registered but undocumented in docs/linting.md: "
+            f"{sorted(missing)}")
+        phantom = documented - set(DIAGNOSTIC_CODES)
+        assert not phantom, (
+            f"docs/linting.md documents unregistered codes: "
+            f"{sorted(phantom)}")
 
 
 class TestDiagnostics:

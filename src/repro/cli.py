@@ -528,6 +528,90 @@ def _replay_witness_file(path: str) -> int:
     return 0 if result.confirmed else 2
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Simulate with the causal flight recorder attached and explain
+    where every clock of every transaction went."""
+    import json as json_module
+
+    from repro.obs import SimMetrics
+    from repro.obs import report as obs_report
+    from repro.obs.flight import (FlightRecorder, explain_payload,
+                                  render_explain_text,
+                                  write_flight_trace)
+
+    protocol = get_protocol(args.protocol)
+    widths = [args.width] if args.width is not None else None
+    protection = args.protection if args.protection != "none" else None
+
+    system, groups, schedule, oracle = _load_system(args.system)
+    if not isinstance(groups, list):
+        groups = [groups]
+    plans = []
+    for group in groups:
+        try:
+            plans.append(generate_bus(group, protocol=protocol,
+                                      widths=widths))
+        except InfeasibleBusError:
+            if widths is not None:
+                raise
+            split = split_group(group, protocol=protocol)
+            if not args.json:
+                print(f"note: {split.describe()}")
+            plans.extend(split.designs)
+    refined = refine_system(system, plans, protection=protection)
+
+    sim_kwargs = {}
+    if args.faults:
+        from repro.sim.faults import FaultPlan
+        plan = FaultPlan.load(args.faults)
+        if not args.json:
+            print(plan.describe())
+        sim_kwargs["faults"] = plan
+
+    recorder = FlightRecorder()
+    metrics = SimMetrics()
+    aborted: Optional[str] = None
+    result = None
+    try:
+        result = simulate(refined, schedule=schedule, metrics=metrics,
+                          recorder=recorder, **sim_kwargs)
+    except SimulationError as error:
+        # Explain the run anyway -- a transfer that gave up is exactly
+        # what the journal is for.  Seal the recorder at the last
+        # journaled clock.
+        aborted = str(error)
+        last = max((event.clock for event in recorder.events),
+                   default=0)
+        recorder.finish(max(last, recorder.end_clock))
+
+    payload = explain_payload(recorder, result, system=args.system)
+    if aborted is not None:
+        payload["aborted"] = aborted
+    if args.json:
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    else:
+        if aborted is not None:
+            print(f"simulation aborted: {aborted}")
+            print()
+        print(render_explain_text(payload, top=args.top), end="")
+    if args.trace_out:
+        write_flight_trace(args.trace_out, recorder, label=args.system)
+        if not args.json:
+            print(f"flight trace written to {args.trace_out}")
+    if args.metrics_out and result is not None:
+        from repro.obs import export as obs_export
+        report_payload = obs_report.run_report(
+            meta={"command": "explain", "system": args.system,
+                  "protocol": args.protocol},
+            simulations=[obs_report.sim_section(
+                args.system, result, metrics, recorder=recorder)],
+        )
+        obs_export.write_json(report_payload, args.metrics_out)
+        if not args.json:
+            print(f"run report written to {args.metrics_out}")
+    return 2 if aborted is not None else 0
+
+
 #: Systems `repro-synth profile` covers when asked for "all".
 PROFILE_SYSTEMS = ("flc", "answering-machine", "ethernet")
 
@@ -819,6 +903,40 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: 1)")
     _add_observability_flags(profile)
     profile.set_defaults(func=cmd_profile)
+
+    explain = sub.add_parser(
+        "explain",
+        help="simulate with the causal flight recorder attached and "
+             "explain where every clock went: attribution buckets, "
+             "critical path, anomalies")
+    explain.add_argument("system",
+                         help="flc, answering-machine, ethernet, or a "
+                              "path to a .spec file")
+    explain.add_argument("--protocol", default="full_handshake",
+                         choices=sorted(PROTOCOLS))
+    explain.add_argument("--width", type=int,
+                         help="designer-specified buswidth "
+                              "(default: run bus generation)")
+    explain.add_argument("--protection", default="none",
+                         choices=["none", "parity", "crc8"],
+                         help="explain the fault-tolerant protocol "
+                              "variant")
+    explain.add_argument("--faults", metavar="PLAN.json",
+                         help="inject wire faults from a JSON fault "
+                              "plan and attribute their cost")
+    explain.add_argument("--json", action="store_true",
+                         help="machine-readable explanation "
+                              "(repro.obs/explain/v1) on stdout")
+    explain.add_argument("--top", type=int, default=5, metavar="N",
+                         help="slowest transactions / faults to list "
+                              "in the text report (default: 5)")
+    explain.add_argument("--trace-out", metavar="FILE",
+                         help="write a Perfetto/Chrome trace of the "
+                              "run on the simulated-clock timeline")
+    explain.add_argument("--metrics-out", metavar="FILE",
+                         help="write the unified run report including "
+                              "the attribution section")
+    explain.set_defaults(func=cmd_explain)
 
     sub.add_parser("fig7", help="print the Figure 7 sweep") \
         .set_defaults(func=cmd_fig7)

@@ -12,11 +12,20 @@ Public surface:
 * :mod:`repro.obs.export` -- JSON, Chrome ``trace_event`` and
   Prometheus text exporters.
 * :mod:`repro.obs.report` -- the unified machine-readable run report.
+* :class:`FlightRecorder` and :mod:`repro.obs.flight` -- causal
+  transaction journal with exact clock attribution, threaded through
+  ``simulate(..., recorder=...)`` and surfaced as ``repro-synth
+  explain``.
 
 See ``docs/observability.md`` for the metric catalogue and a
 ``repro-synth profile`` walkthrough.
 """
 
+from repro.obs.flight import (
+    FlightEvent,
+    FlightRecorder,
+    FlightTransaction,
+)
 from repro.obs.simmetrics import (
     ArbiterMetrics,
     BusMetrics,
@@ -38,6 +47,9 @@ from repro.obs.tracer import (
 __all__ = [
     "ArbiterMetrics",
     "BusMetrics",
+    "FlightEvent",
+    "FlightRecorder",
+    "FlightTransaction",
     "Histogram",
     "KernelMetrics",
     "SimMetrics",

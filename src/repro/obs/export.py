@@ -46,11 +46,24 @@ def to_chrome_trace(tracer: Tracer,
     Pipeline spans land on pid 1 ("pipeline", wall-clock microseconds,
     rebased to the first span).  Each simulated run gets its own pid
     with one tid per bus, timestamps in simulation clocks.
+
+    All pids and tids are derived from the *content* (sorted span
+    categories, sorted run labels, sorted bus names), never from
+    iteration order, so exporting the same run twice produces an
+    identical document that diffs clean.
     """
     events: List[Dict[str, Any]] = [
         {"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
          "args": {"name": "pipeline (wall clock)"}},
     ]
+    categories = sorted({span.category for span in tracer.spans})
+    category_tid = {category: tid for tid, category
+                    in enumerate(categories, start=1)}
+    for category, tid in category_tid.items():
+        events.append({
+            "ph": "M", "pid": 1, "tid": tid, "name": "thread_name",
+            "args": {"name": category},
+        })
     base_ns = min((s.start_ns for s in tracer.spans), default=0)
     for span in tracer.spans:
         events.append({
@@ -60,24 +73,38 @@ def to_chrome_trace(tracer: Tracer,
             "ts": (span.start_ns - base_ns) / 1000.0,
             "dur": span.duration_ns / 1000.0,
             "pid": 1,
-            "tid": 1,
+            "tid": category_tid[span.category],
             "args": dict(span.args),
         })
     if tracer.counters:
+        counter_tid = len(categories) + 1
+        events.append({
+            "ph": "M", "pid": 1, "tid": counter_tid,
+            "name": "thread_name", "args": {"name": "counters"},
+        })
         events.append({
             "name": "counters", "cat": "counter", "ph": "I",
-            "ts": 0.0, "pid": 1, "tid": 1, "s": "g",
+            "ts": 0.0, "pid": 1, "tid": counter_tid, "s": "g",
             "args": dict(tracer.counters),
         })
 
-    for run_index, run in enumerate(sim_runs):
+    runs = list(sim_runs)
+    # pid per run by sorted label (original order breaks label ties).
+    pid_of = {original: 100 + rank for rank, original in enumerate(
+        sorted(range(len(runs)), key=lambda i: (str(runs[i][0]), i)))}
+    for run_index, run in enumerate(runs):
         label, buses = run[0], run[1]
         fault_records = run[2] if len(run) > 2 else ()
-        pid = 100 + run_index
+        pid = pid_of[run_index]
         events.append({
             "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
             "args": {"name": f"simulation {label} (1 clock = 1 us)"},
         })
+        if fault_records:
+            events.append({
+                "ph": "M", "pid": pid, "tid": 0, "name": "thread_name",
+                "args": {"name": "faults"},
+            })
         for record in fault_records:
             kind = getattr(record.kind, "value", str(record.kind))
             events.append({
@@ -129,10 +156,20 @@ def write_chrome_trace(tracer: Tracer, path: str,
 # Prometheus text format
 # ---------------------------------------------------------------------------
 
+def _escape_label_value(value: Any) -> str:
+    """Escape a label value per the Prometheus exposition format:
+    backslash, double quote and newline."""
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _labels(pairs: Mapping[str, Any]) -> str:
     if not pairs:
         return ""
-    inner = ",".join(f'{key}="{value}"' for key, value in pairs.items())
+    inner = ",".join(f'{key}="{_escape_label_value(value)}"'
+                     for key, value in pairs.items())
     return "{" + inner + "}"
 
 
@@ -141,13 +178,82 @@ def _sanitize(name: str) -> str:
                    for ch in name)
 
 
+#: metric -> (type, help) for the exposition-format metadata lines.
+#: ``bus_latency_clocks_bucket`` is declared under its histogram base
+#: name, matching how Prometheus expects ``*_bucket`` series.
+_METRIC_META: Dict[str, Tuple[str, str]] = {
+    "pipeline_stage_ms": (
+        "gauge", "Wall-clock milliseconds spent in a pipeline stage."),
+    "pipeline_stage_calls": (
+        "counter", "Invocations of a pipeline stage."),
+    "sim_end_clock": (
+        "gauge", "Final simulated clock of the run."),
+    "sim_kernel_passes": (
+        "counter", "Delta passes executed by the event kernel."),
+    "sim_kernel_steps": (
+        "counter", "Process steps executed by the event kernel."),
+    "sim_process_steps": (
+        "counter", "Steps executed by one simulated process."),
+    "sim_process_blocked_clocks": (
+        "counter",
+        "Clocks a process spent blocked on a wait predicate."),
+    "sim_process_timer_clocks": (
+        "counter", "Clocks a process spent sleeping on a timer."),
+    "bus_transactions_total": (
+        "counter", "Message transfers completed on a bus."),
+    "bus_words_total": (
+        "counter", "Bus words moved."),
+    "bus_busy_clocks": (
+        "counter", "Clocks the bus spent transferring."),
+    "bus_utilization": (
+        "gauge", "Fraction of run clocks the bus was transferring."),
+    "bus_retries_total": (
+        "counter", "Protected-protocol retransmissions on a bus."),
+    "bus_faults_injected_total": (
+        "counter", "Faults the injector fired on a bus."),
+    "bus_latency_clocks": (
+        "histogram", "Per-transaction handshake latency in clocks."),
+    "arbiter_requests_total": (
+        "counter", "Bus requests seen by an arbiter."),
+    "arbiter_max_queue_depth": (
+        "gauge", "Deepest request queue an arbiter accumulated."),
+    "arbiter_grants_total": (
+        "counter", "Grants an arbiter issued to one requester."),
+}
+
+
+def _metric_meta(metric: str) -> Tuple[str, str, str]:
+    """(base name, type, help) for a metric's HELP/TYPE lines."""
+    if metric.endswith("_bucket") and metric[:-7] in _METRIC_META:
+        base = metric[:-7]
+        mtype, help_text = _METRIC_META[base]
+        return base, mtype, help_text
+    if metric in _METRIC_META:
+        mtype, help_text = _METRIC_META[metric]
+        return metric, mtype, help_text
+    if metric.startswith("counter_"):
+        return metric, "counter", "Pipeline counter."
+    return metric, "untyped", "Exported by repro.obs."
+
+
 def to_prometheus(payload: Mapping[str, Any]) -> str:
-    """Flatten a run-report payload into Prometheus exposition lines."""
+    """Flatten a run-report payload into Prometheus exposition lines.
+
+    Each metric family gets ``# HELP``/``# TYPE`` metadata the first
+    time it appears; label values are escaped per the exposition
+    format.
+    """
     lines: List[str] = []
+    described: set = set()
 
     def emit(metric: str, value: Any, **labels: Any) -> None:
         if value is None:
             return
+        base, mtype, help_text = _metric_meta(metric)
+        if base not in described:
+            described.add(base)
+            lines.append(f"# HELP repro_{base} {help_text}")
+            lines.append(f"# TYPE repro_{base} {mtype}")
         lines.append(f"repro_{metric}{_labels(labels)} {value:g}"
                      if isinstance(value, float)
                      else f"repro_{metric}{_labels(labels)} {value}")

@@ -1,0 +1,92 @@
+"""Run-level clock attribution over a flight recorder's journal.
+
+:func:`summarize` rolls the per-transaction bucket accounting (see
+:mod:`repro.obs.flight.recorder`) up to whole-run totals plus per-bus,
+per-initiator and per-channel breakdowns, and cross-checks the core
+invariant -- every transaction's buckets sum exactly to its latency --
+reporting the result in the ``exact`` flag rather than trusting it
+silently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .recorder import BUCKETS, FlightRecorder
+
+
+def _empty_buckets() -> Dict[str, int]:
+    return {bucket: 0 for bucket in BUCKETS}
+
+
+def _merged_intervals(recorder: FlightRecorder) -> List[List[int]]:
+    """Transaction windows merged into disjoint busy intervals."""
+    windows = sorted(
+        (txn.request_clock, txn.end_clock)
+        for txn in recorder.transactions
+        if txn.end_clock is not None and txn.end_clock > txn.request_clock
+    )
+    merged: List[List[int]] = []
+    for start, end in windows:
+        if merged and start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([start, end])
+    return merged
+
+
+def summarize(recorder: FlightRecorder) -> Dict[str, Any]:
+    """Aggregate attribution for one recorded run.
+
+    Returns a dict with:
+
+    * ``buckets`` -- total clocks per bucket across all transactions;
+    * ``per_bus`` / ``per_initiator`` / ``per_channel`` -- the same
+      split by dimension;
+    * ``transaction_clocks`` -- sum of all transaction latencies
+      (overlapping transactions on different buses count once each);
+    * ``covered_clocks`` / ``run_idle_clocks`` -- merged-interval
+      coverage of ``[0, end_clock]``: clocks inside at least one
+      transaction window vs. clocks no transfer was in flight;
+    * ``exact`` -- True iff every transaction's buckets summed exactly
+      to its latency (the attribution invariant).
+    """
+    totals = _empty_buckets()
+    per_bus: Dict[str, Dict[str, int]] = {}
+    per_initiator: Dict[str, Dict[str, int]] = {}
+    per_channel: Dict[str, Dict[str, int]] = {}
+    transaction_clocks = 0
+    exact = True
+
+    for txn in recorder.transactions:
+        attributed = sum(txn.buckets.values())
+        if attributed != txn.latency_clocks:
+            exact = False
+        transaction_clocks += txn.latency_clocks
+        for store, key in ((per_bus, txn.bus),
+                           (per_initiator, txn.initiator),
+                           (per_channel, txn.channel or "?")):
+            bucket_map = store.setdefault(key, _empty_buckets())
+            for bucket, clocks in txn.buckets.items():
+                bucket_map[bucket] += clocks
+                if store is per_bus:
+                    totals[bucket] += clocks
+
+    merged = _merged_intervals(recorder)
+    covered = sum(end - start for start, end in merged)
+    end_clock = recorder.end_clock
+
+    return {
+        "end_clock": end_clock,
+        "transactions": len(recorder.transactions),
+        "buckets": totals,
+        "per_bus": {bus: per_bus[bus] for bus in sorted(per_bus)},
+        "per_initiator": {name: per_initiator[name]
+                          for name in sorted(per_initiator)},
+        "per_channel": {name: per_channel[name]
+                        for name in sorted(per_channel)},
+        "transaction_clocks": transaction_clocks,
+        "covered_clocks": covered,
+        "run_idle_clocks": max(0, end_clock - covered),
+        "exact": exact,
+    }

@@ -1,0 +1,159 @@
+"""Critical-path extraction and anomaly detection over a flight log.
+
+The **critical path** answers "where did the run's clocks go, end to
+end?"  It is built as an exact tiling of ``[0, end_clock]``: a cursor
+walks the transactions in chronological order, clips each one's
+attributed segments to the portion that actually advanced the frontier
+(overlapping transfers on other buses don't extend the run), and fills
+uncovered gaps with run-level ``idle`` steps.  Step lengths therefore
+sum to ``end_clock`` by construction -- the acceptance gate the CLI's
+``explain --json`` output is tested against.
+
+**Anomalies** are heuristics over the same data: p99 latency outliers,
+retry storms, per-requester starvation, and transfers that gave up.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from .recorder import FlightRecorder, FlightTransaction
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile of an already-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] + (sorted_values[hi] - sorted_values[lo]) * frac
+
+
+def critical_path(recorder: FlightRecorder) -> Dict[str, Any]:
+    """Tile ``[0, end_clock]`` with attributed steps.
+
+    Each step is ``{start, end, clocks, bucket, correlation_id,
+    channel, bus}``; idle gaps use ``correlation_id`` 0.  The step
+    clocks always sum to ``end_clock``.
+    """
+    end_clock = recorder.end_clock
+    steps: List[Dict[str, Any]] = []
+    cursor = 0
+
+    def idle_until(clock: int) -> None:
+        nonlocal cursor
+        if clock > cursor:
+            steps.append({
+                "start": cursor, "end": clock, "clocks": clock - cursor,
+                "bucket": "idle", "correlation_id": 0,
+                "channel": None, "bus": None,
+            })
+            cursor = clock
+
+    ordered = sorted(recorder.transactions,
+                     key=lambda t: (t.request_clock, t.correlation_id))
+    for txn in ordered:
+        if txn.end_clock is None or txn.end_clock <= cursor:
+            continue
+        idle_until(txn.request_clock)
+        for start, end, bucket in txn.segments:
+            clipped_start = max(start, cursor)
+            clipped_end = min(end, end_clock)
+            if clipped_end <= clipped_start:
+                continue
+            steps.append({
+                "start": clipped_start, "end": clipped_end,
+                "clocks": clipped_end - clipped_start,
+                "bucket": bucket,
+                "correlation_id": txn.correlation_id,
+                "channel": txn.channel, "bus": txn.bus,
+            })
+            cursor = clipped_end
+    idle_until(end_clock)
+
+    return {
+        "end_clock": end_clock,
+        "total_clocks": sum(step["clocks"] for step in steps),
+        "steps": steps,
+    }
+
+
+def detect_anomalies(recorder: FlightRecorder) -> List[Dict[str, Any]]:
+    """Flag suspicious transactions and requesters.
+
+    * ``p99_outlier`` -- latency above both the p99 and twice the
+      median (needs >= 8 samples to be meaningful);
+    * ``retry_storm`` -- a single transfer burning >= 2 retries, or a
+      bus whose total retries exceed a quarter of its transfers;
+    * ``starvation`` -- a requester spending >= 16 clocks *and* more
+      than half its total latency waiting for grants;
+    * ``gave_up`` / ``incomplete`` -- transfers that never committed.
+    """
+    anomalies: List[Dict[str, Any]] = []
+    txns = recorder.transactions
+    latencies = sorted(t.latency_clocks for t in txns)
+    if len(latencies) >= 8:
+        p99 = _quantile(latencies, 0.99)
+        median = _quantile(latencies, 0.5)
+        threshold = max(p99, 2 * median)
+        for txn in txns:
+            if txn.latency_clocks > threshold:
+                anomalies.append({
+                    "kind": "p99_outlier",
+                    "correlation_id": txn.correlation_id,
+                    "detail": (f"{txn.channel} latency "
+                               f"{txn.latency_clocks} clocks vs p99 "
+                               f"{p99:.1f}, median {median:.1f}"),
+                })
+
+    bus_retries: Dict[str, int] = {}
+    bus_txns: Dict[str, int] = {}
+    for txn in txns:
+        bus_retries[txn.bus] = bus_retries.get(txn.bus, 0) + txn.retries
+        bus_txns[txn.bus] = bus_txns.get(txn.bus, 0) + 1
+        if txn.retries >= 2:
+            anomalies.append({
+                "kind": "retry_storm",
+                "correlation_id": txn.correlation_id,
+                "detail": (f"{txn.channel} needed {txn.retries} "
+                           f"retransmission(s)"),
+            })
+        if txn.outcome in ("gave_up", "incomplete"):
+            anomalies.append({
+                "kind": txn.outcome,
+                "correlation_id": txn.correlation_id,
+                "detail": (f"{txn.channel or txn.bus} never committed "
+                           f"(outcome: {txn.outcome}, retries "
+                           f"{txn.retries})"),
+            })
+    for bus in sorted(bus_retries):
+        if bus_retries[bus] > max(4, bus_txns[bus] // 4):
+            anomalies.append({
+                "kind": "retry_storm",
+                "correlation_id": 0,
+                "detail": (f"bus {bus}: {bus_retries[bus]} retries "
+                           f"across {bus_txns[bus]} transfer(s)"),
+            })
+
+    waits: Dict[str, int] = {}
+    total: Dict[str, int] = {}
+    for txn in txns:
+        waits[txn.initiator] = (waits.get(txn.initiator, 0)
+                                + txn.buckets.get("arbitration_wait", 0))
+        total[txn.initiator] = (total.get(txn.initiator, 0)
+                                + txn.latency_clocks)
+    for initiator in sorted(waits):
+        wait = waits[initiator]
+        if wait >= 16 and wait * 2 > total[initiator]:
+            anomalies.append({
+                "kind": "starvation",
+                "correlation_id": 0,
+                "detail": (f"{initiator} spent {wait} of "
+                           f"{total[initiator]} clocks waiting for "
+                           f"grants"),
+            })
+    return anomalies

@@ -1,0 +1,178 @@
+"""`repro-synth explain` payloads: JSON schema, text rendering,
+Perfetto/Chrome export of a recorded run on the *simulated-clock*
+timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .attribution import summarize
+from .critical import critical_path, detect_anomalies
+from .recorder import BUCKETS, FlightRecorder
+
+EXPLAIN_SCHEMA = "repro.obs/explain/v1"
+
+
+def explain_payload(recorder: FlightRecorder, result: Any = None,
+                    system: str = "") -> Dict[str, Any]:
+    """Assemble the full machine-readable explanation of one run.
+
+    ``result`` (a :class:`~repro.sim.runtime.SimResult`) contributes
+    the injected-fault records, each resolved to its correlation id via
+    the recorder's parallel ``fault_correlations`` list.
+    """
+    faults: List[Dict[str, Any]] = []
+    if result is not None:
+        for index, record in enumerate(result.fault_records):
+            entry = record.to_dict()
+            if index < len(recorder.fault_correlations):
+                entry["correlation_id"] = recorder.fault_correlations[index]
+            faults.append(entry)
+    return {
+        "schema": EXPLAIN_SCHEMA,
+        "system": system,
+        "end_clock": recorder.end_clock,
+        "attribution": summarize(recorder),
+        "critical_path": critical_path(recorder),
+        "anomalies": detect_anomalies(recorder),
+        "transactions": [txn.to_dict() for txn in recorder.transactions],
+        "faults": faults,
+        "replays": list(recorder.replays),
+        "journal": recorder.journal_kinds(),
+    }
+
+
+def _bar(clocks: int, total: int, width: int = 28) -> str:
+    filled = round(width * clocks / total) if total else 0
+    return "#" * filled + "." * (width - filled)
+
+
+def render_explain_text(payload: Dict[str, Any], top: int = 5) -> str:
+    """Human-readable report for the ``explain`` subcommand."""
+    lines: List[str] = []
+    attribution = payload["attribution"]
+    end_clock = payload["end_clock"]
+    lines.append(f"flight recorder: {payload['system']} -- "
+                 f"{attribution['transactions']} transaction(s), "
+                 f"{end_clock} simulated clock(s)")
+    lines.append("")
+
+    lines.append("clock attribution (all transactions):")
+    bucket_totals = attribution["buckets"]
+    attributed = sum(bucket_totals.values())
+    for bucket in BUCKETS:
+        clocks = bucket_totals[bucket]
+        share = 100.0 * clocks / attributed if attributed else 0.0
+        lines.append(f"  {bucket:<17} {clocks:>8} clk  {share:5.1f}%  "
+                     f"{_bar(clocks, attributed)}")
+    lines.append(f"  {'(total)':<17} {attributed:>8} clk   "
+                 f"exact={attribution['exact']}")
+    lines.append(f"  run idle (no transfer in flight): "
+                 f"{attribution['run_idle_clocks']} clk of {end_clock}")
+    lines.append("")
+
+    path = payload["critical_path"]
+    lines.append(f"critical path: {path['total_clocks']} clk in "
+                 f"{len(path['steps'])} step(s) "
+                 f"(== end clock: {path['total_clocks'] == end_clock})")
+    slowest = sorted((txn for txn in payload["transactions"]),
+                     key=lambda t: t["latency_clocks"], reverse=True)
+    lines.append("")
+    lines.append(f"slowest transactions (top {min(top, len(slowest))}):")
+    for txn in slowest[:top]:
+        buckets = txn["buckets"]
+        mix = " ".join(f"{bucket}={buckets[bucket]}" for bucket in BUCKETS
+                       if buckets[bucket])
+        lines.append(f"  cid={txn['correlation_id']:<4} "
+                     f"{str(txn['channel']):<14} "
+                     f"{txn['latency_clocks']:>5} clk  "
+                     f"[{txn['outcome']}] {mix}")
+
+    if payload["faults"]:
+        lines.append("")
+        lines.append(f"injected faults ({len(payload['faults'])}):")
+        for fault in payload["faults"][:top]:
+            lines.append(f"  cid={fault.get('correlation_id', '?'):<4} "
+                         f"t={fault['clock']:<6} {fault['kind']} on "
+                         f"{fault['bus']}.{fault['line']}: "
+                         f"{fault['detail']}")
+        if len(payload["faults"]) > top:
+            lines.append(f"  ... and {len(payload['faults']) - top} more")
+
+    lines.append("")
+    if payload["anomalies"]:
+        lines.append(f"anomalies ({len(payload['anomalies'])}):")
+        for anomaly in payload["anomalies"]:
+            lines.append(f"  [{anomaly['kind']}] {anomaly['detail']}")
+    else:
+        lines.append("anomalies: none")
+    return "\n".join(lines) + "\n"
+
+
+def flight_trace(recorder: FlightRecorder,
+                 label: str = "sim") -> List[Dict[str, Any]]:
+    """Chrome/Perfetto ``trace_event`` list on the simulated-clock
+    timeline (1 clock = 1 "microsecond").
+
+    One lane per (bus, initiator) pair; each transaction is a slice
+    with its attributed bucket segments nested inside, faults are
+    instant events on tid 0.  Lane ids come from the sorted lane-name
+    order, so re-exporting the same run diffs clean.
+    """
+    events: List[Dict[str, Any]] = []
+    pid = 1
+    events.append({"ph": "M", "pid": pid, "tid": 0,
+                   "name": "process_name",
+                   "args": {"name": f"{label} (simulated clocks)"}})
+    events.append({"ph": "M", "pid": pid, "tid": 0,
+                   "name": "thread_name", "args": {"name": "faults"}})
+
+    lanes = sorted({(txn.bus, txn.initiator)
+                    for txn in recorder.transactions})
+    lane_tid = {lane: tid for tid, lane in enumerate(lanes, start=1)}
+    for (bus, initiator), tid in lane_tid.items():
+        events.append({"ph": "M", "pid": pid, "tid": tid,
+                       "name": "thread_name",
+                       "args": {"name": f"{bus}/{initiator}"}})
+
+    for txn in recorder.transactions:
+        tid = lane_tid[(txn.bus, txn.initiator)]
+        end = txn.end_clock if txn.end_clock is not None else txn._last
+        events.append({
+            "name": f"{txn.channel or txn.bus} cid={txn.correlation_id}",
+            "cat": "transaction", "ph": "X",
+            "ts": float(txn.request_clock),
+            "dur": float(end - txn.request_clock),
+            "pid": pid, "tid": tid,
+            "args": {"correlation_id": txn.correlation_id,
+                     "outcome": txn.outcome, "retries": txn.retries,
+                     "buckets": dict(txn.buckets)},
+        })
+        for start, stop, bucket in txn.segments:
+            events.append({
+                "name": bucket, "cat": "attribution", "ph": "X",
+                "ts": float(start), "dur": float(stop - start),
+                "pid": pid, "tid": tid,
+                "args": {"correlation_id": txn.correlation_id},
+            })
+
+    for event in recorder.events:
+        if event.kind == "FAULT":
+            events.append({
+                "name": f"fault: {event.detail}", "cat": "fault",
+                "ph": "I", "ts": float(event.clock), "s": "g",
+                "pid": pid, "tid": 0,
+                "args": {"correlation_id": event.correlation_id,
+                         "bus": event.bus},
+            })
+    return events
+
+
+def write_flight_trace(path: str, recorder: FlightRecorder,
+                       label: str = "sim") -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"traceEvents": flight_trace(recorder, label),
+                   "displayTimeUnit": "ms"}, handle, indent=2)
+        handle.write("\n")

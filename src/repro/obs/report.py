@@ -50,13 +50,17 @@ def bus_stats_dict(stats: BusStats) -> Dict[str, Any]:
 
 
 def sim_section(system: str, result: Any,
-                metrics: Optional[SimMetrics] = None) -> Dict[str, Any]:
+                metrics: Optional[SimMetrics] = None,
+                recorder: Optional[Any] = None) -> Dict[str, Any]:
     """Report entry for one simulated system.
 
     ``result`` is a :class:`~repro.sim.runtime.SimResult` (duck-typed
-    to keep this module import-light).
+    to keep this module import-light).  With a
+    :class:`~repro.obs.flight.FlightRecorder` that rode the run, the
+    section gains an ``attribution`` block (see
+    :func:`repro.obs.flight.summarize`).
     """
-    return {
+    section = {
         "system": system,
         "end_clock": result.end_time,
         "behavior_clocks": dict(result.clocks),
@@ -73,6 +77,10 @@ def sim_section(system: str, result: Any,
         },
         "live": metrics.to_dict() if metrics is not None else None,
     }
+    if recorder is not None:
+        from repro.obs.flight import summarize
+        section["attribution"] = summarize(recorder)
+    return section
 
 
 def run_report(meta: Mapping[str, Any],

@@ -70,6 +70,32 @@ class Histogram:
         rows.append({"le": "+Inf", "count": running + self.counts[-1]})
         return rows
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (0..1) from the bucket counts.
+
+        Linear interpolation inside the winning bucket, exactly like
+        Prometheus's ``histogram_quantile``, but clamped to the
+        observed ``[min, max]`` so a wide bucket cannot report a value
+        outside the data.  The overflow bucket reports ``max``.
+        Returns None for an empty histogram.
+        """
+        if not self.count:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        rank = q * self.count
+        running = 0
+        for index, bound in enumerate(self.bounds):
+            previous = running
+            running += self.counts[index]
+            if running >= rank and self.counts[index]:
+                lower = self.bounds[index - 1] if index else 0
+                fraction = ((rank - previous) / self.counts[index]
+                            if self.counts[index] else 0.0)
+                value = lower + (bound - lower) * fraction
+                return float(min(max(value, self.min), self.max))
+        return float(self.max)
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "count": self.count,
@@ -77,6 +103,8 @@ class Histogram:
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
             "buckets": self.cumulative(),
         }
 

@@ -58,6 +58,10 @@ class Arbiter:
         #: Optional :class:`repro.obs.ArbiterMetrics`-shaped collector
         #: (``on_request``/``on_grant``); attached by the runtime.
         self.metrics: Optional[object] = None
+        #: Optional flight recorder + the bus name it should journal
+        #: requests/grants under; attached by the runtime.
+        self.recorder: Optional[object] = None
+        self.recorder_bus: str = ""
 
     # -- policy hook -------------------------------------------------------
 
@@ -77,6 +81,9 @@ class Arbiter:
         self._waiting.append(requester)
         if self.metrics is not None:
             self.metrics.on_request(len(self._waiting))
+        if self.recorder is not None:
+            self.recorder.on_request(self.recorder_bus, requester,
+                                     request_time)
         self._try_grant()
         if self._owner != requester:
             yield WaitOn((self._grant_event,),
@@ -88,6 +95,9 @@ class Arbiter:
         self.grants.append((self.sim.now, requester))
         if self.metrics is not None:
             self.metrics.on_grant(requester, waited)
+        if self.recorder is not None:
+            self.recorder.on_grant(self.recorder_bus, requester,
+                                   self.sim.now)
 
     def release(self, requester: str) -> None:
         if self._owner != requester:
@@ -191,6 +201,9 @@ class TdmaArbiter(Arbiter):
         request_time = self.sim.now
         if self.metrics is not None:
             self.metrics.on_request(1)
+        if self.recorder is not None:
+            self.recorder.on_request(self.recorder_bus, requester,
+                                     request_time)
         while not (self._slot_owner() == requester and self._owner is None):
             yield Wait(1)
         self._owner = requester
@@ -199,6 +212,9 @@ class TdmaArbiter(Arbiter):
         self.grants.append((self.sim.now, requester))
         if self.metrics is not None:
             self.metrics.on_grant(requester, waited)
+        if self.recorder is not None:
+            self.recorder.on_grant(self.recorder_bus, requester,
+                                   self.sim.now)
 
     def _try_grant(self) -> None:
         # Grants happen only inside acquire's polling loop.

@@ -144,6 +144,10 @@ class SimBus:
         #: Optional :class:`repro.sim.faults.FaultInjector`; attached by
         #: the runtime when a fault plan targets this bus.
         self.injector = None
+        #: Optional :class:`repro.obs.flight.FlightRecorder`; attached
+        #: by the runtime.  Every hook is None-guarded so unrecorded
+        #: runs pay one pointer test per site.
+        self.recorder = None
         #: Fault-tolerance policy of the generated structure (None for
         #: the paper's plain buses).
         self.protection = structure.protection
@@ -206,21 +210,30 @@ class SimBus:
         words = layout.words(self.width)
         start_time = self.sim.now
 
+        recorder = self.recorder
+        if recorder is not None:
+            flight = recorder.on_transfer_start(
+                self.name, channel.name, initiator, start_time,
+                len(words), self._check_extra_words(layout),
+                channel.direction)
+        else:
+            flight = None
+
         retries = 0
         if self.injector is not None:
             self.injector.begin_attempt(self.name)
         if self.protection is not None:
             received, retries = yield from self._accessor_protected(
-                procs, code, words, message)
+                procs, code, words, message, flight)
         elif self.uses_burst:
             received = yield from self._accessor_burst(
-                code, words, message)
+                code, words, message, flight)
         elif self.uses_handshake:
             received = yield from self._accessor_handshake(
-                code, words, message)
+                code, words, message, flight)
         else:
             received = yield from self._accessor_strobed(
-                code, words, message)
+                code, words, message, flight)
 
         message_clocks = self.structure.protocol.message_clocks(len(words))
         message_clocks *= 1 + retries
@@ -245,14 +258,27 @@ class SimBus:
         if self.metrics is not None:
             self.metrics.on_transaction(transaction, words=len(words),
                                         busy_clocks=message_clocks)
+        if flight is not None:
+            recorder.on_commit(flight, self.sim.now, retries)
         return result
 
+    def _check_extra_words(self, layout) -> int:
+        """Whole bus words the CHECK field appends to the message --
+        the protection bucket's unit of account."""
+        check = layout.field(FieldKind.CHECK)
+        if check is None:
+            return 0
+        bare_bits = layout.total_bits - check.bits
+        bare_words = max(1, -(-bare_bits // self.width))
+        return layout.word_count(self.width) - bare_words
+
     def _accessor_handshake(self, code: int, words: List[WordSpec],
-                            message: int) -> Generator:
+                            message: int, flight=None) -> Generator:
         """Full handshake: 2 clocks per word (Figure 4's SendCHx body)."""
         start = self.controls["START"]
         done = self.controls["DONE"]
         injector = self.injector
+        recorder = self.recorder
         received = 0
         for word in words:
             if injector is not None:
@@ -262,6 +288,8 @@ class SimBus:
             self.id_lines.set(code)
             self.data.drive("accessor", value, mask)
             start.set(1)
+            if flight is not None:
+                recorder.on_word_start(flight, self.sim.now, word.index)
             yield Wait(1)
             if done.value != 1:
                 raise SimulationError(
@@ -270,6 +298,8 @@ class SimBus:
                     "is the variable process running?"
                 )
             received |= _gather(word, Role.SERVER, self.data.value)
+            if flight is not None:
+                recorder.on_data_phase(flight, self.sim.now, word.index)
             start.set(0)
             yield Wait(1)
             if done.value != 0:
@@ -277,14 +307,18 @@ class SimBus:
                     f"bus {self.structure.name}: DONE stuck high after "
                     f"START fell (word {word.index}, ID {code})"
                 )
+            if flight is not None:
+                recorder.on_handshake_phase(flight, self.sim.now,
+                                            word.index)
         return received
 
     def _accessor_burst(self, code: int, words: List[WordSpec],
-                        message: int) -> Generator:
+                        message: int, flight=None) -> Generator:
         """Burst: one START/DONE handshake per message (2 clocks), then
         words stream at one per clock on the strobe."""
         start = self.controls["START"]
         done = self.controls["DONE"]
+        recorder = self.recorder
         # Grant phase: announce the burst.
         self._clear_word()
         self.id_lines.set(code)
@@ -295,6 +329,8 @@ class SimBus:
                 f"bus {self.structure.name}: burst grant not acknowledged "
                 f"(ID {code}); is the variable process running?"
             )
+        if flight is not None:
+            recorder.on_setup(flight, self.sim.now)
         # Stream phase: one word per clock.
         injector = self.injector
         received = 0
@@ -305,9 +341,13 @@ class SimBus:
             self._clear_word()
             self.data.drive("accessor", value, mask)
             self._strobe.set(self._strobe.value + 1)
+            if flight is not None:
+                recorder.on_word_start(flight, self.sim.now, word.index)
             yield Delta()
             received |= _gather(word, Role.SERVER, self.data.value)
             yield Wait(1)
+            if flight is not None:
+                recorder.on_data_phase(flight, self.sim.now, word.index)
         # Release phase.
         start.set(0)
         yield Wait(1)
@@ -316,13 +356,16 @@ class SimBus:
                 f"bus {self.structure.name}: DONE stuck high after burst "
                 f"release (ID {code})"
             )
+        if flight is not None:
+            recorder.on_release(flight, self.sim.now)
         return received
 
     def _accessor_strobed(self, code: int, words: List[WordSpec],
-                          message: int) -> Generator:
+                          message: int, flight=None) -> Generator:
         """Two-phase strobe: 1 clock per word (half handshake /
         fixed delay / hardwired)."""
         injector = self.injector
+        recorder = self.recorder
         received = 0
         for word in words:
             if injector is not None:
@@ -332,15 +375,19 @@ class SimBus:
             self.id_lines.set(code)
             self.data.drive("accessor", value, mask)
             self._strobe.set(self._strobe.value + 1)
+            if flight is not None:
+                recorder.on_word_start(flight, self.sim.now, word.index)
             yield Delta()
             # The server answered within this clock's passes.
             received |= _gather(word, Role.SERVER, self.data.value)
             yield Wait(1)
+            if flight is not None:
+                recorder.on_data_phase(flight, self.sim.now, word.index)
         return received
 
     def _accessor_protected(self, procs: ChannelProcedures, code: int,
                             words: List[WordSpec],
-                            message: int) -> Generator:
+                            message: int, flight=None) -> Generator:
         """Protected full handshake: timeout-bounded waits, a NACK
         sample on writes, check-field verification on reads, and
         bounded whole-message retransmission.
@@ -356,6 +403,7 @@ class SimBus:
         done = self.controls["DONE"]
         nack = self.controls[plan.nack_line]
         injector = self.injector
+        recorder = self.recorder
         timeout = plan.timeout_clocks
         if plan.retry_step < 1:
             raise SimulationError(
@@ -368,6 +416,8 @@ class SimBus:
         while True:
             if retries and injector is not None:
                 injector.begin_attempt(self.name)
+            if flight is not None:
+                recorder.on_attempt_begin(flight, self.sim.now)
             failure: Optional[str] = None
             received = 0
             nacked = False
@@ -379,6 +429,9 @@ class SimBus:
                 self.id_lines.set(code)
                 self.data.drive("accessor", value, mask)
                 start.set(1)
+                if flight is not None:
+                    recorder.on_word_start(flight, self.sim.now,
+                                           word.index)
                 yield Wait(1)
                 if done.value != 1:
                     yield WaitOn((done,), lambda: done.value == 1,
@@ -388,6 +441,9 @@ class SimBus:
                                f"ID {code})")
                     break
                 received |= _gather(word, Role.SERVER, self.data.value)
+                if flight is not None:
+                    recorder.on_data_phase(flight, self.sim.now,
+                                           word.index)
                 if nack.value == 1:
                     nacked = True
                 start.set(0)
@@ -399,12 +455,20 @@ class SimBus:
                     failure = (f"DONE never fell (word {word.index}, "
                                f"ID {code})")
                     break
+                if flight is not None:
+                    recorder.on_handshake_phase(flight, self.sim.now,
+                                                word.index)
             if failure is None:
                 if is_write and nacked:
                     failure = "server NACKed the message (check mismatch)"
+                    if flight is not None:
+                        recorder.on_nack(flight, self.sim.now, failure)
                 elif not is_write \
                         and not layout.check_ok(message | received):
                     failure = "response check mismatch"
+                    if flight is not None:
+                        recorder.on_check_fail(flight, self.sim.now,
+                                               failure)
                 else:
                     return received, retries
             # Abort the attempt and resynchronize: the server's timed
@@ -416,12 +480,18 @@ class SimBus:
             budget -= plan.retry_step
             retries += 1
             if budget < 0:
+                if flight is not None:
+                    recorder.on_giveup(flight, self.sim.now, failure,
+                                       retries)
                 raise SimulationError(
                     f"bus {self.structure.name}: channel "
                     f"{procs.channel.name} gave up after {retries} "
                     f"failed attempt(s): {failure} (retry budget "
                     f"{plan.max_retries} exhausted)"
                 )
+            if flight is not None:
+                recorder.on_attempt_failed(flight, self.sim.now,
+                                           failure, retries)
             yield Wait(timeout + 2)
 
     # ------------------------------------------------------------------

@@ -420,6 +420,9 @@ class FaultInjector:
         self.plan = plan
         self.sim = sim
         self.records: List[FaultRecord] = []
+        #: Optional flight recorder; every fired fault is forwarded so
+        #: it correlates with the transfer it perturbed.
+        self.recorder = None
         #: bus name -> (message attempt counter, current word index).
         self._context: Dict[str, Tuple[int, int]] = {}
         self._attached: List[str] = []
@@ -503,3 +506,5 @@ class FaultInjector:
             kind=fault.kind, bus=fault.bus, line=fault.line,
             clock=clock, transaction=attempt, word=word, detail=detail,
         ))
+        if self.recorder is not None:
+            self.recorder.on_fault(self.records[-1])

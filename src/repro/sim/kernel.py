@@ -313,12 +313,16 @@ class Simulator:
 
     def __init__(self, max_clocks: int = 10_000_000,
                  max_passes_per_clock: int = 10_000,
-                 metrics: Optional[object] = None):
+                 metrics: Optional[object] = None,
+                 recorder: Optional[object] = None):
         self.max_clocks = max_clocks
         self.max_passes_per_clock = max_passes_per_clock
         self._processes: List[_Process] = []
         self._now = 0
         self._metrics = metrics
+        #: Optional flight recorder (``on_kernel_end``/``on_deadlock``);
+        #: same contract as ``metrics``: None-guarded, zero cost off.
+        self._recorder = recorder
         self.events = EventBus()
         #: (wake_time, registration index) min-heap.  A ``Wait`` entry
         #: is live for exactly one outstanding wait; timed ``WaitOn``
@@ -418,6 +422,8 @@ class Simulator:
                 on_run_end(predicate_evals=self.predicate_evals,
                            signal_wakeups=self.signal_wakeups,
                            timer_pops=self.timer_pops)
+        if self._recorder is not None:
+            self._recorder.on_kernel_end(self._now)
         return SimStats(
             end_time=self._now,
             processes={
@@ -655,4 +661,6 @@ class Simulator:
             for process in daemons:
                 lines.append(f"  - {process.name}: "
                              f"{self._blocked_reason(process)}")
+        if self._recorder is not None:
+            self._recorder.on_deadlock(self._now, len(workers))
         return DeadlockError("\n".join(lines))

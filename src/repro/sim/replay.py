@@ -56,6 +56,9 @@ class ReplayResult:
     divergence: Optional[str] = None
     #: Chronological replay log, one line per event.
     log: List[str] = field(default_factory=list)
+    #: Flight-recorder correlation id linking this replay's journal
+    #: chain (None when no recorder was attached).
+    correlation_id: Optional[int] = None
 
     def render_text(self) -> str:
         verdict = "CONFIRMED" if self.confirmed else "NOT CONFIRMED"
@@ -203,7 +206,8 @@ def _confirm_final(witness, bench: _Bench, result: ReplayResult) -> None:
 
 
 def replay_witness(witness, accessor, server,
-                   width: Optional[int] = None) -> ReplayResult:
+                   width: Optional[int] = None,
+                   recorder=None) -> ReplayResult:
     """Run a witness schedule through the event kernel.
 
     ``accessor``/``server`` are the (possibly mutated) controller pair
@@ -211,12 +215,28 @@ def replay_witness(witness, accessor, server,
     before calling.  Returns a :class:`ReplayResult`; ``confirmed``
     means the kernel-level run concretely exhibits the claimed
     violation.
+
+    With a :class:`~repro.obs.flight.FlightRecorder` the replay gets
+    its own correlation id (``ReplayResult.correlation_id``) and
+    REPLAY_START/REPLAY_END journal entries, so witness replays join
+    the same causal namespace as live transactions and faults.
     """
     claim = witness.claim.get("type", "?")
     width = width or int(witness.meta.get("width", 8) or 8)
     bench = _Bench(accessor, server, width)
     result = ReplayResult(confirmed=False, claim=claim)
+    if recorder is None:
+        return _run_replay(witness, bench, result, claim)
+    result.correlation_id = recorder.on_replay_begin(witness)
+    try:
+        return _run_replay(witness, bench, result, claim)
+    finally:
+        recorder.on_replay_end(result.correlation_id, result.clocks,
+                               result.confirmed, result.claim)
 
+
+def _run_replay(witness, bench: _Bench, result: ReplayResult,
+                claim: str) -> ReplayResult:
     schedule = list(witness.steps)
     boundaries: set = set()
     cycle_start: Optional[int] = None

@@ -131,15 +131,20 @@ class RefinedSimulation:
                  trace: bool = False,
                  max_clocks: int = 10_000_000,
                  metrics: Optional[SimMetrics] = None,
-                 faults: Optional[FaultPlan] = None):
+                 faults: Optional[FaultPlan] = None,
+                 recorder: Optional[object] = None):
         self.spec = spec
         self.metrics = metrics
+        self.recorder = recorder
         self.sim = Simulator(max_clocks=max_clocks,
-                             metrics=metrics.kernel if metrics else None)
+                             metrics=metrics.kernel if metrics else None,
+                             recorder=recorder)
         self.injector: Optional[FaultInjector] = (
             FaultInjector(faults, self.sim) if faults is not None
             and len(faults) else None
         )
+        if self.injector is not None and recorder is not None:
+            self.injector.recorder = recorder
         self.env = Environment()
         for variable in spec.original.variables:
             self.env.declare(variable)
@@ -169,6 +174,10 @@ class RefinedSimulation:
             )
             if metrics is not None:
                 sim_bus.arbiter.metrics = metrics.arbiter(refined_bus.name)
+            if recorder is not None:
+                sim_bus.recorder = recorder
+                sim_bus.arbiter.recorder = recorder
+                sim_bus.arbiter.recorder_bus = refined_bus.name
             if self.injector is not None:
                 self.injector.attach_bus(sim_bus)
             self.buses[refined_bus.name] = sim_bus
@@ -439,6 +448,8 @@ class RefinedSimulation:
         if self.injector is not None and self.metrics is not None:
             for record in self.injector.records:
                 self.metrics.bus(record.bus).faults_injected += 1
+        if self.recorder is not None:
+            self.recorder.finish(stats.end_time)
         final_values: Dict[str, Value] = {}
         for variable in self.spec.original.variables:
             value = self.env.read(variable)
@@ -470,18 +481,22 @@ def simulate(spec: RefinedSpec,
              trace: bool = False,
              max_clocks: int = 10_000_000,
              metrics: Optional[SimMetrics] = None,
-             faults: Optional[FaultPlan] = None) -> SimResult:
+             faults: Optional[FaultPlan] = None,
+             recorder: Optional[object] = None) -> SimResult:
     """Elaborate and run a refined specification in one call.
 
     Pass a :class:`repro.obs.SimMetrics` as ``metrics`` to collect live
-    kernel/bus/arbiter counters for the run, and a
+    kernel/bus/arbiter counters for the run, a
     :class:`repro.sim.faults.FaultPlan` as ``faults`` to inject wire
-    faults (every fired fault lands in ``SimResult.fault_records``).
+    faults (every fired fault lands in ``SimResult.fault_records``),
+    and a :class:`repro.obs.flight.FlightRecorder` as ``recorder`` to
+    journal the causal chain of every transfer with exact clock
+    attribution.
     """
     with obs_span("sim.elaborate", category="sim", system=spec.name):
         simulation = RefinedSimulation(
             spec, schedule=schedule, arbiter_factories=arbiter_factories,
             trace=trace, max_clocks=max_clocks, metrics=metrics,
-            faults=faults,
+            faults=faults, recorder=recorder,
         )
     return simulation.run()

@@ -276,6 +276,31 @@ class TestChromeTrace:
                 pass
         json.dumps(to_chrome_trace(tracer))
 
+    def test_stable_pids_and_tids_diff_clean(self):
+        with obs.tracing() as tracer:
+            with obs.span("gen", category="busgen"):
+                with obs.span("run", category="sim"):
+                    pass
+        runs = [("b-run", {"B": [_fake_txn(0, 4, "ch0")]}),
+                ("a-run", {"A": [_fake_txn(2, 6, "ch1")]})]
+        doc = to_chrome_trace(tracer, runs)
+        reordered = to_chrome_trace(tracer, list(reversed(runs)))
+
+        def pid_of(document, name):
+            return next(e["pid"] for e in document["traceEvents"]
+                        if e.get("name") == name)
+
+        # pids follow sorted run-label order, not input order.
+        assert pid_of(doc, "ch1") == pid_of(reordered, "ch1") == 100
+        assert pid_of(doc, "ch0") == pid_of(reordered, "ch0") == 101
+        # Span tids follow sorted category order.
+        tids = {e["cat"]: e["tid"] for e in doc["traceEvents"]
+                if e["ph"] == "X" and e["pid"] == 1}
+        assert tids == {"busgen": 1, "sim": 2}
+        # Same inputs, byte-identical document.
+        assert json.dumps(doc) == json.dumps(to_chrome_trace(tracer,
+                                                             runs))
+
 
 class TestRunReportAndPrometheus:
     @pytest.fixture()
@@ -308,11 +333,39 @@ class TestRunReportAndPrometheus:
         assert "repro_pipeline_stage_ms{" in text
         assert 'bus="B"' in text
         assert 'le="+Inf"' in text
-        # Every line is 'name{labels} value' with a numeric value.
+        # Every sample line is 'name{labels} value' with a numeric
+        # value; # lines are exposition-format metadata.
         for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
             name, value = line.rsplit(" ", 1)
             assert name.startswith("repro_")
             float(value)
+
+    def test_prometheus_help_and_type_once_per_family(self, payload):
+        text = to_prometheus(payload)
+        helps = [line for line in text.splitlines()
+                 if line.startswith("# HELP")]
+        types = [line for line in text.splitlines()
+                 if line.startswith("# TYPE")]
+        assert helps and len(helps) == len(set(helps))
+        assert len(types) == len(set(types))
+        assert "# TYPE repro_sim_end_clock gauge" in text
+        assert "# TYPE repro_bus_transactions_total counter" in text
+        # Histogram buckets are declared under the base family name.
+        assert "# TYPE repro_bus_latency_clocks histogram" in text
+        assert "# TYPE repro_bus_latency_clocks_bucket" not in text
+        # Metadata precedes the family's first sample.
+        lines = text.splitlines()
+        first_meta = lines.index("# TYPE repro_sim_end_clock gauge")
+        first_sample = next(i for i, line in enumerate(lines)
+                            if line.startswith("repro_sim_end_clock{"))
+        assert first_meta < first_sample
+
+    def test_prometheus_label_escaping(self):
+        from repro.obs.export import _labels
+        rendered = _labels({"system": 'a"b\\c\nd'})
+        assert rendered == '{system="a\\"b\\\\c\\nd"}'
 
 
 # ---------------------------------------------------------------------------

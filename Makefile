@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage lint lint-examples absint-check profile bench bench-kernel bench-only reports examples explain-examples verify-all verify-examples clean
+.PHONY: install test coverage lint lint-examples absint-check profile bench bench-kernel bench-only reports examples explain-examples sim-source-examples verify-all verify-examples clean
 
 #: Line-coverage floor (percent) for the simulator and protocol
 #: generator packages, enforced by `make coverage` and CI.
@@ -47,7 +47,7 @@ bench-kernel:     ## kernel benches + wall-time regression gate
 	rm -rf benchmarks/reports/.baseline
 	mkdir -p benchmarks/reports/.baseline
 	cp benchmarks/reports/BENCH_*.json benchmarks/reports/.baseline/
-	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_kernel_scaling.py benchmarks/bench_three_systems.py benchmarks/bench_analysis.py benchmarks/bench_flight_overhead.py
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_kernel_scaling.py benchmarks/bench_three_systems.py benchmarks/bench_analysis.py benchmarks/bench_flight_overhead.py benchmarks/bench_compiled_backend.py
 	PYTHONPATH=src $(PYTHON) benchmarks/compare_baselines.py \
 		--baseline benchmarks/reports/.baseline \
 		--fresh benchmarks/reports
@@ -65,6 +65,16 @@ explain-examples: ## flight-recorder explanations of the built-in systems
 	PYTHONPATH=src $(PYTHON) -m repro.cli explain answering-machine
 	PYTHONPATH=src $(PYTHON) -m repro.cli explain ethernet
 	PYTHONPATH=src $(PYTHON) -m repro.cli explain flc --protection crc8
+
+sim-source-examples: ## dump the compiled backend's generated Python
+	PYTHONPATH=src $(PYTHON) -m repro.cli synth flc --simulate \
+		--backend compiled --emit-sim-source observability/sim-source/flc
+	PYTHONPATH=src $(PYTHON) -m repro.cli synth answering-machine \
+		--simulate --backend compiled \
+		--emit-sim-source observability/sim-source/answering-machine
+	PYTHONPATH=src $(PYTHON) -m repro.cli synth ethernet --simulate \
+		--backend compiled \
+		--emit-sim-source observability/sim-source/ethernet
 
 verify-all:       ## verify every built-in system's refinement
 	repro-synth synth flc --verify

@@ -1,0 +1,197 @@
+"""Compiled-backend speedup: the ROADMAP's 10x simulation target.
+
+Two sweeps, both timing **refine+simulate** end to end (protocol
+refinement plus elaboration plus the run -- the loop a design-space
+exploration actually pays for):
+
+* **FLC gate**: the paper's fuzzy-logic controller at several bus
+  widths, interpreter vs. compiled backend.  The gate width (4, the
+  narrowest width the seed simulatability bench sweeps) must show a
+  >= 10x speedup; the full sweep records how the advantage scales --
+  fused transfers cost O(1) per transaction where the interpreter
+  pays O(words), so narrow buses gain the most.
+* **message-size sweep**: a synthetic producer pushing 64-bit values
+  over buses sized so each message takes 1/4/16/64 words, recording
+  bus words per second on both backends (the compiled counterpart of
+  ``bench_kernel_scaling``'s handshake sweep).
+
+Every timed run is also checked for agreement: both backends must
+produce identical final values and transaction logs.
+
+Writes ``benchmarks/reports/compiled_backend.txt`` and
+``BENCH_compiled_backend.json``.  The JSON carries a
+``speedup``/``speedup_floor`` pair that ``compare_baselines.py``
+enforces in CI, alongside the usual ``wall_seconds*`` regression
+fields.
+"""
+
+import time
+
+from benchmarks._report import format_table, write_json_report, write_report
+from repro.apps.flc import build_flc
+from repro.partition.channels import default_bus_groups, extract_channels
+from repro.partition.partitioner import Partition
+from repro.protocols import FULL_HANDSHAKE
+from repro.protogen.refine import generate_protocol, refine_system
+from repro.sim.runtime import simulate
+from repro.spec.behavior import Behavior
+from repro.spec.stmt import Assign, For
+from repro.spec.expr import Ref
+from repro.spec.system import SystemSpec
+from repro.spec.types import IntType
+from repro.spec.variable import Variable
+
+#: Width the >=10x acceptance gate is measured at.
+GATE_WIDTH = 4
+#: The speedup the gate demands (ROADMAP: 10-100x).
+SPEEDUP_FLOOR = 10.0
+#: Full FLC width sweep (gate width included).
+FLC_WIDTHS = (1, 2, 4, 8, 16, 23)
+#: Timing repeats; best-of keeps scheduler jitter out of the gate.
+REPEATS = 5
+
+#: Messages in the synthetic producer sweep.
+MESSAGES = 192
+#: Data bits per message in the synthetic sweep.
+MESSAGE_BITS = 64
+#: Bus widths giving 1/4/16/64 words per message.
+SWEEP_WIDTHS = (64, 16, 4, 1)
+
+_SECTIONS = {}
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def _flc_row(model, width):
+    def run(backend):
+        def once():
+            refined = refine_system(model.system, [(model.bus_b, width)])
+            return simulate(refined, schedule=model.schedule,
+                            backend=backend)
+        return once
+
+    wall_interp, interp = _best_of(run("interp"))
+    wall_compiled, compiled = _best_of(run("compiled"))
+    assert compiled.final_values == interp.final_values
+    assert compiled.transactions == interp.transactions
+    return {
+        "width": width,
+        "wall_seconds_interp": wall_interp,
+        "wall_seconds_compiled": wall_compiled,
+        "speedup": wall_interp / wall_compiled,
+    }
+
+
+def _producer_system():
+    """One behavior streaming MESSAGES 64-bit values to remote X."""
+    x = Variable("X", IntType(MESSAGE_BITS))
+    loop = Variable("i", IntType(32))
+    producer = Behavior("P", [
+        For(loop, 0, MESSAGES - 1, [Assign(x, Ref(loop))]),
+    ])
+    return SystemSpec("producer", [producer], [x])
+
+
+def _refine_producer(width):
+    system = _producer_system()
+    partition = Partition(system)
+    chip = partition.add_module("chip")
+    memory = partition.add_module("memory")
+    partition.assign(system.behaviors[0], chip)
+    partition.assign(system.variables[0], memory)
+    channels = extract_channels(partition)
+    group = default_bus_groups(partition, channels=channels)[0]
+    return generate_protocol(system, group, width=width,
+                             protocol=FULL_HANDSHAKE)
+
+
+def _sweep_row(width):
+    words = -(-MESSAGE_BITS // width)  # ceil
+
+    def run(backend):
+        def once():
+            refined = _refine_producer(width)
+            return simulate(refined, schedule=["P"], backend=backend)
+        return once
+
+    wall_interp, interp = _best_of(run("interp"), repeats=3)
+    wall_compiled, compiled = _best_of(run("compiled"), repeats=3)
+    assert compiled.final_values == interp.final_values
+    assert compiled.transactions == interp.transactions
+    transactions = sum(len(log) for log in interp.transactions.values())
+    assert transactions == MESSAGES
+    total_words = transactions * words
+    return {
+        "words_per_message": words,
+        "width": width,
+        "wall_seconds_interp": wall_interp,
+        "wall_seconds_compiled": wall_compiled,
+        "words_per_second_interp": total_words / wall_interp,
+        "words_per_second_compiled": total_words / wall_compiled,
+        "speedup": wall_interp / wall_compiled,
+    }
+
+
+class TestCompiledSpeedup:
+    def test_flc_width_sweep(self):
+        model = build_flc(250, 180)
+        rows = [_flc_row(model, width) for width in FLC_WIDTHS]
+        _SECTIONS["flc_widths"] = rows
+
+        gate = next(r for r in rows if r["width"] == GATE_WIDTH)
+        _SECTIONS["flc_gate"] = {**gate, "speedup_floor": SPEEDUP_FLOOR}
+        assert gate["speedup"] >= SPEEDUP_FLOOR, (
+            f"compiled backend {gate['speedup']:.1f}x at width "
+            f"{GATE_WIDTH}; the gate demands >= {SPEEDUP_FLOOR:.0f}x"
+        )
+
+    def test_message_size_sweep(self):
+        rows = [_sweep_row(width) for width in SWEEP_WIDTHS]
+        _SECTIONS["message_words"] = rows
+        # The compiled backend must not lose its advantage at any
+        # message size, even if only the gate width demands 10x.
+        assert all(r["speedup"] > 1.0 for r in rows)
+
+
+def test_zz_write_reports():
+    """Runs last (alphabetically): persists both sweeps' artifacts."""
+    lines = ["compiled backend vs interpreter (best of "
+             f"{REPEATS}, refine+simulate)", ""]
+    flc_rows = _SECTIONS.get("flc_widths")
+    if flc_rows:
+        lines += ["FLC width sweep:"]
+        lines += format_table(
+            ["width", "interp ms", "compiled ms", "speedup"],
+            [[r["width"], f"{r['wall_seconds_interp'] * 1e3:.2f}",
+              f"{r['wall_seconds_compiled'] * 1e3:.2f}",
+              f"{r['speedup']:.1f}x"] for r in flc_rows])
+        gate = _SECTIONS["flc_gate"]
+        lines += ["", f"gate: width {gate['width']} speedup "
+                      f"{gate['speedup']:.1f}x "
+                      f"(floor {gate['speedup_floor']:.0f}x)"]
+    sweep_rows = _SECTIONS.get("message_words")
+    if sweep_rows:
+        lines += ["", f"message-size sweep ({MESSAGES} messages of "
+                      f"{MESSAGE_BITS} bits):"]
+        lines += format_table(
+            ["words/msg", "width", "interp words/s", "compiled words/s",
+             "speedup"],
+            [[r["words_per_message"], r["width"],
+              f"{r['words_per_second_interp']:,.0f}",
+              f"{r['words_per_second_compiled']:,.0f}",
+              f"{r['speedup']:.1f}x"] for r in sweep_rows])
+    if not flc_rows and not sweep_rows:
+        lines = ["(sweeps did not run)"]
+    write_report("compiled_backend", lines)
+    write_json_report("compiled_backend", {
+        "benchmark": "compiled_backend",
+        **_SECTIONS,
+    })

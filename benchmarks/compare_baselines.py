@@ -20,6 +20,12 @@ seconds -- the absolute floor keeps sub-millisecond jitter on tiny
 measurements from tripping the relative check.  Fields present on only
 one side are reported but never fatal (benchmarks gain and lose rows);
 a baseline file with no fresh counterpart is an error.
+
+Reports may also declare absolute floors: any object carrying both a
+``speedup`` and a ``speedup_floor`` field (e.g. the compiled-backend
+10x acceptance gate in ``BENCH_compiled_backend.json``) fails the gate
+when the *fresh* speedup falls below the floor, regardless of what the
+baseline measured.
 """
 
 from __future__ import annotations
@@ -51,6 +57,24 @@ def _wall_fields(payload, path: str = "") -> Iterator[Tuple[str, float]]:
             yield from _wall_fields(value, f"{path}[{index}]")
 
 
+def _speedup_gates(payload, path: str = "") -> Iterator[
+        Tuple[str, float, float]]:
+    """Yields ``(dotted.path, speedup, floor)`` for every object that
+    declares both a measured ``speedup`` and a ``speedup_floor``."""
+    if isinstance(payload, dict):
+        speedup = payload.get("speedup")
+        floor = payload.get("speedup_floor")
+        if isinstance(speedup, (int, float)) and \
+                isinstance(floor, (int, float)):
+            yield path or ".", float(speedup), float(floor)
+        for key in sorted(payload):
+            where = f"{path}.{key}" if path else str(key)
+            yield from _speedup_gates(payload[key], where)
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            yield from _speedup_gates(value, f"{path}[{index}]")
+
+
 def _load(path: str) -> Dict[str, float]:
     with open(path, "r", encoding="utf-8") as handle:
         return dict(_wall_fields(json.load(handle)))
@@ -76,6 +100,14 @@ def compare_file(name: str, baseline_path: str, fresh_path: str,
         print(f"  {marker:>4} {name}:{field}  "
               f"{old:.4f}s -> {new:.4f}s  ({ratio:+.1%})")
         regressions += regressed
+    with open(fresh_path, "r", encoding="utf-8") as handle:
+        fresh_payload = json.load(handle)
+    for field, speedup, floor in _speedup_gates(fresh_payload):
+        below = speedup < floor
+        marker = "FAIL" if below else "ok"
+        print(f"  {marker:>4} {name}:{field}  speedup {speedup:.1f}x "
+              f"(floor {floor:.0f}x)")
+        regressions += below
     return regressions
 
 

@@ -38,7 +38,7 @@ from repro.hdl.validate import validate_vhdl
 from repro.hdl.vhdl import emit_refined_spec
 from repro.protocols import PROTOCOLS, get_protocol
 from repro.protogen.refine import refine_system
-from repro.sim.runtime import simulate
+from repro.sim.runtime import BACKENDS, simulate
 
 
 def _load_system(name: str):
@@ -160,6 +160,10 @@ def cmd_synth(args: argparse.Namespace) -> int:
 
 
 def _synth_flow(args: argparse.Namespace, sim_metrics, captured) -> int:
+    if getattr(args, "emit_sim_source", None) and not args.simulate:
+        print("error: --emit-sim-source dumps the code generated for "
+              "the simulation and requires --simulate", file=sys.stderr)
+        return 2
     system, groups, schedule, oracle = _load_system(args.system)
     if not isinstance(groups, list):
         groups = [groups]
@@ -287,7 +291,11 @@ def _synth_flow(args: argparse.Namespace, sim_metrics, captured) -> int:
                     f"--sim-timeout-clocks must be >= 1, got "
                     f"{timeout_clocks}")
             sim_kwargs["max_clocks"] = timeout_clocks
+        emit_dir = getattr(args, "emit_sim_source", None)
+        if emit_dir:
+            sim_kwargs["emit_sim_source"] = emit_dir
         result = simulate(refined, schedule=schedule, metrics=sim_metrics,
+                          backend=getattr(args, "backend", "interp"),
                           **sim_kwargs)
         if captured is not None:
             captured["result"] = result
@@ -574,7 +582,9 @@ def cmd_explain(args: argparse.Namespace) -> int:
     result = None
     try:
         result = simulate(refined, schedule=schedule, metrics=metrics,
-                          recorder=recorder, **sim_kwargs)
+                          recorder=recorder,
+                          backend=getattr(args, "backend", "interp"),
+                          **sim_kwargs)
     except SimulationError as error:
         # Explain the run anyway -- a transfer that gave up is exactly
         # what the journal is for.  Seal the recorder at the last
@@ -648,7 +658,9 @@ def _profile_once(args: argparse.Namespace, systems, protocol):
                 ).raise_if_failed()
                 metrics = obs.SimMetrics()
                 result = simulate(refined, schedule=schedule,
-                                  metrics=metrics)
+                                  metrics=metrics,
+                                  backend=getattr(args, "backend",
+                                                  "interp"))
                 ok = True
                 if oracle:
                     ok = all(result.final_values[k] == v
@@ -706,7 +718,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
             print(f"  {name:<46} {stage_calls[name]:>5} "
                   f"{min(samples):>10.3f} "
                   f"{statistics.median(samples):>10.3f}")
-    print("\nsimulation summary:")
+    backend = getattr(args, "backend", "interp")
+    print(f"\nsimulation summary (backend: {backend}):")
     print(f"  {'system':<20} {'clocks':>8} {'transfers':>9} "
           f"{'bus util':>9}  oracle")
     for name, clocks, transfers, utilization, ok in summary_rows:
@@ -811,6 +824,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="abort --simulate with an error after N "
                             "clocks instead of spinning (guards "
                             "against faulty designs that hang)")
+    synth.add_argument("--backend", default="interp",
+                       choices=list(BACKENDS),
+                       help="simulation backend for --simulate: the "
+                            "reference interpreter or the compiled "
+                            "backend (lowers the refined spec to "
+                            "specialized Python; default: interp)")
+    synth.add_argument("--emit-sim-source", metavar="DIR",
+                       help="with --backend compiled, dump the "
+                            "generated per-process Python into DIR "
+                            "(requires --simulate)")
     synth.add_argument("--simulate", action="store_true",
                        help="simulate the refined spec and check "
                             "oracle values")
@@ -896,6 +919,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "three built-in systems")
     profile.add_argument("--protocol", default="full_handshake",
                          choices=sorted(PROTOCOLS))
+    profile.add_argument("--backend", default="interp",
+                         choices=list(BACKENDS),
+                         help="simulation backend to profile "
+                              "(default: interp)")
     profile.add_argument("--repeat", type=int, default=1, metavar="N",
                          help="run the sweep N times and report "
                               "min/median stage timings; observability "
@@ -921,6 +948,12 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["none", "parity", "crc8"],
                          help="explain the fault-tolerant protocol "
                               "variant")
+    explain.add_argument("--backend", default="interp",
+                         choices=list(BACKENDS),
+                         help="simulation backend (the flight recorder "
+                              "keeps bus transfers on their exact-clock "
+                              "paths on either backend; default: "
+                              "interp)")
     explain.add_argument("--faults", metavar="PLAN.json",
                          help="inject wire faults from a JSON fault "
                               "plan and attribute their cost")

@@ -26,7 +26,15 @@ see :mod:`repro.protogen.procedures`), so the multi-driver
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Generator, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.errors import SimulationError
 from repro.protogen.procedures import (
@@ -41,6 +49,11 @@ from repro.sim.arbiter import Arbiter, ImmediateArbiter
 from repro.sim.kernel import Delta, Simulator, Wait, WaitOn
 from repro.sim.signals import DataLines, Signal
 from repro.spec.access import Direction
+
+if TYPE_CHECKING:
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.simmetrics import BusMetrics
+    from repro.sim.faults import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -111,7 +124,7 @@ class SimBus:
 
     def __init__(self, structure: BusStructure, sim: Simulator,
                  arbiter: Optional[Arbiter] = None, trace: bool = False,
-                 metrics: Optional[object] = None):
+                 metrics: Optional["BusMetrics"] = None):
         self.structure = structure
         self.name = structure.name
         self.sim = sim
@@ -143,11 +156,11 @@ class SimBus:
         self.metrics = metrics
         #: Optional :class:`repro.sim.faults.FaultInjector`; attached by
         #: the runtime when a fault plan targets this bus.
-        self.injector = None
+        self.injector: Optional["FaultInjector"] = None
         #: Optional :class:`repro.obs.flight.FlightRecorder`; attached
         #: by the runtime.  Every hook is None-guarded so unrecorded
         #: runs pay one pointer test per site.
-        self.recorder = None
+        self.recorder: Optional["FlightRecorder"] = None
         #: Fault-tolerance policy of the generated structure (None for
         #: the paper's plain buses).
         self.protection = structure.protection

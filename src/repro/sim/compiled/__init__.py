@@ -1,0 +1,23 @@
+"""Compiled simulation backend: lower refined specs to Python.
+
+Selected with ``simulate(..., backend="compiled")``.  Each behavior is
+translated to generated Python that batches per-statement clock costs
+into single kernel waits; protocol transfers specialize per (protocol,
+word width, protection).  Anything the lowering cannot prove safe falls
+back -- per behavior, per channel -- to the interpreter, with the
+reason recorded on the :class:`CompiledProgram`.
+"""
+
+from repro.sim.compiled.analyze import Analysis, analyze_spec
+from repro.sim.compiled.codegen import CompiledProgram, compile_spec
+from repro.sim.compiled.emit import emit_sources
+from repro.sim.compiled.exprgen import CompileFallback
+
+__all__ = [
+    "Analysis",
+    "analyze_spec",
+    "CompiledProgram",
+    "compile_spec",
+    "CompileFallback",
+    "emit_sources",
+]

@@ -1,0 +1,499 @@
+"""Behavior lowering: statement IR -> generated Python generators.
+
+Each compilable behavior becomes one generated ``def run():`` generator
+``exec``'d against a namespace of pre-bound objects (the kernel's
+``Wait``, environment methods, transfer coroutines, checked-division
+helpers).  The central trick is **clock batching**: instead of yielding
+``Wait(1)`` per statement like the interpreter, generated code
+accumulates the documented clock costs in a plain integer ``t`` and
+flushes it in one kernel wait at synchronization points:
+
+* before every ``Call`` (transfers must start at their exact clock);
+* before any access to a *contested* variable (see
+  :mod:`~repro.sim.compiled.analyze`);
+* every ``CHUNK_CLOCKS`` inside ``While`` loops (so runaway loops
+  still trip ``max_clocks``);
+* at behavior end (so the finish clock is exact).
+
+Uncontested scalars live as native Python locals, loaded from the
+environment at process start and written back at the end; arrays alias
+the environment's backing list, so element writes are visible to the
+(sequentially ordered) rest of the system without copies.  Statement
+semantics -- evaluation order, wrap-on-assign, the loop-variable wrap,
+``For``/``While`` clock costs -- mirror
+:class:`repro.sim.runtime.RefinedSimulation` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.sim.arbiter import ImmediateArbiter
+from repro.sim.compiled.analyze import Analysis, analyze_spec
+from repro.sim.compiled.exprgen import CompileFallback, compile_expr
+from repro.sim.compiled.transfer import FUSED, make_transfer, plan_channel
+from repro.sim.kernel import Wait
+from repro.spec.behavior import Behavior
+from repro.spec.stmt import (
+    Assign,
+    Call,
+    ElementTarget,
+    For,
+    If,
+    Nop,
+    Stmt,
+    WaitClocks,
+    While,
+)
+from repro.spec.types import ArrayType, IntType
+from repro.spec.variable import Variable
+
+#: Forced mid-batch flush interval inside While loops: bounds the
+#: clocks a compiled process can run ahead of the kernel, so infinite
+#: loops still hit the kernel's ``max_clocks`` guard.
+CHUNK_CLOCKS = 4096
+
+
+@dataclass
+class CompiledProgram:
+    """Output of :func:`compile_spec`: per-process factories + report."""
+
+    #: behavior name -> zero-arg generator factory (the lowered body).
+    processes: Dict[str, Callable[[], Generator]] = field(
+        default_factory=dict)
+    #: behavior name -> generated Python source (for --emit-sim-source).
+    sources: Dict[str, str] = field(default_factory=dict)
+    #: behavior name -> why it stayed on the interpreter.
+    fallbacks: Dict[str, str] = field(default_factory=dict)
+    #: (bus name, channel name) -> (transfer mode, reason).
+    channel_modes: Dict[Tuple[str, str], Tuple[str, str]] = field(
+        default_factory=dict)
+
+    @property
+    def compiled_count(self) -> int:
+        return len(self.processes)
+
+    @property
+    def total_count(self) -> int:
+        return len(self.processes) + len(self.fallbacks)
+
+    def describe(self) -> List[str]:
+        """Human-readable per-process / per-channel report lines."""
+        lines = [f"compiled {self.compiled_count}/{self.total_count} "
+                 "behaviors"]
+        for name in sorted(self.fallbacks):
+            lines.append(f"  {name}: interpreter fallback "
+                         f"({self.fallbacks[name]})")
+        for (bus, channel), (mode, reason) in sorted(
+                self.channel_modes.items()):
+            suffix = f" ({reason})" if reason else ""
+            lines.append(f"  {bus}.{channel}: {mode} transfer{suffix}")
+        return lines
+
+
+@lru_cache(maxsize=1024)
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _scalar_bounds(dtype) -> Tuple[int, int]:
+    """Representable range of a scalar dtype (for loop-var wrap
+    elision)."""
+    if isinstance(dtype, IntType) and dtype.signed:
+        half = 1 << (dtype.bits - 1)
+        return -half, half - 1
+    return 0, (1 << dtype.bits) - 1
+
+
+def _wrap_code(dtype, code: str) -> str:
+    """Inline equivalent of the runtime's ``_wrap`` for ``dtype``."""
+    if isinstance(dtype, IntType) and dtype.signed:
+        half = 1 << (dtype.bits - 1)
+        mask = (1 << dtype.bits) - 1
+        return f"((({code} + {half}) & {mask}) - {half})"
+    return f"(({code}) & {(1 << dtype.bits) - 1})"
+
+
+class _BehaviorCompiler:
+    """Lowers one behavior body to a ``run()`` generator source."""
+
+    def __init__(self, runtime, behavior: Behavior, analysis: Analysis,
+                 channel_modes: Dict[Tuple[str, str], Tuple[str, str]],
+                 deferred_channels: frozenset):
+        self.runtime = runtime
+        self.behavior = behavior
+        self.contested = analysis.contested
+        self.touched = analysis.touches[behavior.name]
+        self.channel_modes = channel_modes
+        self.deferred_channels = deferred_channels
+        self.lines: List[str] = []
+        self.ns: Dict[str, object] = {"W": Wait}
+        self._bound: Dict[object, str] = {}
+        self._tmp = 0
+        #: Variable -> ("native", name) | ("env", bound var name)
+        #:          | ("array", alias name)
+        self.modes: Dict[Variable, Tuple[str, str]] = {}
+        self._transfers: Dict[int, str] = {}
+
+    # -- namespace ----------------------------------------------------
+
+    def bind(self, obj: object, hint: str) -> str:
+        key = id(obj)
+        name = self._bound.get(key)
+        if name is None:
+            name = f"_b{len(self._bound)}_{_sanitize(hint)}"
+            self._bound[key] = name
+            self.ns[name] = obj
+        return name
+
+    def temp(self, prefix: str = "_t") -> str:
+        self._tmp += 1
+        return f"{prefix}{self._tmp}"
+
+    def emit(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    # -- variable access ----------------------------------------------
+
+    def _classify(self) -> None:
+        spec = self.runtime.spec
+        loadable = set(spec.original.variables) \
+            | set(self.behavior.local_variables)
+        for variable in sorted(self.touched, key=lambda v: v.name):
+            label = _sanitize(variable.name)
+            if isinstance(variable.dtype, ArrayType):
+                self.modes[variable] = ("array", f"_a_{label}")
+            elif variable in self.contested:
+                self.modes[variable] = (
+                    "env", self.bind(variable, f"v_{label}"))
+            else:
+                self.modes[variable] = ("native", f"_l_{label}")
+        self._loadable = loadable
+
+    def read_scalar(self, variable: Variable) -> str:
+        mode, name = self.modes[variable]
+        if mode == "native":
+            return name
+        env_read = self.bind(self.runtime.env.read, "env_read")
+        return f"{env_read}({name})"
+
+    def read_element(self, variable: Variable, index_code: str) -> str:
+        _, arr = self.modes[variable]
+        dtype = variable.dtype
+        assert isinstance(dtype, ArrayType)
+        check = self.bind(dtype.validate_index,
+                          f"ixchk_{_sanitize(variable.name)}")
+        tmp = self.temp("_i")
+        # Inline bounds test; out-of-range delegates to validate_index
+        # for the interpreter's exact TypeSpecError.
+        return (f"{arr}[{tmp} if 0 <= ({tmp} := {index_code}) "
+                f"< {dtype.length} else {check}({tmp})]")
+
+    def _expr(self, expr) -> str:
+        return compile_expr(expr, self)
+
+    # -- flush points -------------------------------------------------
+
+    def _reads_contested(self, stmt: Stmt) -> bool:
+        return any(read.variable in self.contested
+                   for read in stmt.reads())
+
+    def _needs_flush(self, stmt: Stmt) -> bool:
+        if isinstance(stmt, Call):
+            return False  # _emit_call flushes itself unless deferred
+        if isinstance(stmt, Assign):
+            return stmt.target.variable in self.contested \
+                or self._reads_contested(stmt)
+        if isinstance(stmt, (If, While)):
+            return self._reads_contested(stmt)
+        if isinstance(stmt, For):
+            return stmt.var in self.contested
+        return False
+
+    def _flush(self, indent: int) -> None:
+        self.emit(indent, "if t:")
+        self.emit(indent + 1, "yield W(t)")
+        self.emit(indent + 1, "t = 0")
+
+    # -- statements ---------------------------------------------------
+
+    def _emit_body(self, body, indent: int) -> None:
+        for stmt in body:
+            self._emit_stmt(stmt, indent)
+
+    def _emit_stmt(self, stmt: Stmt, indent: int) -> None:
+        kind = type(stmt)
+        if kind is Nop:
+            return
+        if kind is WaitClocks:
+            if stmt.clocks:
+                self.emit(indent, f"t += {stmt.clocks}")
+            return
+        if self._needs_flush(stmt):
+            self._flush(indent)
+        if kind is Assign:
+            self._emit_assign(stmt, indent)
+        elif kind is If:
+            self._emit_if(stmt, indent)
+        elif kind is For:
+            self._emit_for(stmt, indent)
+        elif kind is While:
+            self._emit_while(stmt, indent)
+        elif kind is Call:
+            self._emit_call(stmt, indent)
+        else:
+            raise CompileFallback(
+                f"unsupported statement {type(stmt).__name__}")
+
+    def _emit_assign(self, stmt: Assign, indent: int) -> None:
+        target = stmt.target
+        variable = target.variable
+        if isinstance(target, ElementTarget):
+            dtype = variable.dtype
+            assert isinstance(dtype, ArrayType)
+            # Value before index, like the interpreter's _do_assign.
+            value = self.temp("_v")
+            self.emit(indent, f"{value} = {self._expr(stmt.expr)}")
+            index = self.temp("_i")
+            self.emit(indent, f"{index} = {self._expr(target.index)}")
+            _, arr = self.modes[variable]
+            check = self.bind(dtype.validate_index,
+                              f"ixchk_{_sanitize(variable.name)}")
+            self.emit(indent,
+                      f"{arr}[{index} if 0 <= {index} < {dtype.length} "
+                      f"else {check}({index})] = "
+                      f"{_wrap_code(dtype.element, value)}")
+        else:
+            mode, name = self.modes[variable]
+            wrapped = _wrap_code(variable.dtype, self._expr(stmt.expr))
+            if mode == "native":
+                self.emit(indent, f"{name} = {wrapped}")
+            else:
+                env_write = self.bind(self.runtime.env.write,
+                                      "env_write")
+                self.emit(indent, f"{env_write}({name}, {wrapped})")
+        self.emit(indent, "t += 1")
+
+    def _emit_if(self, stmt: If, indent: int) -> None:
+        self.emit(indent, f"if {self._expr(stmt.cond)} != 0:")
+        self.emit(indent + 1, "t += 1")
+        self._emit_body(stmt.then_body, indent + 1)
+        self.emit(indent, "else:")
+        self.emit(indent + 1, "t += 1")
+        self._emit_body(stmt.else_body, indent + 1)
+
+    def _emit_for(self, stmt: For, indent: int) -> None:
+        variable = stmt.var
+        mode, name = self.modes[variable]
+        rng = f"range({stmt.lo}, {stmt.hi + 1})"
+        if mode == "env":
+            raw = self.temp("_f")
+            self.emit(indent, f"for {raw} in {rng}:")
+            self._flush(indent + 1)
+            env_write = self.bind(self.runtime.env.write, "env_write")
+            self.emit(indent + 1,
+                      f"{env_write}({name}, "
+                      f"{_wrap_code(variable.dtype, raw)})")
+        else:
+            lo_ok, hi_ok = _scalar_bounds(variable.dtype)
+            if lo_ok <= stmt.lo and stmt.hi <= hi_ok:
+                # Every iterate is representable: the wrap is identity.
+                self.emit(indent, f"for {name} in {rng}:")
+            else:
+                raw = self.temp("_f")
+                self.emit(indent, f"for {raw} in {rng}:")
+                self.emit(indent + 1,
+                          f"{name} = {_wrap_code(variable.dtype, raw)}")
+        self.emit(indent + 1, "t += 1")
+        self._emit_body(stmt.body, indent + 1)
+
+    def _emit_while(self, stmt: While, indent: int) -> None:
+        self.emit(indent, "while True:")
+        self.emit(indent + 1, f"if t >= {CHUNK_CLOCKS}:")
+        self.emit(indent + 2, "yield W(t)")
+        self.emit(indent + 2, "t = 0")
+        if self._reads_contested(stmt):
+            self._flush(indent + 1)
+        self.emit(indent + 1, f"if {self._expr(stmt.cond)} == 0:")
+        self.emit(indent + 2, "t += 1")
+        self.emit(indent + 2, "break")
+        self.emit(indent + 1, "t += 1")
+        self._emit_body(stmt.body, indent + 1)
+
+    # -- calls --------------------------------------------------------
+
+    def _transfer_name(self, sim_bus, pair, deferred: bool) -> str:
+        key = id(pair)
+        name = self._transfers.get(key)
+        if name is None:
+            mode, _ = self.channel_modes[(sim_bus.name,
+                                          pair.channel.name)]
+            storage = self.runtime.storage_for(pair.channel.variable)
+            fn = make_transfer(sim_bus, pair, self.behavior.name, mode,
+                               storage=storage, deferred=deferred)
+            name = self.bind(
+                fn, f"xf_{_sanitize(pair.channel.name)}_{mode}")
+            self._transfers[key] = name
+        return name
+
+    def _emit_call(self, stmt: Call, indent: int) -> None:
+        # analyze._call_reason vetted shape and arity already.
+        sim_bus, pair = self.runtime._proc_map[id(stmt.procedure)]
+        channel = pair.channel
+        procedure = stmt.procedure
+        mode, _ = self.channel_modes[(sim_bus.name, channel.name)]
+        deferred = (sim_bus.name, channel.name) in self.deferred_channels
+        note = ", deferred arbitration" if deferred else ""
+        self.emit(indent,
+                  f"# call {procedure.name}: {sim_bus.name}."
+                  f"{channel.name} ({mode}{note})")
+        if not deferred or self._reads_contested(stmt):
+            self._flush(indent)
+        args = list(stmt.args)
+        addr = "None"
+        if procedure.takes_address:
+            addr = self.temp("_adr")
+            self.emit(indent, f"{addr} = {self._expr(args.pop(0))}")
+            check = self.bind(channel.variable.dtype.validate_index,
+                              f"ixchk_{_sanitize(channel.variable.name)}")
+            self.emit(indent, f"{check}({addr})")
+        data = "None"
+        if channel.is_write:
+            packer = self.bind(self.runtime.packer_for(channel.variable),
+                               f"pack_{_sanitize(channel.variable.name)}")
+            data = self.temp("_dat")
+            self.emit(indent,
+                      f"{data} = {packer}({self._expr(args[0])})")
+        transfer = self._transfer_name(sim_bus, pair, deferred)
+        result = self.temp("_r")
+        if deferred:
+            self.emit(indent,
+                      f"{result} = yield from {transfer}"
+                      f"({addr}, {data}, t)")
+            self.emit(indent, "t = 0")
+        else:
+            arbiter = sim_bus.arbiter
+            acquire = self.bind(arbiter.acquire,
+                                f"acq_{_sanitize(sim_bus.name)}")
+            release = self.bind(arbiter.release,
+                                f"rel_{_sanitize(sim_bus.name)}")
+            me = repr(self.behavior.name)
+            self.emit(indent, f"yield from {acquire}({me})")
+            self.emit(indent, "try:")
+            self.emit(indent + 1,
+                      f"{result} = yield from {transfer}"
+                      f"({addr}, {data})")
+            self.emit(indent, "finally:")
+            self.emit(indent + 1, f"{release}({me})")
+        if channel.is_read:
+            decode = self.bind(
+                self.runtime.decoder_for(channel.variable),
+                f"dec_{_sanitize(channel.variable.name)}")
+            value = self.temp("_v")
+            self.emit(indent, f"{value} = {decode}({result})")
+            target = stmt.results[0]
+            if isinstance(target, ElementTarget):
+                index = self.temp("_i")
+                self.emit(indent,
+                          f"{index} = {self._expr(target.index)}")
+                env_write_element = self.bind(
+                    self.runtime.env.write_element, "env_write_element")
+                tvar = self.bind(
+                    target.variable,
+                    f"v_{_sanitize(target.variable.name)}")
+                self.emit(indent,
+                          f"{env_write_element}({tvar}, {index}, "
+                          f"{value})")
+            else:
+                tmode, tname = self.modes[target.variable]
+                wrapped = _wrap_code(target.variable.dtype, value)
+                if tmode == "native":
+                    self.emit(indent, f"{tname} = {wrapped}")
+                else:
+                    env_write = self.bind(self.runtime.env.write,
+                                          "env_write")
+                    self.emit(indent,
+                              f"{env_write}({tname}, {wrapped})")
+
+    # -- assembly -----------------------------------------------------
+
+    def compile(self) -> Tuple[str, Dict[str, object]]:
+        self._classify()
+        self.emit(0, "def run():")
+        self.emit(1, "t = 0")
+        env_read = self.bind(self.runtime.env.read, "env_read")
+        for variable in sorted(self.modes, key=lambda v: v.name):
+            mode, name = self.modes[variable]
+            if mode == "env":
+                continue
+            if variable in self._loadable:
+                vname = self.bind(variable,
+                                  f"v_{_sanitize(variable.name)}")
+                self.emit(1, f"{name} = {env_read}({vname})")
+            # For-only loop variables are assigned by their loop before
+            # any read; no prologue load (and no env declaration).
+        self._emit_body(self.behavior.body, 1)
+        self.emit(1, "if t:")
+        self.emit(2, "yield W(t)")
+        env_write = self.bind(self.runtime.env.write, "env_write")
+        original = set(self.runtime.spec.original.variables)
+        for variable in sorted(self.modes, key=lambda v: v.name):
+            mode, name = self.modes[variable]
+            if mode == "native" and variable in original:
+                vname = self.bind(variable,
+                                  f"v_{_sanitize(variable.name)}")
+                self.emit(1, f"{env_write}({vname}, {name})")
+        return "\n".join(self.lines) + "\n", self.ns
+
+
+@lru_cache(maxsize=256)
+def _compile_source(filename: str, source: str):
+    """``compile`` is pure in (filename, source) and costs ~0.3 ms per
+    generated behavior; re-simulating the same design (benchmark
+    repeats, parameter sweeps) hits this cache instead."""
+    return compile(source, filename, "exec")
+
+
+def compile_spec(runtime) -> CompiledProgram:
+    """Compile every compilable behavior of a
+    :class:`~repro.sim.runtime.RefinedSimulation`."""
+    spec = runtime.spec
+    analysis = analyze_spec(spec, runtime._stages, runtime._proc_map)
+    program = CompiledProgram(fallbacks=dict(analysis.fallbacks))
+
+    deferred = set()
+    for refined_bus in spec.buses:
+        sim_bus = runtime.buses[refined_bus.name]
+        deferrable = (
+            type(sim_bus.arbiter) is ImmediateArbiter
+            and sim_bus.name in analysis.uncontended_buses
+        )
+        for pair in refined_bus.procedures.values():
+            mode, reason = plan_channel(
+                sim_bus, pair, analysis.contested, runtime.recorder,
+                runtime.trace)
+            program.channel_modes[(sim_bus.name, pair.channel.name)] = \
+                (mode, reason)
+            if mode == FUSED and deferrable:
+                deferred.add((sim_bus.name, pair.channel.name))
+    deferred_channels = frozenset(deferred)
+
+    for behavior in spec.behaviors:
+        if behavior.name in program.fallbacks:
+            continue
+        compiler = _BehaviorCompiler(runtime, behavior, analysis,
+                                     program.channel_modes,
+                                     deferred_channels)
+        try:
+            source, ns = compiler.compile()
+        except CompileFallback as exc:
+            program.fallbacks[behavior.name] = str(exc)
+            continue
+        code = _compile_source(
+            f"<compiled {spec.name}.{behavior.name}>", source)
+        exec(code, ns)
+        program.processes[behavior.name] = ns["run"]  # type: ignore
+        program.sources[behavior.name] = source
+    return program

@@ -49,9 +49,22 @@ over arbitrary Python state belong in ``WaitUntil``.
 from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
-from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import DeadlockError, SimulationError
+
+if TYPE_CHECKING:
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.simmetrics import KernelMetrics
 
 
 class Wait:
@@ -313,8 +326,8 @@ class Simulator:
 
     def __init__(self, max_clocks: int = 10_000_000,
                  max_passes_per_clock: int = 10_000,
-                 metrics: Optional[object] = None,
-                 recorder: Optional[object] = None):
+                 metrics: Optional["KernelMetrics"] = None,
+                 recorder: Optional["FlightRecorder"] = None):
         self.max_clocks = max_clocks
         self.max_passes_per_clock = max_passes_per_clock
         self._processes: List[_Process] = []

@@ -28,7 +28,16 @@ contention (the arbitration ablation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.errors import SimulationError
 from repro.obs.simmetrics import SimMetrics
@@ -55,6 +64,13 @@ from repro.spec.stmt import (
 )
 from repro.spec.types import ArrayType, DataType, IntType, Value
 from repro.spec.variable import Variable
+
+if TYPE_CHECKING:
+    from repro.obs.flight import FlightRecorder
+    from repro.sim.compiled import CompiledProgram
+
+#: The two simulation backends ``simulate`` can select between.
+BACKENDS = ("interp", "compiled")
 
 #: One stage of a schedule: a behavior name or several run concurrently.
 Stage = Union[str, Sequence[str]]
@@ -84,6 +100,8 @@ class SimResult:
     #: Every fault the injector actually fired, in injection order
     #: (empty when the run had no fault plan).
     fault_records: List[FaultRecord] = field(default_factory=list)
+    #: Which simulation backend produced this result.
+    backend: str = "interp"
 
     @property
     def end_time(self) -> int:
@@ -132,8 +150,22 @@ class RefinedSimulation:
                  max_clocks: int = 10_000_000,
                  metrics: Optional[SimMetrics] = None,
                  faults: Optional[FaultPlan] = None,
-                 recorder: Optional[object] = None):
+                 recorder: Optional["FlightRecorder"] = None,
+                 backend: str = "interp",
+                 emit_sim_source: Optional[str] = None):
+        if backend not in BACKENDS:
+            raise SimulationError(
+                f"unknown simulation backend {backend!r}; expected one "
+                f"of {', '.join(BACKENDS)}"
+            )
+        if emit_sim_source is not None and backend != "compiled":
+            raise SimulationError(
+                "emit_sim_source dumps generated code and requires "
+                f"backend='compiled', got backend={backend!r}"
+            )
         self.spec = spec
+        self.backend = backend
+        self.trace = trace
         self.metrics = metrics
         self.recorder = recorder
         self.sim = Simulator(max_clocks=max_clocks,
@@ -186,6 +218,22 @@ class RefinedSimulation:
         if self.injector is not None:
             self.injector.verify_attached()
 
+        #: Served-variable storage adapters, shared between the variable
+        #: servers and the compiled backend's fused transfers (both must
+        #: hit the same closure over the environment).
+        self._storages: Dict[Variable, StorageAdapter] = {}
+        self._packers: Dict[Variable, Callable[[int], int]] = {}
+        self._decoders: Dict[Variable, Callable[[int], int]] = {}
+
+        self.compiled: Optional["CompiledProgram"] = None
+        if backend == "compiled":
+            from repro.sim.compiled import compile_spec, emit_sources
+            with obs_span("sim.compile", category="sim",
+                          system=spec.name):
+                self.compiled = compile_spec(self)
+            if emit_sim_source is not None:
+                emit_sources(self.compiled, spec, emit_sim_source)
+
         self._register_processes(spec)
 
     # ------------------------------------------------------------------
@@ -229,16 +277,20 @@ class RefinedSimulation:
         for refined_bus in spec.buses:
             sim_bus = self.buses[refined_bus.name]
             for vproc in refined_bus.variable_processes:
-                storage = self._storage_adapter(vproc.variable)
+                storage = self.storage_for(vproc.variable)
                 self.sim.add_process(
                     f"{refined_bus.name}.{vproc.name}",
                     sim_bus.variable_server(vproc, storage),
                     daemon=True,
                 )
         for behavior in spec.behaviors:
+            body_fn = None
+            if self.compiled is not None:
+                body_fn = self.compiled.processes.get(behavior.name)
             self.sim.add_process(
                 behavior.name,
-                self._behavior_process(behavior),
+                self._behavior_process(behavior) if body_fn is None
+                else self._compiled_behavior_process(behavior, body_fn),
             )
 
     def _storage_adapter(self, variable: Variable) -> StorageAdapter:
@@ -268,6 +320,33 @@ class RefinedSimulation:
 
         return StorageAdapter(read=read, write=write)
 
+    def storage_for(self, variable: Variable) -> StorageAdapter:
+        """The (memoized) storage adapter serving ``variable``."""
+        adapter = self._storages.get(variable)
+        if adapter is None:
+            adapter = self._storage_adapter(variable)
+            self._storages[variable] = adapter
+        return adapter
+
+    def packer_for(self, variable: Variable) -> Callable[[int], int]:
+        """value -> raw bus bits, with the write-side wrap (compiled
+        backend's equivalent of ``_wrap_value`` + ``_encode``)."""
+        packer = self._packers.get(variable)
+        if packer is None:
+            def packer(value: int, _v: Variable = variable) -> int:
+                return _encode(_v, _wrap_value(_v, value))
+            self._packers[variable] = packer
+        return packer
+
+    def decoder_for(self, variable: Variable) -> Callable[[int], int]:
+        """raw bus bits -> value (compiled backend's ``_decode``)."""
+        decoder = self._decoders.get(variable)
+        if decoder is None:
+            def decoder(raw: int, _v: Variable = variable) -> int:
+                return _decode(_v, raw)
+            self._decoders[variable] = decoder
+        return decoder
+
     # ------------------------------------------------------------------
     # Behavior interpretation
     # ------------------------------------------------------------------
@@ -286,6 +365,32 @@ class RefinedSimulation:
             )
         self._start[behavior.name] = self.sim.now
         yield from self._exec_body(behavior, behavior.body)
+        self._finish[behavior.name] = self.sim.now
+        self._done[behavior.name] = True
+        self._done_signal[behavior.name].set(1)
+
+    def _compiled_behavior_process(self, behavior: Behavior,
+                                   body_fn: Callable[[], Generator]
+                                   ) -> Generator:
+        """Same start/finish discipline as :meth:`_behavior_process`,
+        with the interpreted body swapped for a compiled one.  Loop
+        variables are declared eagerly (the interpreter declares them
+        at first loop entry) -- observable only through snapshots, not
+        results."""
+        for local in sorted(behavior.declared_variables(),
+                            key=lambda v: v.name):
+            if not self.env.is_declared(local):
+                self.env.declare(local)
+
+        predecessors = self._predecessors(behavior.name)
+        if predecessors:
+            done = self._done
+            yield WaitOn(
+                tuple(self._done_signal[p] for p in predecessors),
+                lambda: all(done[p] for p in predecessors),
+            )
+        self._start[behavior.name] = self.sim.now
+        yield from body_fn()
         self._finish[behavior.name] = self.sim.now
         self._done[behavior.name] = True
         self._done_signal[behavior.name].set(1)
@@ -472,6 +577,7 @@ class RefinedSimulation:
                               for name, bus in self.buses.items()},
             fault_records=(list(self.injector.records)
                            if self.injector is not None else []),
+            backend=self.backend,
         )
 
 
@@ -482,7 +588,9 @@ def simulate(spec: RefinedSpec,
              max_clocks: int = 10_000_000,
              metrics: Optional[SimMetrics] = None,
              faults: Optional[FaultPlan] = None,
-             recorder: Optional[object] = None) -> SimResult:
+             recorder: Optional["FlightRecorder"] = None,
+             backend: str = "interp",
+             emit_sim_source: Optional[str] = None) -> SimResult:
     """Elaborate and run a refined specification in one call.
 
     Pass a :class:`repro.obs.SimMetrics` as ``metrics`` to collect live
@@ -492,11 +600,19 @@ def simulate(spec: RefinedSpec,
     and a :class:`repro.obs.flight.FlightRecorder` as ``recorder`` to
     journal the causal chain of every transfer with exact clock
     attribution.
+
+    ``backend`` selects the process engine: ``"interp"`` walks the
+    statement IR; ``"compiled"`` lowers each behavior to generated
+    Python (see :mod:`repro.sim.compiled`) and transparently falls
+    back, per behavior and per channel, for anything it cannot compile.
+    ``emit_sim_source`` (compiled only) dumps the generated code into a
+    directory for inspection.
     """
     with obs_span("sim.elaborate", category="sim", system=spec.name):
         simulation = RefinedSimulation(
             spec, schedule=schedule, arbiter_factories=arbiter_factories,
             trace=trace, max_clocks=max_clocks, metrics=metrics,
-            faults=faults, recorder=recorder,
+            faults=faults, recorder=recorder, backend=backend,
+            emit_sim_source=emit_sim_source,
         )
     return simulation.run()

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage lint lint-examples absint-check profile bench bench-kernel bench-only reports examples explain-examples sim-source-examples verify-all verify-examples clean
+.PHONY: install test coverage lint lint-examples absint-check validate-compiled profile bench bench-kernel bench-only reports examples explain-examples sim-source-examples verify-all verify-examples clean
 
 #: Line-coverage floor (percent) for the simulator and protocol
 #: generator packages, enforced by `make coverage` and CI.
@@ -20,6 +20,7 @@ coverage:         ## coverage gate on repro.sim + repro.protogen
 		  exit 1; }
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/ \
 		--cov=repro.sim --cov=repro.protogen --cov=repro.analysis \
+		--cov=repro.analysis.tv \
 		--cov-report=term-missing \
 		--cov-fail-under=$(COV_FAIL_UNDER)
 
@@ -37,6 +38,10 @@ lint-examples:    ## static protocol analysis on the example .spec files
 absint-check:     ## soundness gate: static bounds vs simulated counts
 	PYTHONPATH=src $(PYTHON) tools/absint_check.py
 
+validate-compiled: ## translation-validation gate: proofs, backend
+                   ## agreement, and the seeded codegen-defect corpus
+	PYTHONPATH=src $(PYTHON) tools/validate_compiled.py
+
 profile:          ## instrumented synth+sim sweep with stage breakdown
 	PYTHONPATH=src $(PYTHON) -m repro.cli profile
 
@@ -47,7 +52,7 @@ bench-kernel:     ## kernel benches + wall-time regression gate
 	rm -rf benchmarks/reports/.baseline
 	mkdir -p benchmarks/reports/.baseline
 	cp benchmarks/reports/BENCH_*.json benchmarks/reports/.baseline/
-	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_kernel_scaling.py benchmarks/bench_three_systems.py benchmarks/bench_analysis.py benchmarks/bench_flight_overhead.py benchmarks/bench_compiled_backend.py
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_kernel_scaling.py benchmarks/bench_three_systems.py benchmarks/bench_analysis.py benchmarks/bench_flight_overhead.py benchmarks/bench_compiled_backend.py benchmarks/bench_tv.py
 	PYTHONPATH=src $(PYTHON) benchmarks/compare_baselines.py \
 		--baseline benchmarks/reports/.baseline \
 		--fresh benchmarks/reports

@@ -25,6 +25,7 @@ enforces in CI, alongside the usual ``wall_seconds*`` regression
 fields.
 """
 
+import gc
 import time
 
 from benchmarks._report import format_table, write_json_report, write_report
@@ -61,12 +62,21 @@ _SECTIONS = {}
 
 
 def _best_of(fn, repeats=REPEATS):
+    """Best-of-N wall time with timeit-style GC isolation: a cyclic
+    collection triggered by the *previous* run's garbage (an interp run
+    sheds ~100x the objects of a compiled one) otherwise lands inside a
+    later short repeat and skews the ratio by up to 2x."""
     best = float("inf")
     value = None
     for _ in range(repeats):
-        started = time.perf_counter()
-        value = fn()
-        best = min(best, time.perf_counter() - started)
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            value = fn()
+            best = min(best, time.perf_counter() - started)
+        finally:
+            gc.enable()
     return best, value
 
 

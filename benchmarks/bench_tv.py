@@ -1,0 +1,85 @@
+"""Translation-validator wall time.
+
+The validator runs inside every gated ``simulate(...,
+backend="compiled")`` call, so its cost rides on every compiled run --
+it has to stay a small fraction of the speedup it certifies.  This
+bench holds that to a number on the paper's three case studies:
+cold-cache validation wall time (facts recomputation + per-process
+proofs), warm-cache revalidation (the verdict cache keyed on IR
+fingerprint + source text), and one sweep of the seeded
+codegen-defect corpus (the validator's own regression workload).
+Written to ``benchmarks/reports/BENCH_tv.json`` for the wall-time
+regression gate (``benchmarks/compare_baselines.py``).
+"""
+
+import time
+
+from benchmarks._report import format_table, write_json_report, write_report
+from repro.analysis.tv import validate_refined
+from repro.analysis.tv.mutations import check_corpus
+from repro.apps.answering_machine import build_answering_machine
+from repro.apps.ethernet import build_ethernet
+from repro.apps.flc import build_flc
+from repro.busgen.algorithm import generate_bus
+from repro.protogen.refine import refine_system
+
+
+def _cases():
+    flc = build_flc()
+    am = build_answering_machine()
+    eth = build_ethernet()
+    return [
+        ("fuzzy logic controller", flc.system, flc.bus_b, flc.schedule),
+        ("answering machine", am.system, am.bus, am.schedule),
+        ("ethernet coprocessor", eth.system, eth.bus, eth.schedule),
+    ]
+
+
+def test_translation_validation_walltime():
+    rows = []
+    systems_json = {}
+    for name, system, group, schedule in _cases():
+        refined = refine_system(system, [generate_bus(group)])
+
+        started = time.perf_counter()
+        report = validate_refined(refined, schedule=schedule)
+        cold_seconds = time.perf_counter() - started
+        assert report.all_validated, (
+            f"{name}: clean build must validate\n" + report.render_text())
+
+        started = time.perf_counter()
+        revalidated = validate_refined(refined, schedule=schedule)
+        warm_seconds = time.perf_counter() - started
+        assert revalidated.all_validated
+
+        processes = len(report.verdicts)
+        obligations = sum(v.obligations for v in report.verdicts.values())
+        systems_json[name] = {
+            "wall_seconds_validate": round(cold_seconds, 4),
+            "wall_seconds_revalidate": round(warm_seconds, 4),
+            "processes": processes,
+            "obligations": obligations,
+        }
+        rows.append([name, processes, obligations,
+                     f"{cold_seconds:.3f}", f"{warm_seconds:.3f}"])
+
+    started = time.perf_counter()
+    outcomes = check_corpus()
+    corpus_seconds = time.perf_counter() - started
+    assert all(outcome.exact for outcome in outcomes), "\n".join(
+        outcome.render_line() for outcome in outcomes)
+
+    lines = ["Translation validation wall time", ""]
+    lines += format_table(
+        ["system", "processes", "obligations",
+         "validate s", "revalidate s"], rows)
+    lines += ["", f"defect corpus: {len(outcomes)} seeded miscompiles "
+              f"refuted + replayed in {corpus_seconds:.3f}s"]
+    write_report("tv", lines)
+    write_json_report("tv", {
+        "systems": systems_json,
+        "defect_corpus": {
+            "defects": len(outcomes),
+            "wall_seconds_corpus": round(corpus_seconds, 4),
+        },
+    })

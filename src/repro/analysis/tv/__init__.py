@@ -1,0 +1,53 @@
+"""Translation validation for the compiled simulation backend.
+
+``repro.sim.compiled`` lowers each behavior to specialized Python for
+a 10-100x simulation speedup; this package is the static proof that
+the speedup did not change the semantics.  Per process it either
+
+* **validates**: every proof obligation discharged -- clock batching
+  telescopes to the interpreter's per-statement wait sum, contested
+  effects happen at provably exact clocks, wraps are present (or their
+  elision certified by a range certificate), transfers reproduce the
+  planned tier and the deferred virtual-grant clock formula, and every
+  lowered expression is alpha-equivalent to an independently derived
+  lowering; or
+* **refutes** with a ``P801``-``P806`` diagnostic and a counterexample
+  recipe replayable with
+  :func:`repro.sim.replay.replay_backend_divergence`.
+
+``simulate(..., backend="compiled")`` runs this pass by default and
+demotes refuted processes to the interpreter, so the compiled backend
+never executes an unproven process.
+"""
+
+from repro.analysis.tv.checker import (
+    ProcessVerdict,
+    Refutation,
+    ValidationReport,
+    validate_behavior,
+    validate_program,
+)
+from repro.analysis.tv.trace import BehaviorFacts, spec_facts
+
+__all__ = [
+    "BehaviorFacts",
+    "ProcessVerdict",
+    "Refutation",
+    "ValidationReport",
+    "spec_facts",
+    "validate_behavior",
+    "validate_program",
+    "validate_refined",
+]
+
+
+def validate_refined(spec, schedule=None, **sim_kwargs):
+    """Elaborate ``spec`` with the compiled backend and validate every
+    lowered process.  Convenience entry point for ``lint``/``verify``:
+    validation runs on the exact sources the backend would execute,
+    without running the simulation."""
+    from repro.sim.runtime import RefinedSimulation
+
+    sim = RefinedSimulation(spec, schedule=schedule, backend="compiled",
+                            validate_compiled=False, **sim_kwargs)
+    return validate_program(sim)

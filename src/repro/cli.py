@@ -385,7 +385,10 @@ def _build_refined(system_name: str, protocol, widths=None,
 
     Shared by ``lint`` and ``verify``: generates one bus per group
     (splitting infeasible groups exactly as ``synth`` does) and refines
-    at the requested protocol/protection.
+    at the requested protocol/protection.  Returns ``(refined,
+    schedule)`` -- the schedule matters to analyses (translation
+    validation among them) whose contention facts depend on which
+    behaviors run concurrently.
     """
     system, groups, schedule, oracle = _load_system(system_name)
     if not isinstance(groups, list):
@@ -406,17 +409,24 @@ def _build_refined(system_name: str, protocol, widths=None,
             result = split_group(group, protocol=protocol)
             print(f"note: {result.describe()}")
             plans.extend(result.designs)
-    return refine_system(system, plans, protection=protection)
+    return refine_system(system, plans, protection=protection), schedule
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import Severity, analyze_refined
+    from repro.analysis.tv import validate_refined
 
     protocol = get_protocol(args.protocol)
     widths = [args.width] if args.width is not None else None
-    refined = _build_refined(args.system, protocol, widths=widths)
+    refined, schedule = _build_refined(args.system, protocol,
+                                       widths=widths)
 
     diagnostics = analyze_refined(refined)
+    # Translation validation rides along: lint judges the exact
+    # compiled sources the simulator would run, so a miscompile
+    # surfaces here as a P8xx before anyone simulates.
+    diagnostics.extend(
+        validate_refined(refined, schedule=schedule).diagnostics())
     if args.json:
         print(diagnostics.render_json())
     else:
@@ -452,25 +462,47 @@ def cmd_verify(args: argparse.Namespace) -> int:
                              f"choose from: {names}")
         design = defect.build()
         refined, transform = design.spec, design.fsm_transform
+        schedule = None
         meta["mutation"] = defect.name
         print(f"seeded defect {defect.name} [{defect.code}]: "
               f"{defect.description}")
     else:
         protocol = get_protocol(args.protocol)
         widths = [args.width] if args.width is not None else None
-        refined = _build_refined(args.system, protocol, widths=widths,
-                                 protection=protection)
+        refined, schedule = _build_refined(args.system, protocol,
+                                           widths=widths,
+                                           protection=protection)
         # The loadable name (may differ from spec.name): lets --replay
         # rebuild the exact design later.
         meta["system_arg"] = args.system
 
     report = verify_refined(refined, fsm_transform=transform,
                             witness_meta=meta)
+    # Translation validation joins the verification gate: the compiled
+    # lowering of every process must be proven clock- and
+    # effect-equivalent (skipped for --mutate, which verifies seeded
+    # FSM defects, not the production lowering).
+    tv = None
+    if not args.mutate:
+        from repro.analysis.tv import validate_refined
+
+        tv = validate_refined(refined, schedule=schedule)
     if args.json:
-        print(json_module.dumps(report.to_dict(), indent=2,
-                                sort_keys=True))
+        payload = report.to_dict()
+        if tv is not None:
+            payload["translation_validation"] = {
+                "verdicts": {name: verdict.describe()
+                             for name, verdict
+                             in sorted(tv.verdicts.items())},
+                "diagnostics": [d.to_dict()
+                                for d in tv.diagnostics()],
+            }
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
     else:
         print(report.render_text())
+        if tv is not None:
+            print()
+            print(tv.render_text())
 
     if args.witness_dir:
         os.makedirs(args.witness_dir, exist_ok=True)
@@ -489,6 +521,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
         v.status != "PROVED" and v.code is not None
         and SEVERITIES.get(v.code, Severity.ERROR) >= blocking
         for v in report.verdicts)
+    if tv is not None and not tv.all_validated:
+        failed = True
     return 1 if failed else 0
 
 
@@ -515,8 +549,8 @@ def _replay_witness_file(path: str) -> int:
         print(f"rebuilding seeded defect {mutation}")
     else:
         name = witness.meta.get("system_arg", witness.system)
-        refined = _build_refined(name, get_protocol(witness.protocol),
-                                 protection=witness.protection)
+        refined, _ = _build_refined(name, get_protocol(witness.protocol),
+                                    protection=witness.protection)
     bus = next((b for b in refined.buses if b.name == witness.bus), None)
     if bus is None or witness.channel not in bus.procedures:
         raise SystemExit(
@@ -725,6 +759,14 @@ def cmd_profile(args: argparse.Namespace) -> int:
     for name, clocks, transfers, utilization, ok in summary_rows:
         print(f"  {name:<20} {clocks:>8} {transfers:>9} "
               f"{utilization:>9.3f}  {ok}")
+    fallback_lines = [
+        f"  {section['system']}.{process}: {reason}"
+        for section in simulations
+        for process, reason in sorted(
+            section.get("fallbacks", {}).items())]
+    if fallback_lines:
+        print("\ninterpreter fallbacks (compile or validation):")
+        print("\n".join(fallback_lines))
 
     _write_observability(args, tracer, simulations, sim_runs)
     return exit_code

@@ -121,7 +121,8 @@ class AnalysisError(ReproError):
 #: Families: P1xx handshake deadlock/livelock, P2xx bus contention,
 #: P3xx width/capacity, P4xx dead code, P5xx value-flow (abstract
 #: interpretation), P6xx fault-tolerance (protection plans), P7xx
-#: temporal verification (fair-liveness, retry bounds, drive races).
+#: temporal verification (fair-liveness, retry bounds, drive races),
+#: P8xx translation validation (compiled-backend equivalence proofs).
 #: Codes are stable: once published they are never renumbered or
 #: reused.
 DIAGNOSTIC_CODES: Dict[str, str] = {
@@ -185,6 +186,26 @@ DIAGNOSTIC_CODES: Dict[str, str] = {
     "P705": "retry/timeout abstraction failure: the controller has "
             "retry-shaped loops no protection plan bounds, so the "
             "finite counter abstraction cannot prove termination",
+    "P801": "clock-count divergence: the compiled process's batched "
+            "clock accumulation does not telescope to the "
+            "interpreter's per-statement wait sum",
+    "P802": "effect reorder across a contested access: a compiled "
+            "read/write of a contested variable can run at a stale "
+            "simulated clock (no flush proof) or an effect is missing "
+            "or out of order",
+    "P803": "unsound wrap elision: generated code omits a dtype wrap "
+            "whose value-range certificate does not cover every "
+            "iterate or assigned value",
+    "P804": "fused-transfer timing mismatch: a deferred-arbitration "
+            "transfer does not reproduce the virtual-grant clock "
+            "formula (pending clocks not forwarded or not consumed)",
+    "P805": "unproven fallback-eligibility: generated code contains a "
+            "construct outside the validated trace algebra, so "
+            "equivalence with the interpreter cannot be proven",
+    "P806": "expression lowering not value-preserving: a lowered "
+            "expression diverges from the interpreter's evaluation "
+            "(mis-folded constant, short-circuit change, wrong "
+            "operator contract)",
 }
 
 

@@ -63,6 +63,7 @@ def sim_section(system: str, result: Any,
     section = {
         "system": system,
         "backend": getattr(result, "backend", "interp"),
+        "fallbacks": dict(getattr(result, "fallbacks", {}) or {}),
         "end_clock": result.end_time,
         "behavior_clocks": dict(result.clocks),
         "bus_utilization": dict(result.utilization),

@@ -9,7 +9,11 @@ reason recorded on the :class:`CompiledProgram`.
 """
 
 from repro.sim.compiled.analyze import Analysis, analyze_spec
-from repro.sim.compiled.codegen import CompiledProgram, compile_spec
+from repro.sim.compiled.codegen import (
+    CompiledProgram,
+    compile_spec,
+    source_transform,
+)
 from repro.sim.compiled.emit import emit_sources
 from repro.sim.compiled.exprgen import CompileFallback
 
@@ -20,4 +24,5 @@ __all__ = [
     "compile_spec",
     "CompileFallback",
     "emit_sources",
+    "source_transform",
 ]

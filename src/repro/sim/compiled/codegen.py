@@ -31,11 +31,16 @@ from functools import lru_cache
 from typing import Callable, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.sim.arbiter import ImmediateArbiter
-from repro.sim.compiled.analyze import Analysis, analyze_spec
+from repro.sim.compiled.analyze import (
+    Analysis,
+    analyze_spec,
+    walk_statements,
+)
 from repro.sim.compiled.exprgen import CompileFallback, compile_expr
 from repro.sim.compiled.transfer import FUSED, make_transfer, plan_channel
 from repro.sim.kernel import Wait
 from repro.spec.behavior import Behavior
+from repro.spec.expr import BinOp, Const, Index, Ref, UnOp
 from repro.spec.stmt import (
     Assign,
     Call,
@@ -70,6 +75,16 @@ class CompiledProgram:
     #: (bus name, channel name) -> (transfer mode, reason).
     channel_modes: Dict[Tuple[str, str], Tuple[str, str]] = field(
         default_factory=dict)
+    #: behavior name -> translation-validation verdict line
+    #: ("validated (N obligations)", "REFUTED (P80x: ...)",
+    #: "interpreter fallback"); empty until the validator runs.
+    verdicts: Dict[str, str] = field(default_factory=dict)
+    #: the compile-time :class:`~repro.sim.compiled.analyze.Analysis`.
+    #: The translation validator reuses it instead of re-running
+    #: ``analyze_spec`` on an identical spec (the validator's
+    #: independence lives in re-deriving per-variable/per-call facts
+    #: and the trace semantics, not in repeating this pure function).
+    analysis: object = None
 
     @property
     def compiled_count(self) -> int:
@@ -86,6 +101,9 @@ class CompiledProgram:
         for name in sorted(self.fallbacks):
             lines.append(f"  {name}: interpreter fallback "
                          f"({self.fallbacks[name]})")
+        for name in sorted(self.verdicts):
+            lines.append(
+                f"  {name}: translation validation {self.verdicts[name]}")
         for (bus, channel), (mode, reason) in sorted(
                 self.channel_modes.items()):
             suffix = f" ({reason})" if reason else ""
@@ -131,6 +149,11 @@ class _BehaviorCompiler:
         self.lines: List[str] = []
         self.ns: Dict[str, object] = {"W": Wait}
         self._bound: Dict[object, str] = {}
+        #: (bound name, rebind descriptor) per *new* binding, in
+        #: binding order: the recipe :func:`_rebind` replays to rebuild
+        #: the namespace against a different runtime when the source
+        #: text itself comes out of :data:`_SOURCE_MEMO`.
+        self.recipe: List[Tuple[str, tuple]] = []
         self._tmp = 0
         #: Variable -> ("native", name) | ("env", bound var name)
         #:          | ("array", alias name)
@@ -139,13 +162,14 @@ class _BehaviorCompiler:
 
     # -- namespace ----------------------------------------------------
 
-    def bind(self, obj: object, hint: str) -> str:
+    def bind(self, obj: object, hint: str, rebind: tuple) -> str:
         key = id(obj)
         name = self._bound.get(key)
         if name is None:
             name = f"_b{len(self._bound)}_{_sanitize(hint)}"
             self._bound[key] = name
             self.ns[name] = obj
+            self.recipe.append((name, rebind))
         return name
 
     def temp(self, prefix: str = "_t") -> str:
@@ -167,7 +191,8 @@ class _BehaviorCompiler:
                 self.modes[variable] = ("array", f"_a_{label}")
             elif variable in self.contested:
                 self.modes[variable] = (
-                    "env", self.bind(variable, f"v_{label}"))
+                    "env", self.bind(variable, f"v_{label}",
+                                     ("var", variable.name)))
             else:
                 self.modes[variable] = ("native", f"_l_{label}")
         self._loadable = loadable
@@ -176,7 +201,8 @@ class _BehaviorCompiler:
         mode, name = self.modes[variable]
         if mode == "native":
             return name
-        env_read = self.bind(self.runtime.env.read, "env_read")
+        env_read = self.bind(self.runtime.env.read, "env_read",
+                             ("env", "read"))
         return f"{env_read}({name})"
 
     def read_element(self, variable: Variable, index_code: str) -> str:
@@ -184,7 +210,8 @@ class _BehaviorCompiler:
         dtype = variable.dtype
         assert isinstance(dtype, ArrayType)
         check = self.bind(dtype.validate_index,
-                          f"ixchk_{_sanitize(variable.name)}")
+                          f"ixchk_{_sanitize(variable.name)}",
+                          ("var_ixchk", variable.name))
         tmp = self.temp("_i")
         # Inline bounds test; out-of-range delegates to validate_index
         # for the interpreter's exact TypeSpecError.
@@ -260,7 +287,8 @@ class _BehaviorCompiler:
             self.emit(indent, f"{index} = {self._expr(target.index)}")
             _, arr = self.modes[variable]
             check = self.bind(dtype.validate_index,
-                              f"ixchk_{_sanitize(variable.name)}")
+                              f"ixchk_{_sanitize(variable.name)}",
+                              ("var_ixchk", variable.name))
             self.emit(indent,
                       f"{arr}[{index} if 0 <= {index} < {dtype.length} "
                       f"else {check}({index})] = "
@@ -272,7 +300,7 @@ class _BehaviorCompiler:
                 self.emit(indent, f"{name} = {wrapped}")
             else:
                 env_write = self.bind(self.runtime.env.write,
-                                      "env_write")
+                                      "env_write", ("env", "write"))
                 self.emit(indent, f"{env_write}({name}, {wrapped})")
         self.emit(indent, "t += 1")
 
@@ -292,7 +320,8 @@ class _BehaviorCompiler:
             raw = self.temp("_f")
             self.emit(indent, f"for {raw} in {rng}:")
             self._flush(indent + 1)
-            env_write = self.bind(self.runtime.env.write, "env_write")
+            env_write = self.bind(self.runtime.env.write, "env_write",
+                                  ("env", "write"))
             self.emit(indent + 1,
                       f"{env_write}({name}, "
                       f"{_wrap_code(variable.dtype, raw)})")
@@ -334,7 +363,9 @@ class _BehaviorCompiler:
             fn = make_transfer(sim_bus, pair, self.behavior.name, mode,
                                storage=storage, deferred=deferred)
             name = self.bind(
-                fn, f"xf_{_sanitize(pair.channel.name)}_{mode}")
+                fn, f"xf_{_sanitize(pair.channel.name)}_{mode}",
+                ("transfer", sim_bus.name, pair.channel.name, mode,
+                 deferred))
             self._transfers[key] = name
         return name
 
@@ -357,12 +388,14 @@ class _BehaviorCompiler:
             addr = self.temp("_adr")
             self.emit(indent, f"{addr} = {self._expr(args.pop(0))}")
             check = self.bind(channel.variable.dtype.validate_index,
-                              f"ixchk_{_sanitize(channel.variable.name)}")
+                              f"ixchk_{_sanitize(channel.variable.name)}",
+                              ("chan_ixchk", sim_bus.name, channel.name))
             self.emit(indent, f"{check}({addr})")
         data = "None"
         if channel.is_write:
             packer = self.bind(self.runtime.packer_for(channel.variable),
-                               f"pack_{_sanitize(channel.variable.name)}")
+                               f"pack_{_sanitize(channel.variable.name)}",
+                               ("packer", sim_bus.name, channel.name))
             data = self.temp("_dat")
             self.emit(indent,
                       f"{data} = {packer}({self._expr(args[0])})")
@@ -376,9 +409,11 @@ class _BehaviorCompiler:
         else:
             arbiter = sim_bus.arbiter
             acquire = self.bind(arbiter.acquire,
-                                f"acq_{_sanitize(sim_bus.name)}")
+                                f"acq_{_sanitize(sim_bus.name)}",
+                                ("acquire", sim_bus.name))
             release = self.bind(arbiter.release,
-                                f"rel_{_sanitize(sim_bus.name)}")
+                                f"rel_{_sanitize(sim_bus.name)}",
+                                ("release", sim_bus.name))
             me = repr(self.behavior.name)
             self.emit(indent, f"yield from {acquire}({me})")
             self.emit(indent, "try:")
@@ -390,7 +425,8 @@ class _BehaviorCompiler:
         if channel.is_read:
             decode = self.bind(
                 self.runtime.decoder_for(channel.variable),
-                f"dec_{_sanitize(channel.variable.name)}")
+                f"dec_{_sanitize(channel.variable.name)}",
+                ("decoder", sim_bus.name, channel.name))
             value = self.temp("_v")
             self.emit(indent, f"{value} = {decode}({result})")
             target = stmt.results[0]
@@ -399,10 +435,12 @@ class _BehaviorCompiler:
                 self.emit(indent,
                           f"{index} = {self._expr(target.index)}")
                 env_write_element = self.bind(
-                    self.runtime.env.write_element, "env_write_element")
+                    self.runtime.env.write_element, "env_write_element",
+                    ("env", "write_element"))
                 tvar = self.bind(
                     target.variable,
-                    f"v_{_sanitize(target.variable.name)}")
+                    f"v_{_sanitize(target.variable.name)}",
+                    ("var", target.variable.name))
                 self.emit(indent,
                           f"{env_write_element}({tvar}, {index}, "
                           f"{value})")
@@ -413,7 +451,7 @@ class _BehaviorCompiler:
                     self.emit(indent, f"{tname} = {wrapped}")
                 else:
                     env_write = self.bind(self.runtime.env.write,
-                                          "env_write")
+                                          "env_write", ("env", "write"))
                     self.emit(indent,
                               f"{env_write}({tname}, {wrapped})")
 
@@ -423,28 +461,44 @@ class _BehaviorCompiler:
         self._classify()
         self.emit(0, "def run():")
         self.emit(1, "t = 0")
-        env_read = self.bind(self.runtime.env.read, "env_read")
+        # The statement body runs inside try/except so that a raising
+        # statement (checked div/mod, index check, bus error) first
+        # flushes the pending batched clocks: the kernel then wraps the
+        # re-raised exception at the same simulated clock the
+        # interpreter would report.
+        self.emit(1, "try:")
+        env_read = self.bind(self.runtime.env.read, "env_read",
+                             ("env", "read"))
         for variable in sorted(self.modes, key=lambda v: v.name):
             mode, name = self.modes[variable]
             if mode == "env":
                 continue
             if variable in self._loadable:
                 vname = self.bind(variable,
-                                  f"v_{_sanitize(variable.name)}")
-                self.emit(1, f"{name} = {env_read}({vname})")
+                                  f"v_{_sanitize(variable.name)}",
+                                  ("var", variable.name))
+                self.emit(2, f"{name} = {env_read}({vname})")
             # For-only loop variables are assigned by their loop before
             # any read; no prologue load (and no env declaration).
-        self._emit_body(self.behavior.body, 1)
-        self.emit(1, "if t:")
-        self.emit(2, "yield W(t)")
-        env_write = self.bind(self.runtime.env.write, "env_write")
+        self._emit_body(self.behavior.body, 2)
+        self.emit(2, "if t:")
+        self.emit(3, "yield W(t)")
+        env_write = self.bind(self.runtime.env.write, "env_write",
+                              ("env", "write"))
         original = set(self.runtime.spec.original.variables)
         for variable in sorted(self.modes, key=lambda v: v.name):
             mode, name = self.modes[variable]
             if mode == "native" and variable in original:
                 vname = self.bind(variable,
-                                  f"v_{_sanitize(variable.name)}")
-                self.emit(1, f"{env_write}({vname}, {name})")
+                                  f"v_{_sanitize(variable.name)}",
+                                  ("var", variable.name))
+                self.emit(2, f"{env_write}({vname}, {name})")
+        self.emit(1, "except GeneratorExit:")
+        self.emit(2, "raise")
+        self.emit(1, "except BaseException:")
+        self.emit(2, "if t:")
+        self.emit(3, "yield W(t)")
+        self.emit(2, "raise")
         return "\n".join(self.lines) + "\n", self.ns
 
 
@@ -456,14 +510,195 @@ def _compile_source(filename: str, source: str):
     return compile(source, filename, "exec")
 
 
+#: When set, every generated source is passed through this
+#: ``(behavior_name, source) -> source`` hook before being exec'd and
+#: recorded.  This is the seam the translation validator's codegen
+#: defect corpus (:mod:`repro.analysis.tv.mutations`) uses to plant
+#: *runnable* miscompilations: the mutated text is both what the
+#: validator sees and what the kernel executes, so every refutation can
+#: be replayed to a real backend divergence.
+_SOURCE_TRANSFORM: Optional[Callable[[str, str], str]] = None
+
+
+class source_transform:
+    """Context manager installing a codegen source-transform hook."""
+
+    def __init__(self, fn: Callable[[str, str], str]):
+        self.fn = fn
+        self._saved: Optional[Callable[[str, str], str]] = None
+
+    def __enter__(self):
+        global _SOURCE_TRANSFORM
+        self._saved = _SOURCE_TRANSFORM
+        _SOURCE_TRANSFORM = self.fn
+        return self.fn
+
+    def __exit__(self, *exc_info):
+        global _SOURCE_TRANSFORM
+        _SOURCE_TRANSFORM = self._saved
+        return False
+
+
+# ----------------------------------------------------------------------
+# Source memoization
+#
+# Re-elaborating the same design point (benchmark repeats, width sweeps
+# that revisit a width, verify-then-simulate flows) re-runs the whole
+# text emission even though the generated source is a pure function of
+# the behavior IR plus the planning facts.  We memoize (source, binding
+# recipe) under a structural key and, on a hit, only rebuild the
+# namespace against the new runtime.  A key that failed to capture some
+# input would surface immediately: the translation validator proves
+# every source against the *current* spec's facts before the kernel
+# runs it, so a stale hit is refuted and demoted, never silently wrong.
+# ----------------------------------------------------------------------
+
+def _dtype_code(dtype) -> str:
+    if isinstance(dtype, ArrayType):
+        elem = dtype.element
+        sign = "s" if getattr(elem, "signed", False) else "u"
+        return f"a{dtype.length}x{elem.bits}{sign}"
+    return f"{dtype.bits}{'s' if getattr(dtype, 'signed', False) else 'u'}"
+
+
+def _fp_expr(expr) -> str:
+    if isinstance(expr, Const):
+        return f"C{expr.value}"
+    if isinstance(expr, Ref):
+        return f"R({expr.variable.name})"
+    if isinstance(expr, Index):
+        return f"X({expr.variable.name},{_fp_expr(expr.index)})"
+    if isinstance(expr, BinOp):
+        return f"B({expr.op},{_fp_expr(expr.lhs)},{_fp_expr(expr.rhs)})"
+    if isinstance(expr, UnOp):
+        return f"U({expr.op},{_fp_expr(expr.operand)})"
+    return f"?{type(expr).__name__}"
+
+
+def _fp_target(target) -> str:
+    index = target.index_expr()
+    if index is None:
+        return target.variable.name
+    return f"{target.variable.name}[{_fp_expr(index)}]"
+
+
+def _fp_stmt(stmt) -> str:
+    if isinstance(stmt, Assign):
+        return f"A({_fp_target(stmt.target)},{_fp_expr(stmt.expr)})"
+    if isinstance(stmt, If):
+        return (f"I({_fp_expr(stmt.cond)},[{_fp_body(stmt.then_body)}],"
+                f"[{_fp_body(stmt.else_body)}])")
+    if isinstance(stmt, For):
+        return (f"F({stmt.var.name},{stmt.lo},{stmt.hi},"
+                f"[{_fp_body(stmt.body)}])")
+    if isinstance(stmt, While):
+        return f"W({_fp_expr(stmt.cond)},[{_fp_body(stmt.body)}])"
+    if isinstance(stmt, WaitClocks):
+        return f"T{stmt.clocks}"
+    if isinstance(stmt, Call):
+        args = ",".join(_fp_expr(a) for a in stmt.args)
+        results = ",".join(_fp_target(r) for r in stmt.results)
+        return f"K({stmt.procedure.name},[{args}],[{results}])"
+    if isinstance(stmt, Nop):
+        return "N"
+    return f"?{type(stmt).__name__}"
+
+
+def _fp_body(body) -> str:
+    return ",".join(_fp_stmt(s) for s in body)
+
+
+def _memo_key(runtime, behavior, analysis: Analysis, channel_modes,
+              deferred_channels) -> tuple:
+    """Everything the emitted text depends on.  ``_scalar_bounds`` and
+    ``CHUNK_CLOCKS`` ride along so a monkeypatched codegen (the test
+    suite forces unsound elision this way) never shares entries with
+    the stock one."""
+    touched = analysis.touches[behavior.name]
+    loadable = set(runtime.spec.original.variables) \
+        | set(behavior.local_variables)
+    original = set(runtime.spec.original.variables)
+    variables = ";".join(
+        f"{v.name}:{_dtype_code(v.dtype)}"
+        f":{v in analysis.contested:d}{v in loadable:d}{v in original:d}"
+        for v in sorted(touched, key=lambda v: v.name))
+    calls = []
+    for stmt in walk_statements(behavior.body):
+        if not isinstance(stmt, Call):
+            continue
+        entry = runtime._proc_map.get(id(stmt.procedure))
+        if entry is None:
+            calls.append("?")
+            continue
+        sim_bus, pair = entry
+        key = (sim_bus.name, pair.channel.name)
+        mode, _ = channel_modes[key]
+        proc = stmt.procedure
+        calls.append(
+            f"{sim_bus.name}.{pair.channel.name}:{mode}"
+            f":{key in deferred_channels:d}{proc.takes_address:d}"
+            f"{pair.channel.is_write:d}{pair.channel.is_read:d}")
+    return (_scalar_bounds, CHUNK_CLOCKS,
+            f"{behavior.name}|{_fp_body(behavior.body)}|{variables}|"
+            + ";".join(calls))
+
+
+#: memo key -> (generated source, binding recipe).
+_SOURCE_MEMO: Dict[tuple, Tuple[str, tuple]] = {}
+_SOURCE_MEMO_LIMIT = 512
+
+
+def _rebind(runtime, behavior, recipe, pair_map,
+            analysis: Analysis) -> Dict[str, object]:
+    """Replay a binding recipe against a (new) runtime, producing the
+    namespace a memoized source expects."""
+    ns: Dict[str, object] = {"W": Wait}
+    varmap = {v.name: v for v in analysis.touches[behavior.name]}
+    for name, desc in recipe:
+        kind = desc[0]
+        if kind == "static":
+            ns[name] = desc[1]
+        elif kind == "env":
+            ns[name] = getattr(runtime.env, desc[1])
+        elif kind == "var":
+            ns[name] = varmap[desc[1]]
+        elif kind == "var_ixchk":
+            ns[name] = varmap[desc[1]].dtype.validate_index
+        elif kind == "chan_ixchk":
+            _, pair = pair_map[desc[1], desc[2]]
+            ns[name] = pair.channel.variable.dtype.validate_index
+        elif kind == "packer":
+            _, pair = pair_map[desc[1], desc[2]]
+            ns[name] = runtime.packer_for(pair.channel.variable)
+        elif kind == "decoder":
+            _, pair = pair_map[desc[1], desc[2]]
+            ns[name] = runtime.decoder_for(pair.channel.variable)
+        elif kind == "acquire":
+            ns[name] = runtime.buses[desc[1]].arbiter.acquire
+        elif kind == "release":
+            ns[name] = runtime.buses[desc[1]].arbiter.release
+        elif kind == "transfer":
+            bus_name, chan_name, mode, deferred = desc[1:]
+            sim_bus, pair = pair_map[bus_name, chan_name]
+            ns[name] = make_transfer(
+                sim_bus, pair, behavior.name, mode,
+                storage=runtime.storage_for(pair.channel.variable),
+                deferred=deferred)
+        else:  # pragma: no cover - descriptors are produced above
+            raise KeyError(f"unknown rebind descriptor {kind!r}")
+    return ns
+
+
 def compile_spec(runtime) -> CompiledProgram:
     """Compile every compilable behavior of a
     :class:`~repro.sim.runtime.RefinedSimulation`."""
     spec = runtime.spec
     analysis = analyze_spec(spec, runtime._stages, runtime._proc_map)
-    program = CompiledProgram(fallbacks=dict(analysis.fallbacks))
+    program = CompiledProgram(fallbacks=dict(analysis.fallbacks),
+                              analysis=analysis)
 
     deferred = set()
+    pair_map: Dict[Tuple[str, str], Tuple[object, object]] = {}
     for refined_bus in spec.buses:
         sim_bus = runtime.buses[refined_bus.name]
         deferrable = (
@@ -471,6 +706,7 @@ def compile_spec(runtime) -> CompiledProgram:
             and sim_bus.name in analysis.uncontended_buses
         )
         for pair in refined_bus.procedures.values():
+            pair_map[(sim_bus.name, pair.channel.name)] = (sim_bus, pair)
             mode, reason = plan_channel(
                 sim_bus, pair, analysis.contested, runtime.recorder,
                 runtime.trace)
@@ -483,17 +719,32 @@ def compile_spec(runtime) -> CompiledProgram:
     for behavior in spec.behaviors:
         if behavior.name in program.fallbacks:
             continue
-        compiler = _BehaviorCompiler(runtime, behavior, analysis,
-                                     program.channel_modes,
-                                     deferred_channels)
-        try:
-            source, ns = compiler.compile()
-        except CompileFallback as exc:
-            program.fallbacks[behavior.name] = str(exc)
-            continue
+        memo_key = _memo_key(runtime, behavior, analysis,
+                             program.channel_modes, deferred_channels)
+        cached = _SOURCE_MEMO.get(memo_key)
+        if cached is not None:
+            source, recipe = cached
+            ns = _rebind(runtime, behavior, recipe, pair_map, analysis)
+        else:
+            compiler = _BehaviorCompiler(runtime, behavior, analysis,
+                                         program.channel_modes,
+                                         deferred_channels)
+            try:
+                source, ns = compiler.compile()
+            except CompileFallback as exc:
+                program.fallbacks[behavior.name] = str(exc)
+                continue
+            if len(_SOURCE_MEMO) >= _SOURCE_MEMO_LIMIT:
+                _SOURCE_MEMO.pop(next(iter(_SOURCE_MEMO)))
+            _SOURCE_MEMO[memo_key] = (source, tuple(compiler.recipe))
+        if _SOURCE_TRANSFORM is not None:
+            source = _SOURCE_TRANSFORM(behavior.name, source)
         code = _compile_source(
             f"<compiled {spec.name}.{behavior.name}>", source)
         exec(code, ns)
         program.processes[behavior.name] = ns["run"]  # type: ignore
         program.sources[behavior.name] = source
+    # Deterministic rendering everywhere the dict is iterated (MANIFEST,
+    # run reports, SimResult.fallbacks): sorted by process name.
+    program.fallbacks = dict(sorted(program.fallbacks.items()))
     return program

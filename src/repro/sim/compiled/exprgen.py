@@ -43,7 +43,7 @@ class ExprContext(Protocol):
 
     def read_scalar(self, variable) -> str: ...
     def read_element(self, variable, index_code: str) -> str: ...
-    def bind(self, obj: object, hint: str) -> str: ...
+    def bind(self, obj: object, hint: str, rebind: tuple) -> str: ...
 
 
 _EMPTY_ENV = Environment()
@@ -84,9 +84,13 @@ def compile_expr(expr: Expr, ctx: ExprContext) -> str:
         if op in _COMPARE:
             return f"(1 if {lhs} {_COMPARE[op]} {rhs} else 0)"
         if op == "/":
-            return f"{ctx.bind(_checked_div, 'div')}({lhs}, {rhs})"
+            div = ctx.bind(_checked_div, "div",
+                           ("static", _checked_div))
+            return f"{div}({lhs}, {rhs})"
         if op == "mod":
-            return f"{ctx.bind(_checked_mod, 'mod')}({lhs}, {rhs})"
+            mod = ctx.bind(_checked_mod, "mod",
+                           ("static", _checked_mod))
+            return f"{mod}({lhs}, {rhs})"
         if op == "and":
             # Eager on both sides, like the interpreter: `&` evaluates
             # both operands, then truthiness collapses to 0/1.

@@ -102,6 +102,10 @@ class SimResult:
     fault_records: List[FaultRecord] = field(default_factory=list)
     #: Which simulation backend produced this result.
     backend: str = "interp"
+    #: Compiled backend only: behavior name -> why it ran on the
+    #: interpreter instead (compile fallback or translation-validation
+    #: demotion).  Sorted by behavior name; empty for interp runs.
+    fallbacks: Dict[str, str] = field(default_factory=dict)
 
     @property
     def end_time(self) -> int:
@@ -152,7 +156,8 @@ class RefinedSimulation:
                  faults: Optional[FaultPlan] = None,
                  recorder: Optional["FlightRecorder"] = None,
                  backend: str = "interp",
-                 emit_sim_source: Optional[str] = None):
+                 emit_sim_source: Optional[str] = None,
+                 validate_compiled: bool = True):
         if backend not in BACKENDS:
             raise SimulationError(
                 f"unknown simulation backend {backend!r}; expected one "
@@ -226,11 +231,33 @@ class RefinedSimulation:
         self._decoders: Dict[Variable, Callable[[int], int]] = {}
 
         self.compiled: Optional["CompiledProgram"] = None
+        #: Translation-validation report (compiled backend with
+        #: ``validate_compiled=True`` only).
+        self.tv_report = None
         if backend == "compiled":
             from repro.sim.compiled import compile_spec, emit_sources
             with obs_span("sim.compile", category="sim",
                           system=spec.name):
                 self.compiled = compile_spec(self)
+            if validate_compiled:
+                # The correctness gate: every lowered process must be
+                # statically proven clock- and effect-equivalent to the
+                # interpreter; unproven processes are demoted to the
+                # interpreter with the refutation as their reason.
+                from repro.analysis.tv import validate_program
+                with obs_span("sim.validate", category="sim",
+                              system=spec.name):
+                    self.tv_report = validate_program(self)
+                for name, verdict in sorted(
+                        self.tv_report.verdicts.items()):
+                    self.compiled.verdicts[name] = verdict.describe()
+                    if verdict.refuted:
+                        self.compiled.processes.pop(name, None)
+                        self.compiled.fallbacks[name] = (
+                            f"translation validation refuted: "
+                            f"{verdict.reason}")
+                self.compiled.fallbacks = dict(
+                    sorted(self.compiled.fallbacks.items()))
             if emit_sim_source is not None:
                 emit_sources(self.compiled, spec, emit_sim_source)
 
@@ -575,6 +602,8 @@ class RefinedSimulation:
                          for name, bus in self.buses.items()},
             arbitration_wait={name: bus.arbiter.wait_clocks
                               for name, bus in self.buses.items()},
+            fallbacks=(dict(self.compiled.fallbacks)
+                       if self.compiled is not None else {}),
             fault_records=(list(self.injector.records)
                            if self.injector is not None else []),
             backend=self.backend,
@@ -590,7 +619,8 @@ def simulate(spec: RefinedSpec,
              faults: Optional[FaultPlan] = None,
              recorder: Optional["FlightRecorder"] = None,
              backend: str = "interp",
-             emit_sim_source: Optional[str] = None) -> SimResult:
+             emit_sim_source: Optional[str] = None,
+             validate_compiled: bool = True) -> SimResult:
     """Elaborate and run a refined specification in one call.
 
     Pass a :class:`repro.obs.SimMetrics` as ``metrics`` to collect live
@@ -607,6 +637,15 @@ def simulate(spec: RefinedSpec,
     back, per behavior and per channel, for anything it cannot compile.
     ``emit_sim_source`` (compiled only) dumps the generated code into a
     directory for inspection.
+
+    With the default ``validate_compiled=True`` the compiled backend
+    never runs an unproven process: the translation validator
+    (:mod:`repro.analysis.tv`) must certify each lowered behavior
+    clock- and effect-equivalent to the interpreter, and refuted
+    behaviors are demoted to the interpreter with the P8xx refutation
+    recorded on ``SimResult.fallbacks``.  Disable only to study a
+    known-miscompiled program (e.g. replaying a validator
+    counterexample).
     """
     with obs_span("sim.elaborate", category="sim", system=spec.name):
         simulation = RefinedSimulation(
@@ -614,5 +653,6 @@ def simulate(spec: RefinedSpec,
             trace=trace, max_clocks=max_clocks, metrics=metrics,
             faults=faults, recorder=recorder, backend=backend,
             emit_sim_source=emit_sim_source,
+            validate_compiled=validate_compiled,
         )
     return simulation.run()

@@ -63,7 +63,8 @@ class TestRegistry:
 
     def test_code_families_present(self):
         families = {code[:2] for code in DIAGNOSTIC_CODES}
-        assert families == {"P1", "P2", "P3", "P4", "P5", "P6", "P7"}
+        assert families == {"P1", "P2", "P3", "P4", "P5", "P6", "P7",
+                            "P8"}
 
     def test_every_code_documented_in_linting_md(self):
         """Registry drift vs the docs: each registered code must have

@@ -38,9 +38,19 @@ def test_unmutated_target_is_clean():
 
 
 def test_corpus_covers_every_registered_code():
+    """Every registered code is seeded by some defect corpus: the
+    analyzer corpus here, except the P8xx translation-validation
+    family, which is owned by the codegen-defect corpus
+    (``repro.analysis.tv.mutations``, exercised in tests/test_tv.py)."""
+    from repro.analysis.tv.mutations import DEFECTS
+
     expected = set(DIAGNOSTIC_CODES)
-    seeded = {defect.code for defect in CORPUS}
-    assert seeded == expected
+    analyzer_seeded = {defect.code for defect in CORPUS}
+    tv_seeded = {defect.code for defect in DEFECTS}
+    assert not (analyzer_seeded & tv_seeded), \
+        "a code is claimed by both corpora"
+    assert tv_seeded == {c for c in expected if c.startswith("P8")}
+    assert analyzer_seeded == expected - tv_seeded
 
 
 def test_no_registry_drift(corpus_results):
@@ -48,16 +58,19 @@ def test_no_registry_drift(corpus_results):
 
     Every registered diagnostic code is actually *emitted* by at least
     one mutation (not merely claimed by a corpus entry), and every code
-    the analyzer emits is registered in ``repro.errors``.
+    the analyzer emits is registered in ``repro.errors``.  The P8xx
+    family is emitted by the translation-validator corpus instead
+    (asserted per-defect in tests/test_tv.py).
     """
     emitted = set()
     for ds in corpus_results.values():
         emitted.update(ds.codes())
-    registered = set(DIAGNOSTIC_CODES)
+    registered = {code for code in DIAGNOSTIC_CODES
+                  if not code.startswith("P8")}
     never_emitted = registered - emitted
     assert not never_emitted, (
         f"registered codes no mutation triggers: {sorted(never_emitted)}")
-    unregistered = emitted - registered
+    unregistered = emitted - set(DIAGNOSTIC_CODES)
     assert not unregistered, (
         f"emitted codes missing from DIAGNOSTIC_CODES: "
         f"{sorted(unregistered)}")

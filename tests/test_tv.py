@@ -1,0 +1,324 @@
+"""Translation validation of the compiled simulation backend.
+
+Four directions of evidence:
+
+* **Soundness on clean builds**: every process of every built-in
+  system validates at every protection level -- no spurious P8xx, no
+  silent interpreter demotion -- and the gated compiled run agrees
+  with the interpreter.
+* **Refutability**: each seeded codegen defect
+  (:mod:`repro.analysis.tv.mutations`) is refuted by *exactly* its own
+  P8xx code, on a clean baseline, and the refutation replays to a
+  concrete backend divergence.
+* **The gate**: ``simulate(..., backend="compiled")`` demotes refuted
+  processes to the interpreter (recorded on ``SimResult.fallbacks``,
+  the run report, and the emitted MANIFEST) so a miscompile can cost
+  speed, never correctness.
+* **Obligation edges**: wrap-elision boundaries under hypothesis, a
+  forced-unsound elision that must be refuted P803, and div/mod error
+  parity between the backends.
+"""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.tv import validate_refined
+from repro.analysis.tv.mutations import (
+    DEFECTS,
+    _counter_spec,
+    check_defect,
+)
+from repro.busgen.algorithm import generate_bus
+from repro.errors import DIAGNOSTIC_CODES, SimulationError
+from repro.partition.channels import default_bus_groups, extract_channels
+from repro.partition.partitioner import Partition
+from repro.protocols import FIXED_DELAY
+from repro.protogen.refine import generate_protocol, refine_system
+from repro.sim.compiled import source_transform
+from repro.sim.replay import replay_backend_divergence
+from repro.sim.runtime import RefinedSimulation, simulate
+from repro.spec.behavior import Behavior
+from repro.spec.expr import BinOp, Ref
+from repro.spec.stmt import Assign, For, WaitClocks
+from repro.spec.system import SystemSpec
+from repro.spec.types import IntType
+from repro.spec.variable import Variable
+
+P8XX = ("P801", "P802", "P803", "P804", "P805", "P806")
+
+
+def _build_system(name):
+    if name == "flc":
+        from repro.apps.flc import build_flc
+
+        model = build_flc()
+        return model.system, model.bus_b, model.schedule
+    if name == "answering-machine":
+        from repro.apps.answering_machine import build_answering_machine
+
+        model = build_answering_machine()
+        return model.system, model.bus, model.schedule
+    from repro.apps.ethernet import build_ethernet
+
+    model = build_ethernet()
+    return model.system, model.bus, model.schedule
+
+
+def _single_behavior_refined(body, locals_, shared, protocol=FIXED_DELAY):
+    """Refine a one-behavior system: behavior on chip, ``shared`` on
+    memory (so the spec has a channel), everything else local."""
+    behavior = Behavior("P", body, local_variables=locals_)
+    system = SystemSpec("tv_test", [behavior], [shared])
+    partition = Partition(system)
+    chip = partition.add_module("chip")
+    memory = partition.add_module("memory")
+    partition.assign(behavior, chip)
+    partition.assign(shared, memory)
+    channels = extract_channels(partition)
+    group = default_bus_groups(partition, channels=channels)[0]
+    return generate_protocol(system, group, width=8, protocol=protocol)
+
+
+# ---------------------------------------------------------------------------
+# Soundness on clean builds
+
+
+@pytest.mark.parametrize("system_name",
+                         ["flc", "answering-machine", "ethernet"])
+@pytest.mark.parametrize("protection", [None, "parity", "crc8"])
+def test_every_builtin_process_validates(system_name, protection):
+    """No spurious refutation, no silent demotion, on any system at
+    any protection level."""
+    system, group, schedule = _build_system(system_name)
+    refined = refine_system(system, [generate_bus(group)],
+                            protection=protection)
+    report = validate_refined(refined, schedule=schedule)
+    assert report.all_validated, report.render_text()
+    assert not report.diagnostics()
+    for verdict in report.verdicts.values():
+        assert verdict.status == "validated"
+        assert verdict.obligations > 0
+
+
+def test_gated_compiled_run_agrees_with_interpreter():
+    system, group, schedule = _build_system("flc")
+    refined = refine_system(system, [generate_bus(group)])
+    interp = simulate(refined, schedule=schedule, backend="interp")
+    compiled = simulate(refined, schedule=schedule, backend="compiled")
+    assert compiled.fallbacks == {}
+    assert compiled.final_values == interp.final_values
+    assert compiled.end_time == interp.end_time
+    assert compiled.clocks == interp.clocks
+    assert compiled.transactions == interp.transactions
+
+
+def test_verdicts_are_cached_across_validations():
+    """Same IR facts + same source text -> the cached ProcessVerdict
+    object itself, not a re-proof."""
+    spec, schedule = _counter_spec()
+    first = validate_refined(spec, schedule=schedule)
+    second = validate_refined(spec, schedule=schedule)
+    for name, verdict in first.verdicts.items():
+        assert second.verdicts[name] is verdict
+
+
+def test_replay_on_clean_spec_is_not_confirmed():
+    spec, schedule = _counter_spec()
+    result = replay_backend_divergence(spec, schedule=schedule)
+    assert not result.confirmed
+    assert "identical" in result.detail
+
+
+# ---------------------------------------------------------------------------
+# Refutability: the seeded defect corpus
+
+
+@pytest.mark.parametrize(
+    "defect", DEFECTS, ids=[d.name for d in DEFECTS])
+def test_defect_refuted_by_exactly_its_code(defect):
+    outcome = check_defect(defect)
+    assert outcome.clean, \
+        f"{defect.name}: baseline must validate before mutation"
+    assert outcome.mutated, \
+        f"{defect.name}: transform matched nothing -- codegen drifted"
+    assert outcome.codes == (defect.code,), outcome.render_line()
+    assert outcome.refuted, outcome.render_line()
+    assert outcome.replay.confirmed, (
+        f"{defect.name}: refutation has no concrete counterexample\n"
+        + outcome.replay.render_text())
+
+
+def test_corpus_covers_every_code():
+    assert {d.code for d in DEFECTS} == set(P8XX)
+    assert len(DEFECTS) >= 6
+
+
+def test_refutation_diagnostic_carries_line_and_replay_hint():
+    defect = next(d for d in DEFECTS if d.name == "misfolded_constant")
+    spec, schedule = defect.build()
+    with source_transform(defect.transform):
+        sim = RefinedSimulation(spec, schedule=schedule,
+                                backend="compiled",
+                                validate_compiled=False)
+    from repro.analysis.tv import validate_program
+
+    report = validate_program(sim)
+    diags = report.diagnostics()
+    assert diags
+    for diag in diags:
+        assert diag.code == "P806"
+        assert diag.location is not None
+        assert re.search(r"line \d+", diag.location.detail)
+        assert "replay_backend_divergence" in diag.hint
+
+
+def test_p8xx_codes_registered():
+    for code in P8XX:
+        assert code in DIAGNOSTIC_CODES
+
+
+# ---------------------------------------------------------------------------
+# The gate: refuted processes never run compiled
+
+
+def test_gate_demotes_refuted_process_and_stays_correct():
+    defect = next(d for d in DEFECTS if d.name == "misfolded_constant")
+    spec, schedule = defect.build()
+    interp = simulate(spec, schedule=schedule, backend="interp")
+    with source_transform(defect.transform):
+        gated = simulate(spec, schedule=schedule, backend="compiled")
+    # The miscompiled process fell back to the interpreter...
+    assert "P" in gated.fallbacks
+    assert gated.fallbacks["P"].startswith(
+        "translation validation refuted: P806")
+    # ...so the gated run is still exactly right.
+    assert gated.final_values == interp.final_values
+    assert gated.end_time == interp.end_time
+    assert gated.clocks == interp.clocks
+    # Without the gate the same program is observably wrong.
+    with source_transform(defect.transform):
+        ungated = simulate(spec, schedule=schedule, backend="compiled",
+                           validate_compiled=False)
+    assert ungated.final_values != interp.final_values
+
+
+def test_fallbacks_are_deterministically_sorted():
+    defect = next(d for d in DEFECTS if d.name == "misfolded_constant")
+    spec, schedule = defect.build()
+    with source_transform(defect.transform):
+        sim = RefinedSimulation(spec, schedule=schedule,
+                                backend="compiled")
+    keys = list(sim.compiled.fallbacks)
+    assert keys == sorted(keys)
+    result = sim.run()
+    assert list(result.fallbacks) == sorted(result.fallbacks)
+
+
+def test_manifest_and_verdicts_record_the_outcome(tmp_path):
+    defect = next(d for d in DEFECTS if d.name == "misfolded_constant")
+    spec, schedule = defect.build()
+    with source_transform(defect.transform):
+        sim = RefinedSimulation(spec, schedule=schedule,
+                                backend="compiled",
+                                emit_sim_source=str(tmp_path))
+    assert "REFUTED" in sim.compiled.verdicts["P"]
+    manifest = tmp_path / f"{spec.name}__MANIFEST.txt"
+    text = manifest.read_text(encoding="utf-8")
+    assert "REFUTED" in text
+    # A clean build's manifest records the proof instead.
+    clean_dir = tmp_path / "clean"
+    RefinedSimulation(spec, schedule=schedule, backend="compiled",
+                      emit_sim_source=str(clean_dir))
+    clean = (clean_dir / f"{spec.name}__MANIFEST.txt").read_text(
+        encoding="utf-8")
+    assert "validated (" in clean
+
+
+def test_sim_section_surfaces_fallbacks():
+    from repro.obs.report import sim_section
+
+    defect = next(d for d in DEFECTS if d.name == "misfolded_constant")
+    spec, schedule = defect.build()
+    with source_transform(defect.transform):
+        result = simulate(spec, schedule=schedule, backend="compiled")
+    section = sim_section("tv_counter", result)
+    assert section["fallbacks"] == result.fallbacks
+    assert section["fallbacks"]["P"].startswith(
+        "translation validation refuted")
+    interp = simulate(spec, schedule=schedule, backend="interp")
+    assert sim_section("tv_counter", interp)["fallbacks"] == {}
+
+
+# ---------------------------------------------------------------------------
+# Obligation edges
+
+
+def _loop_spec(bits, signed, hi):
+    """One For loop accumulating its (possibly wrapping) loop variable
+    into a 16-bit total that is then shipped over the bus."""
+    shared = Variable("OUT", IntType(16), init=0)
+    total = Variable("P_total", IntType(16), init=0)
+    loop = Variable("li", IntType(bits, signed=signed))
+    body = [
+        For(loop, 0, hi,
+            [Assign(total, BinOp("+", Ref(total), Ref(loop)))]),
+        Assign(shared, Ref(total)),
+    ]
+    return _single_behavior_refined(body, [total], shared)
+
+
+@given(bits=st.sampled_from([4, 8]), signed=st.booleans(),
+       hi=st.integers(min_value=0, max_value=300))
+@settings(max_examples=15, deadline=None)
+def test_wrap_elision_boundary(bits, signed, hi):
+    """Across the elision boundary (hi inside vs. outside the dtype's
+    range) the lowering must both validate and agree with the
+    interpreter -- elided exactly when the certificate covers it."""
+    refined = _loop_spec(bits, signed, hi)
+    report = validate_refined(refined)
+    assert report.all_validated, report.render_text()
+    interp = simulate(refined, backend="interp")
+    compiled = simulate(refined, backend="compiled")
+    assert compiled.fallbacks == {}
+    assert compiled.final_values == interp.final_values
+    assert compiled.end_time == interp.end_time
+
+
+def test_forced_unsound_elision_is_refuted_p803(monkeypatch):
+    """Widen the codegen's range certificate so it (unsoundly) elides
+    the wrap of an overflowing 8-bit loop variable: the validator must
+    refute P803 and the counterexample must replay."""
+    from repro.sim.compiled import codegen
+
+    monkeypatch.setattr(codegen, "_scalar_bounds",
+                        lambda dtype: (-10**9, 10**9))
+    refined = _loop_spec(8, True, 200)
+    report = validate_refined(refined)
+    assert not report.all_validated
+    codes = {d.code for d in report.diagnostics()}
+    assert codes == {"P803"}
+    replay = replay_backend_divergence(refined)
+    assert replay.confirmed, replay.render_text()
+
+
+@pytest.mark.parametrize("op", ["/", "mod"])
+def test_div_mod_by_zero_error_parity(op):
+    """Both backends raise the same error, naming the same process at
+    the same clock, when a lowered expression divides by zero."""
+    shared = Variable("OUT", IntType(16), init=0)
+    zero = Variable("P_zero", IntType(16), init=0)
+    body = [
+        WaitClocks(3),
+        Assign(shared, BinOp(op, 10, Ref(zero))),
+    ]
+    refined = _single_behavior_refined(body, [zero], shared)
+    errors = {}
+    for backend in ("interp", "compiled"):
+        with pytest.raises(SimulationError) as excinfo:
+            simulate(refined, backend=backend)
+        errors[backend] = str(excinfo.value)
+    assert errors["interp"] == errors["compiled"]
+    assert "at clock" in errors["interp"]

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage lint lint-examples absint-check validate-compiled profile bench bench-kernel bench-only reports examples explain-examples sim-source-examples verify-all verify-examples clean
+.PHONY: install test coverage lint lint-examples absint-check validate-compiled profile bench bench-kernel bench-only reports examples explain-examples explore-examples sim-source-examples verify-all verify-examples clean
 
 #: Line-coverage floor (percent) for the simulator and protocol
 #: generator packages, enforced by `make coverage` and CI.
@@ -20,7 +20,7 @@ coverage:         ## coverage gate on repro.sim + repro.protogen
 		  exit 1; }
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/ \
 		--cov=repro.sim --cov=repro.protogen --cov=repro.analysis \
-		--cov=repro.analysis.tv \
+		--cov=repro.analysis.tv --cov=repro.explore \
 		--cov-report=term-missing \
 		--cov-fail-under=$(COV_FAIL_UNDER)
 
@@ -52,7 +52,7 @@ bench-kernel:     ## kernel benches + wall-time regression gate
 	rm -rf benchmarks/reports/.baseline
 	mkdir -p benchmarks/reports/.baseline
 	cp benchmarks/reports/BENCH_*.json benchmarks/reports/.baseline/
-	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_kernel_scaling.py benchmarks/bench_three_systems.py benchmarks/bench_analysis.py benchmarks/bench_flight_overhead.py benchmarks/bench_compiled_backend.py benchmarks/bench_tv.py
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_kernel_scaling.py benchmarks/bench_three_systems.py benchmarks/bench_analysis.py benchmarks/bench_flight_overhead.py benchmarks/bench_compiled_backend.py benchmarks/bench_tv.py benchmarks/bench_explore.py
 	PYTHONPATH=src $(PYTHON) benchmarks/compare_baselines.py \
 		--baseline benchmarks/reports/.baseline \
 		--fresh benchmarks/reports
@@ -70,6 +70,19 @@ explain-examples: ## flight-recorder explanations of the built-in systems
 	PYTHONPATH=src $(PYTHON) -m repro.cli explain answering-machine
 	PYTHONPATH=src $(PYTHON) -m repro.cli explain ethernet
 	PYTHONPATH=src $(PYTHON) -m repro.cli explain flc --protection crc8
+
+explore-examples: ## memoized design-space sweeps (with differential
+                  ## cache proof) on the three case-study systems
+	rm -rf observability/explore-cache
+	PYTHONPATH=src $(PYTHON) -m repro.cli explore flc \
+		--grid width=4,8,auto protection=none,parity,crc8 \
+		--cache observability/explore-cache/flc --check
+	PYTHONPATH=src $(PYTHON) -m repro.cli explore answering-machine \
+		--grid width=4,8 arbitration=fifo,priority \
+		--cache observability/explore-cache/answering-machine --check
+	PYTHONPATH=src $(PYTHON) -m repro.cli explore ethernet \
+		--grid width=8,16 protection=none,crc8 \
+		--cache observability/explore-cache/ethernet --check
 
 sim-source-examples: ## dump the compiled backend's generated Python
 	PYTHONPATH=src $(PYTHON) -m repro.cli synth flc --simulate \

@@ -772,6 +772,87 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Memoized design-space sweep with Pareto ranking."""
+    import json as json_mod
+
+    from repro.explore import (
+        ExploreCache,
+        canonical_report,
+        differential_check,
+        expand_grid,
+        explore,
+        parse_grid,
+        render_table,
+    )
+
+    points = expand_grid(parse_grid(args.grid or []))
+    report = explore(args.system, points, jobs=args.jobs,
+                     cache_dir=args.cache, backend=args.backend)
+
+    exit_code = 0
+    check_section = None
+    if args.check:
+        if not args.cache:
+            raise ReproError("--check requires --cache DIR (there is "
+                             "no cache to check otherwise)")
+        cache = ExploreCache(args.cache)
+        diff = differential_check(args.system, points, cache,
+                                  backend=args.backend)
+        check_section = {
+            "checked": diff["checked"],
+            "skipped_gated": diff["skipped_gated"],
+            "incidents": [i.to_dict() for i in diff["incidents"]],
+        }
+        report["differential"] = check_section
+        if diff["incidents"]:
+            exit_code = 1
+    if report["cache"]["incidents"]:
+        exit_code = 1
+    if all(r["status"] == "error" for r in report["results"]):
+        exit_code = 1
+
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json_mod.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json_mod.dumps(canonical_report(report), indent=2,
+                             sort_keys=True))
+        return exit_code
+
+    stats = report["cache"]["stats"]
+    print(f"explore {args.system}: {len(points)} points, "
+          f"backend {args.backend}, jobs {args.jobs}")
+    print(f"  cache: {args.cache or '(none)'}  "
+          f"hits {stats['hits']}  misses {stats['misses']}  "
+          f"writes {stats['writes']}")
+    print()
+    for line in render_table(report["results"], report["pareto"]):
+        print(f"  {line}")
+    failed = [r for r in report["results"] if r["status"] == "error"]
+    if failed:
+        print()
+        for result in failed:
+            error = result["error"]
+            print(f"  {result['label']}: {error['type']} at "
+                  f"{error['stage']}: {error['message']}")
+    for incident in report["cache"]["incidents"]:
+        print(f"  cache incident [{incident['code']}] "
+              f"{incident['stage']}/{incident['key'][:12]}: "
+              f"{incident['detail']}")
+    if check_section is not None:
+        verdict = ("CLEAN" if not check_section["incidents"]
+                   else f"{len(check_section['incidents'])} mismatches")
+        print(f"\n  differential check: {check_section['checked']} "
+              f"entries vs fresh compute -> {verdict}")
+        for incident in check_section["incidents"]:
+            print(f"    [{incident['code']}] {incident['stage']}/"
+                  f"{incident['key'][:12]}: {incident['detail']}")
+    print(f"\n  wall: {report['wall_seconds']:.2f}s")
+    return exit_code
+
+
 def cmd_fig7(_args: argparse.Namespace) -> int:
     from repro.apps.flc import build_flc
     from repro.protocols import FULL_HANDSHAKE
@@ -1012,6 +1093,41 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the unified run report including "
                               "the attribution section")
     explain.set_defaults(func=cmd_explain)
+
+    explore = sub.add_parser(
+        "explore",
+        help="memoized design-space sweep: expand a parameter grid, "
+             "run every point through a content-addressed stage "
+             "cache, rank the Pareto front (clocks/pins/area)")
+    explore.add_argument("system",
+                         help="flc, answering-machine, ethernet, or a "
+                              "path to a .spec file")
+    explore.add_argument("--grid", nargs="+", metavar="AXIS=V1,V2",
+                         help="grid axes: width=4,8,auto "
+                              "protocol=... protection=none,parity,"
+                              "crc8 arbitration=fifo,priority,rr,tdma "
+                              "(unmentioned axes take their default)")
+    explore.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes (default 1: inline, "
+                              "deterministic)")
+    explore.add_argument("--cache", metavar="DIR",
+                         help="content-addressed stage cache directory "
+                              "(omit to recompute everything)")
+    explore.add_argument("--backend", default="interp",
+                         choices=list(BACKENDS),
+                         help="simulation backend (default: interp)")
+    explore.add_argument("--check", action="store_true",
+                         help="differentially verify every cache "
+                              "entry against a fresh compute "
+                              "(byte-identical or EX104)")
+    explore.add_argument("--json", action="store_true",
+                         help="canonical machine-readable report "
+                              "(repro.explore/report/v1 projection) "
+                              "on stdout")
+    explore.add_argument("--report-out", metavar="FILE",
+                         help="write the full run report (spans, "
+                              "cache stats, per-point payloads)")
+    explore.set_defaults(func=cmd_explore)
 
     sub.add_parser("fig7", help="print the Figure 7 sweep") \
         .set_defaults(func=cmd_fig7)

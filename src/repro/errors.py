@@ -117,6 +117,12 @@ class AnalysisError(ReproError):
     :class:`repro.analysis.diagnostics.Diagnostic` objects."""
 
 
+class ExploreError(ReproError):
+    """The design-space exploration service was misused (bad grid
+    axis, unloadable system, dead worker pool) or its result cache is
+    in a state it refuses to silently paper over."""
+
+
 #: Registry of every diagnostic code the static analyzer may emit.
 #: Families: P1xx handshake deadlock/livelock, P2xx bus contention,
 #: P3xx width/capacity, P4xx dead code, P5xx value-flow (abstract

@@ -1,0 +1,205 @@
+"""Seeded cache-defect corpus: prove each checker catches its bug.
+
+A cache that silently serves wrong results is worse than no cache, so
+the explorer's correctness checks are themselves tested the only
+honest way: by *seeding* each classic cache defect and demanding that
+exactly the one check designed for it fires -- no misses, no
+double-reporting.
+
+Each :class:`Defect` builds a deliberately broken writer and/or
+reader over a real cache directory.  :func:`run_scenario` then plays
+the standard battery:
+
+1. **seed** -- a cold sweep through the defective writer populates the
+   cache the way the buggy code would have;
+2. **warm** -- a warm sweep through the (possibly defective) reader,
+   read gates armed;
+3. **differential** -- the byte-identity checker over whatever the
+   gates accepted.
+
+The fired incident-code set must equal ``{defect.code}`` exactly; the
+defect-free ``control`` scenario must fire nothing.  The corpus:
+
+==================  ======  ==========================================
+defect              code    seeded how
+==================  ======  ==========================================
+key_omits_param     EX101   keyer hashes without the ``width`` param,
+                            so distinct widths collide on one key
+salt_ignored        EX102   keyer drops the code-version salt from the
+                            hash; entries seeded under an old salt
+                            keep matching after the "upgrade"
+partial_write       EX103   writer skips the atomic tmp+rename
+                            protocol and persists a truncated entry
+                            (a crash mid-``write`` made durable)
+payload_drift       EX104   writer perturbs the payload but stamps a
+                            checksum over the *drifted* bytes -- the
+                            envelope is self-consistent, only the
+                            differential recompute can tell
+==================  ======  ==========================================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Set
+
+from repro.explore.cache import (
+    EX101_COLLISION,
+    EX102_STALE,
+    EX103_CORRUPT,
+    EX104_DIFF,
+    ExploreCache,
+)
+from repro.explore.diffcheck import differential_check
+from repro.explore.grid import GridPoint, expand_grid
+from repro.explore.keys import Keyer, TaskSpec, code_salt
+from repro.explore.runner import explore
+
+
+class _TruncatingCache(ExploreCache):
+    """Writer with the classic non-atomic bug: the entry file is
+    written in place and "the process dies" halfway through, leaving a
+    truncated entry at the *published* path."""
+
+    def put(self, task: TaskSpec, payload: Any) -> None:
+        key = self.keyer.key(task)
+        path = self._entry_path(task.stage, key)
+        data = self._envelope_bytes(task, payload)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(data[:max(1, len(data) // 2)])
+        self.stats.writes += 1
+
+
+class _DriftingCache(ExploreCache):
+    """Writer that perturbs the sim payload before persisting it, then
+    checksums the perturbed bytes -- internally consistent, externally
+    wrong.  (A model for any compute-then-corrupt bug.)"""
+
+    def put(self, task: TaskSpec, payload: Any) -> None:
+        if task.stage == "sim" and isinstance(payload, dict) \
+                and "end_clock" in payload:
+            payload = dict(payload)
+            payload["end_clock"] = payload["end_clock"] + 1
+        super().put(task, payload)
+
+
+@dataclass(frozen=True)
+class Defect:
+    """One seeded cache bug and the incident code that must catch it."""
+
+    name: str
+    code: str
+    description: str
+    #: Builds the defective *seeding* cache over a root directory.
+    writer: Callable[[str], ExploreCache]
+    #: Builds the *reading* cache for the warm sweep + differential.
+    reader: Callable[[str], ExploreCache]
+
+
+CORPUS: List[Defect] = [
+    Defect(
+        name="key_omits_param",
+        code=EX101_COLLISION,
+        description="key function forgets the width parameter; "
+                    "every width of a point family collides on one "
+                    "cache entry",
+        writer=lambda root: ExploreCache(
+            root, Keyer(omit_params=("width",))),
+        reader=lambda root: ExploreCache(
+            root, Keyer(omit_params=("width",))),
+    ),
+    Defect(
+        name="salt_ignored",
+        code=EX102_STALE,
+        description="key function drops the code-version salt; "
+                    "entries written by an older lowering keep "
+                    "hitting after the code changed",
+        writer=lambda root: ExploreCache(
+            root, Keyer(salt="repro-0.0-ancient", ignore_salt=True)),
+        reader=lambda root: ExploreCache(
+            root, Keyer(salt=code_salt(), ignore_salt=True)),
+    ),
+    Defect(
+        name="partial_write",
+        code=EX103_CORRUPT,
+        description="non-atomic writer dies mid-write and publishes "
+                    "a truncated entry",
+        writer=_TruncatingCache,
+        reader=ExploreCache,
+    ),
+    Defect(
+        name="payload_drift",
+        code=EX104_DIFF,
+        description="writer perturbs the payload but stamps a "
+                    "matching checksum; only a fresh recompute can "
+                    "tell",
+        writer=_DriftingCache,
+        reader=ExploreCache,
+    ),
+]
+
+CONTROL = Defect(
+    name="control",
+    code="",
+    description="defect-free writer and reader; nothing may fire",
+    writer=ExploreCache,
+    reader=ExploreCache,
+)
+
+#: The corpus' standard sweep: two widths (so omitted-width keys
+#: collide) over the test-sized ``_demo`` system.
+SCENARIO_SYSTEM = "_demo"
+SCENARIO_GRID = {"width": [1, 2]}
+
+
+def scenario_points() -> List[GridPoint]:
+    return expand_grid(SCENARIO_GRID)
+
+
+def run_scenario(defect: Defect, root: str,
+                 backend: str = "interp") -> Dict[str, Any]:
+    """Play the seed / warm / differential battery for one defect.
+
+    Returns ``{"fired": set-of-codes, "expected": set, "exact": bool,
+    ...}`` where ``exact`` is the corpus' acceptance condition: the
+    fired set equals exactly the defect's own code (empty for the
+    control).
+    """
+    points = scenario_points()
+
+    seed_cache = defect.writer(root)
+    explore(SCENARIO_SYSTEM, points, jobs=1, cache_dir=root,
+            backend=backend, cache=seed_cache)
+
+    warm_cache = defect.reader(root)
+    explore(SCENARIO_SYSTEM, points, jobs=1, cache_dir=root,
+            backend=backend, cache=warm_cache)
+    diff = differential_check(SCENARIO_SYSTEM, points, warm_cache,
+                              backend=backend)
+
+    fired: Set[str] = {i.code for i in warm_cache.incidents}
+    fired.update(i.code for i in diff["incidents"])
+    expected: Set[str] = {defect.code} if defect.code else set()
+    return {
+        "defect": defect.name,
+        "expected": expected,
+        "fired": fired,
+        "exact": fired == expected,
+        "gate_incidents": [i.to_dict() for i in warm_cache.incidents],
+        "diff_incidents": [i.to_dict() for i in diff["incidents"]],
+        "diff_checked": diff["checked"],
+    }
+
+
+def run_corpus(root: str, backend: str = "interp"
+               ) -> List[Dict[str, Any]]:
+    """Run every seeded defect plus the control, each in its own
+    cache directory; the explorer's self-test surface."""
+    outcomes = []
+    for defect in CORPUS + [CONTROL]:
+        outcomes.append(run_scenario(
+            defect, os.path.join(root, defect.name or "control"),
+            backend=backend))
+    return outcomes

@@ -1,0 +1,118 @@
+"""Pareto ranking of explored design points.
+
+Three minimized objectives, the classic interface-synthesis triangle:
+
+* **clocks** -- simulated end-to-end execution time;
+* **pins** -- module-boundary wires (data + ID + control), the
+  paper's interconnect cost;
+* **area_gates** -- interface controller gate-equivalents.
+
+A point *dominates* another when it is no worse on every objective
+and strictly better on at least one.  The front is every undominated
+point, ranked by (clocks, pins, area, label) for a stable report; each
+dominated point records the first front point (in rank order) that
+dominates it, so the table can say *why* a point fell off.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Objective keys, all minimized, in ranking order.
+OBJECTIVES = ("clocks", "pins", "area_gates")
+
+
+def metrics_of(point_result: Dict[str, Any]) -> Optional[Tuple[int, ...]]:
+    """The objective vector of a point result, or ``None`` for points
+    that failed to build/simulate (excluded from ranking)."""
+    metrics = point_result.get("metrics")
+    if not metrics:
+        return None
+    try:
+        return tuple(metrics[o] for o in OBJECTIVES)
+    except KeyError:
+        return None
+
+
+def dominates(a: Sequence[int], b: Sequence[int]) -> bool:
+    return all(x <= y for x, y in zip(a, b)) and \
+        any(x < y for x, y in zip(a, b))
+
+
+def pareto_rank(results: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Rank point results (dicts with ``label`` and ``metrics``).
+
+    Returns a JSON-ready payload::
+
+        {"objectives": [...],
+         "front": [label, ...],              # ranked
+         "dominated": {label: dominator_label, ...},
+         "excluded": [label, ...]}           # failed points
+    """
+    vectors: List[Tuple[str, Tuple[int, ...]]] = []
+    excluded: List[str] = []
+    for result in results:
+        vector = metrics_of(result)
+        if vector is None:
+            excluded.append(result["label"])
+        else:
+            vectors.append((result["label"], vector))
+
+    front: List[Tuple[str, Tuple[int, ...]]] = []
+    dominated_points: List[Tuple[str, Tuple[int, ...]]] = []
+    for label, vector in vectors:
+        if any(dominates(other, vector)
+               for other_label, other in vectors if other_label != label):
+            dominated_points.append((label, vector))
+        else:
+            front.append((label, vector))
+
+    front.sort(key=lambda item: (item[1], item[0]))
+    dominated: Dict[str, str] = {}
+    for label, vector in dominated_points:
+        for front_label, front_vector in front:
+            if dominates(front_vector, vector):
+                dominated[label] = front_label
+                break
+    return {
+        "objectives": list(OBJECTIVES),
+        "front": [label for label, _ in front],
+        "dominated": dominated,
+        "excluded": excluded,
+    }
+
+
+def render_table(results: List[Dict[str, Any]],
+                 pareto: Dict[str, Any]) -> List[str]:
+    """ASCII table of every point with its Pareto verdict."""
+    front = {label: rank + 1
+             for rank, label in enumerate(pareto["front"])}
+    dominated = pareto["dominated"]
+    headers = ("point", "status", "clocks", "pins", "gates", "pareto")
+    rows: List[Tuple[str, ...]] = []
+    for result in results:
+        label = result["label"]
+        metrics = result.get("metrics") or {}
+        if label in front:
+            verdict = f"front #{front[label]}"
+        elif label in dominated:
+            verdict = f"dominated by {dominated[label]}"
+        else:
+            verdict = "-"
+        rows.append((
+            label,
+            result["status"],
+            str(metrics.get("clocks", "-")),
+            str(metrics.get("pins", "-")),
+            str(metrics.get("area_gates", "-")),
+            verdict,
+        ))
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+              else len(headers[i]) for i in range(len(headers))]
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = [fmt(headers), fmt(tuple("-" * w for w in widths))]
+    lines.extend(fmt(row) for row in rows)
+    return lines

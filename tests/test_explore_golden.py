@@ -1,0 +1,118 @@
+"""Golden explorer report for the FLC width x protection grid.
+
+Pins the Pareto front, the dominated->dominator map, every point's
+metrics and a sha256 over every point's full simulation payload --
+i.e. the complete observable outcome of the sweep -- and proves the
+report is byte-stable across ``--jobs 1`` and ``--jobs 4`` and across
+cache temperature.
+
+The golden stores the *version-independent* projection of the
+canonical report (stage cache keys are salted with the package
+version, so they are compared across runs but not pinned in the
+file).
+
+Regenerate (only when sweep behavior intentionally changes)::
+
+    PYTHONPATH=src python -m tests.test_explore_golden
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+from repro.explore import canonical_report, expand_grid, explore
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+GOLDEN_PATH = os.path.join(DATA_DIR, "golden_explore_flc.json")
+
+GRID = {"width": [4, 8, "auto"],
+        "protection": ["none", "parity", "crc8"]}
+
+
+def run_flc(cache_dir: str, jobs: int = 1) -> Dict[str, Any]:
+    return explore("flc", expand_grid(GRID), jobs=jobs,
+                   cache_dir=cache_dir, backend="interp")
+
+
+def golden_projection(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The canonical report minus the version-salted stage keys."""
+    canonical = canonical_report(report)
+    for point in canonical["points"]:
+        point.pop("stage_keys")
+    return canonical
+
+
+def canonical_dumps(projection: Dict[str, Any]) -> str:
+    return json.dumps(projection, indent=2, sort_keys=True) + "\n"
+
+
+def test_flc_grid_matches_golden(tmp_path):
+    report = run_flc(str(tmp_path / "cache"))
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        golden = handle.read()
+    assert canonical_dumps(golden_projection(report)) == golden, \
+        "regenerate with: PYTHONPATH=src python -m " \
+        "tests.test_explore_golden (only if sweep behavior " \
+        "intentionally changed)"
+
+
+def test_flc_grid_byte_stable_across_jobs_and_temperature(tmp_path):
+    jobs1_cold = run_flc(str(tmp_path / "c1"), jobs=1)
+    jobs4_cold = run_flc(str(tmp_path / "c4"), jobs=4)
+    jobs4_warm = run_flc(str(tmp_path / "c4"), jobs=4)
+
+    # Full canonical reports (stage keys included) must agree across
+    # job counts and cache temperature.
+    baseline = json.dumps(canonical_report(jobs1_cold), sort_keys=True)
+    assert json.dumps(canonical_report(jobs4_cold),
+                      sort_keys=True) == baseline
+    assert json.dumps(canonical_report(jobs4_warm),
+                      sort_keys=True) == baseline
+    assert jobs4_warm["cache"]["stats"]["writes"] == 0
+
+
+def test_golden_facts():
+    # Spot-check the pinned physics so a wholesale regeneration that
+    # breaks the sweep cannot slip through unnoticed: wider buses
+    # finish sooner, protection costs clocks and never wins.
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        golden = json.load(handle)
+    by_label = {p["label"]: p for p in golden["points"]}
+    assert len(golden["points"]) == 9
+    assert all(p["status"] == "ok" for p in golden["points"])
+    assert all(p["oracle_ok"] for p in golden["points"])
+
+    def metrics(width, protection):
+        label = (f"width={width} full_handshake prot={protection} "
+                 "arb=fifo")
+        return by_label[label]["metrics"]
+
+    assert metrics(8, "none")["clocks"] < metrics(4, "none")["clocks"]
+    for width in (4, 8, "auto"):
+        none, parity, crc8 = (metrics(width, p) for p in
+                              ("none", "parity", "crc8"))
+        # Parity rides on an extra wire: pins/gates up, clocks flat.
+        assert parity["clocks"] == none["clocks"]
+        assert parity["pins"] > none["pins"]
+        assert parity["area_gates"] > none["area_gates"]
+        # CRC8 appends a checksum word: clocks and gates both up.
+        assert crc8["clocks"] > none["clocks"]
+        assert crc8["area_gates"] > parity["area_gates"]
+    assert all("prot=none" in label for label in
+               golden["pareto"]["front"])
+
+
+def main() -> None:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        report = run_flc(os.path.join(tmp, "cache"))
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        handle.write(canonical_dumps(golden_projection(report)))
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()
